@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Ablation: fat-channel link-selection policy in the 2x2 fat-mesh.
+ *
+ * The paper routes over "any one of the two links ... based on the
+ * current load". This sweep compares that least-loaded choice with
+ * a static (hash) assignment and a random pick.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace mediaworm;
+    bench::banner("Ablation: fat-link policy",
+                  "2x2 fat-mesh at 80:20, Virtual Clock");
+
+    core::Table table({"load", "policy", "d (ms)", "sigma_d (ms)",
+                       "BE total (us)"});
+
+    for (double load : {0.70, 0.90}) {
+        for (auto policy : {config::FatLinkPolicy::LeastLoaded,
+                            config::FatLinkPolicy::Static,
+                            config::FatLinkPolicy::Random}) {
+            core::ExperimentConfig cfg = bench::paperConfig();
+            cfg.network.topology = config::TopologyKind::FatMesh;
+            cfg.network.fatLinkPolicy = policy;
+            cfg.traffic.inputLoad = load;
+            cfg.traffic.realTimeFraction = 0.8;
+
+            const core::ExperimentResult r = core::runExperiment(cfg);
+            table.addRow({core::Table::num(load, 2), toString(policy),
+                          core::Table::num(r.meanIntervalNormMs, 2),
+                          core::Table::num(r.stddevIntervalNormMs, 3),
+                          core::Table::num(r.beLatencyUs, 1)});
+        }
+    }
+
+    std::printf("%s\n", table.toString().c_str());
+    return 0;
+}

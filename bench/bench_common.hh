@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared scaffolding for the figure/table benchmark binaries.
+ *
+ * Every bench prints the paper rows it reproduces. Counts are sized
+ * so each binary finishes in tens of seconds; set MW_BENCH_FRAMES to
+ * raise the measured-frame count (more samples, slower) and
+ * MW_BENCH_SCALE to change the time-scale compression (1.0 = the
+ * paper's full MPEG-2 workload).
+ */
+
+#ifndef MEDIAWORM_BENCH_COMMON_HH
+#define MEDIAWORM_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/mediaworm.hh"
+
+namespace bench {
+
+/** Measured frames per stream (env-overridable). */
+inline int
+measuredFrames()
+{
+    if (const char* env = std::getenv("MW_BENCH_FRAMES"))
+        return std::atoi(env);
+    return 6;
+}
+
+/** Time-scale compression (env-overridable). */
+inline double
+timeScale()
+{
+    if (const char* env = std::getenv("MW_BENCH_SCALE"))
+        return std::atof(env);
+    return 0.1;
+}
+
+/** Paper-default experiment configuration (Table 1). */
+inline mediaworm::core::ExperimentConfig
+paperConfig()
+{
+    mediaworm::core::ExperimentConfig cfg;
+    cfg.router.numPorts = 8;
+    cfg.router.numVcs = 16;
+    cfg.router.flitBufferDepth = 20;
+    cfg.router.flitSizeBits = 32;
+    cfg.router.linkBandwidthMbps = 400;
+    cfg.traffic.warmupFrames = 2;
+    cfg.traffic.measuredFrames = measuredFrames();
+    cfg.timeScale = timeScale();
+    return cfg;
+}
+
+/** Prints the bench banner. */
+inline void
+banner(const char* experiment, const char* what)
+{
+    std::printf("=== MediaWorm reproduction: %s ===\n%s\n", experiment,
+                what);
+    std::printf("(timeScale=%.2f, measured frames=%d; d and sigma_d "
+                "are re-normalised to the paper's 33 ms axis)\n\n",
+                timeScale(), measuredFrames());
+}
+
+} // namespace bench
+
+#endif // MEDIAWORM_BENCH_COMMON_HH

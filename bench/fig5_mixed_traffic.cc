@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 5: mixed VBR/best-effort traffic (16 VCs).
+ *
+ * Paper result: up to an input load of 0.80 delivery is jitter-free
+ * regardless of the mix; beyond that, jitter becomes significant
+ * only when the real-time component dominates.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace mediaworm;
+    bench::banner("Figure 5",
+                  "d and sigma_d vs real-time share, 16 VCs");
+
+    core::Table table({"load", "mix (x:y)", "d (ms)", "sigma_d (ms)"});
+
+    const double mixes[] = {0.2, 0.5, 0.8, 0.9, 1.0};
+    for (double load : {0.60, 0.70, 0.80, 0.90, 0.96}) {
+        for (double rt : mixes) {
+            core::ExperimentConfig cfg = bench::paperConfig();
+            cfg.traffic.inputLoad = load;
+            cfg.traffic.realTimeFraction = rt;
+
+            const core::ExperimentResult r = core::runExperiment(cfg);
+            char mix[16];
+            std::snprintf(mix, sizeof(mix), "%.0f:%.0f", rt * 100,
+                          (1 - rt) * 100);
+            table.addRow({core::Table::num(load, 2), mix,
+                          core::Table::num(r.meanIntervalNormMs, 2),
+                          core::Table::num(r.stddevIntervalNormMs, 3)});
+        }
+    }
+
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("Paper: jitter-free to load 0.8 for every mix; beyond "
+                "that only RT-dominant mixes degrade.\n");
+    return 0;
+}

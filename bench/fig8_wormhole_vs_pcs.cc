@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 8: MediaWorm (wormhole) vs Pipelined Circuit Switching
+ * (8x8 switch, 100 Mbps links, 24 VCs per PC).
+ *
+ * Paper result: PCS stays jitter-free past load 0.8 while wormhole
+ * manages ~0.7 at this low link bandwidth - but PCS achieves it by
+ * dropping a large share of connection requests (Table 3), whereas
+ * wormhole accepts every stream.
+ */
+
+#include "bench_common.hh"
+#include "pcs/pcs_experiment.hh"
+
+int
+main()
+{
+    using namespace mediaworm;
+    bench::banner("Figure 8",
+                  "Wormhole vs PCS, 100 Mbps links, 24 VCs");
+
+    core::Table table({"load", "router", "d (ms)", "sigma_d (ms)",
+                       "streams", "dropped"});
+
+    for (double load : {0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90}) {
+        {
+            core::ExperimentConfig cfg = bench::paperConfig();
+            cfg.router.linkBandwidthMbps = 100;
+            cfg.router.numVcs = 24;
+            cfg.traffic.inputLoad = load;
+            cfg.traffic.realTimeFraction = 1.0;
+            // Apples-to-apples with PCS, whose blind probes place
+            // connections randomly: give wormhole the same random
+            // placement (the paper's workload) instead of balanced
+            // admission.
+            cfg.traffic.streamPlacement =
+                config::StreamPlacement::UniformRandom;
+
+            const core::ExperimentResult r = core::runExperiment(cfg);
+            table.addRow({core::Table::num(load, 2), "wormhole",
+                          core::Table::num(r.meanIntervalNormMs, 2),
+                          core::Table::num(r.stddevIntervalNormMs, 3),
+                          core::Table::num(static_cast<std::int64_t>(
+                              r.rtStreams)),
+                          "0"});
+        }
+        {
+            pcs::PcsExperimentConfig cfg;
+            cfg.traffic.inputLoad = load;
+            cfg.traffic.warmupFrames = 2;
+            cfg.traffic.measuredFrames = bench::measuredFrames();
+            cfg.timeScale = bench::timeScale();
+
+            const pcs::PcsExperimentResult r =
+                pcs::runPcsExperiment(cfg);
+            table.addRow({core::Table::num(load, 2), "PCS",
+                          core::Table::num(r.meanIntervalNormMs, 2),
+                          core::Table::num(r.stddevIntervalNormMs, 3),
+                          core::Table::num(static_cast<std::int64_t>(
+                              r.established)),
+                          core::Table::num(static_cast<std::int64_t>(
+                              r.dropped))});
+        }
+    }
+
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("Paper: PCS slightly better jitter at high load, at "
+                "the cost of many dropped connection requests; "
+                "wormhole turns nothing away.\n");
+    return 0;
+}

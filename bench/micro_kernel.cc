@@ -1,0 +1,110 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator hot paths: event
+ * queue operations, random number generation, scheduler picks and a
+ * small end-to-end experiment (events per second).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/mediaworm.hh"
+
+namespace {
+
+using namespace mediaworm;
+
+void
+BM_EventQueueScheduleFire(benchmark::State& state)
+{
+    sim::Simulator simulator(7);
+    const int fanout = static_cast<int>(state.range(0));
+    std::vector<std::unique_ptr<sim::CallbackEvent>> events;
+    events.reserve(static_cast<std::size_t>(fanout));
+    for (int i = 0; i < fanout; ++i) {
+        events.push_back(std::make_unique<sim::CallbackEvent>(
+            [] {}, "bench"));
+    }
+    sim::Tick when = 1;
+    for (auto _ : state) {
+        for (auto& event : events)
+            simulator.schedule(*event,
+                               when + static_cast<sim::Tick>(
+                                   simulator.rng().uniformInt(1000)));
+        simulator.run(when + 1000);
+        when += 2000;
+    }
+    state.SetItemsProcessed(state.iterations() * fanout);
+}
+BENCHMARK(BM_EventQueueScheduleFire)->Arg(16)->Arg(256)->Arg(4096);
+
+void
+BM_RngUniform(benchmark::State& state)
+{
+    sim::Rng rng(3);
+    std::uint64_t sink = 0;
+    for (auto _ : state)
+        sink += rng.uniformInt(1000);
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngUniform);
+
+void
+BM_NormalDistribution(benchmark::State& state)
+{
+    sim::Rng rng(3);
+    sim::NormalDistribution normal(16666.0, 3333.0);
+    double sink = 0;
+    for (auto _ : state)
+        sink += normal.sample(rng);
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NormalDistribution);
+
+void
+BM_SchedulerPick(benchmark::State& state)
+{
+    const auto kind =
+        static_cast<config::SchedulerKind>(state.range(0));
+    auto scheduler = router::makeScheduler(kind);
+    std::vector<router::Candidate> candidates;
+    sim::Rng rng(11);
+    for (int i = 0; i < 16; ++i) {
+        candidates.push_back(
+            {i, static_cast<sim::Tick>(rng.uniformInt(1000000)),
+             rng.next(), 8 * sim::kMicrosecond});
+    }
+    std::size_t sink = 0;
+    for (auto _ : state)
+        sink += scheduler->pick(candidates);
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerPick)
+    ->Arg(static_cast<int>(config::SchedulerKind::Fifo))
+    ->Arg(static_cast<int>(config::SchedulerKind::VirtualClock))
+    ->Arg(static_cast<int>(config::SchedulerKind::WeightedRoundRobin));
+
+void
+BM_EndToEndExperiment(benchmark::State& state)
+{
+    for (auto _ : state) {
+        core::ExperimentConfig cfg;
+        cfg.traffic.inputLoad = 0.6;
+        cfg.traffic.warmupFrames = 1;
+        cfg.traffic.measuredFrames = 2;
+        cfg.timeScale = 0.05;
+        const core::ExperimentResult result =
+            core::runExperiment(cfg);
+        benchmark::DoNotOptimize(result.eventsFired);
+        state.counters["events/s"] = benchmark::Counter(
+            static_cast<double>(result.eventsFired),
+            benchmark::Counter::kIsIterationInvariantRate);
+    }
+}
+BENCHMARK(BM_EndToEndExperiment)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Mixed-workload exploration with CSV output.
+ *
+ * A cluster carries video (VBR), sensor feeds (CBR) and bulk
+ * best-effort traffic. This example compares scheduling disciplines
+ * across traffic mixes and emits machine-readable CSV, showing how
+ * to drive the library programmatically for design-space studies.
+ *
+ * Run: ./build/examples/example_mixed_cluster [> results.csv]
+ */
+
+#include <cstdio>
+
+#include "core/mediaworm.hh"
+
+int
+main()
+{
+    using namespace mediaworm;
+
+    core::Table csv({"scheduler", "rt_kind", "mix_rt", "load",
+                     "d_ms", "sigma_d_ms", "be_latency_us",
+                     "be_network_us"});
+
+    for (auto sched : {config::SchedulerKind::VirtualClock,
+                       config::SchedulerKind::Fifo}) {
+        for (auto kind : {config::RealTimeKind::Vbr,
+                          config::RealTimeKind::Cbr}) {
+            for (double mix : {0.5, 0.8}) {
+                for (double load : {0.7, 0.9}) {
+                    core::ExperimentConfig cfg;
+                    cfg.router.scheduler = sched;
+                    cfg.traffic.realTimeKind = kind;
+                    cfg.traffic.realTimeFraction = mix;
+                    cfg.traffic.inputLoad = load;
+                    cfg.traffic.warmupFrames = 2;
+                    cfg.traffic.measuredFrames = 5;
+
+                    const core::ExperimentResult r =
+                        core::runExperiment(cfg);
+                    csv.addRow(
+                        {config::toString(sched),
+                         config::toString(kind),
+                         core::Table::num(mix, 2),
+                         core::Table::num(load, 2),
+                         core::Table::num(r.meanIntervalNormMs, 3),
+                         core::Table::num(r.stddevIntervalNormMs, 3),
+                         core::Table::num(r.beLatencyUs, 1),
+                         core::Table::num(r.beNetworkLatencyUs, 1)});
+                    std::fprintf(stderr, ".");
+                }
+            }
+        }
+    }
+    std::fprintf(stderr, "\n");
+
+    // CSV on stdout for piping into a plotting tool.
+    std::printf("%s", csv.toCsv().c_str());
+
+    std::fprintf(stderr,
+                 "\n%zu experiment points written as CSV. Pipe stdout "
+                 "to a file and plot\nsigma_d_ms vs load per "
+                 "scheduler to see the MediaWorm effect.\n",
+                 csv.rows());
+    return 0;
+}

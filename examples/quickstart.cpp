@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Quickstart: sweep input load on an 8-port MediaWorm switch with an
+ * 80:20 VBR:best-effort mix and watch jitter appear as the link
+ * saturates - the paper's headline experiment in ~30 lines.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/example_quickstart
+ */
+
+#include <cstdio>
+
+#include "core/mediaworm.hh"
+
+int
+main()
+{
+    using namespace mediaworm;
+
+    core::Table table({"load", "d (ms)", "sigma_d (ms)",
+                       "BE latency (us)", "streams"});
+
+    for (double load : {0.5, 0.6, 0.7, 0.8, 0.9, 0.96}) {
+        core::ExperimentConfig cfg;
+        cfg.router.numVcs = 16;
+        cfg.router.scheduler = config::SchedulerKind::VirtualClock;
+        cfg.traffic.inputLoad = load;
+        cfg.traffic.realTimeFraction = 0.8; // 80:20 VBR : best-effort
+        cfg.traffic.warmupFrames = 2;
+        cfg.traffic.measuredFrames = 8;
+
+        const core::ExperimentResult r = core::runExperiment(cfg);
+        table.addRow({core::Table::num(load, 2),
+                      core::Table::num(r.meanIntervalNormMs, 2),
+                      core::Table::num(r.stddevIntervalNormMs, 3),
+                      core::Table::num(r.beLatencyUs, 1),
+                      core::Table::num(
+                          static_cast<std::int64_t>(r.rtStreams))});
+        std::printf("load %.2f done: %s\n", load,
+                    r.describe().c_str());
+    }
+
+    std::printf("\nMediaWorm 8x8 switch, 16 VCs, Virtual Clock, "
+                "80:20 VBR:BE\n%s",
+                table.toString().c_str());
+    std::printf("\nJitter-free delivery means d ~ 33 ms and sigma_d "
+                "~ 0.\n");
+    return 0;
+}

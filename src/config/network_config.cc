@@ -1,0 +1,94 @@
+#include "config/network_config.hh"
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace mediaworm::config {
+
+const char*
+toString(TopologyKind kind)
+{
+    switch (kind) {
+      case TopologyKind::SingleSwitch:
+        return "single-switch";
+      case TopologyKind::FatMesh:
+        return "fat-mesh";
+    }
+    return "?";
+}
+
+const char*
+toString(FatLinkPolicy policy)
+{
+    switch (policy) {
+      case FatLinkPolicy::LeastLoaded:
+        return "least-loaded";
+      case FatLinkPolicy::Static:
+        return "static";
+      case FatLinkPolicy::Random:
+        return "random";
+    }
+    return "?";
+}
+
+int
+NetworkConfig::totalNodes(int router_ports) const
+{
+    if (topology == TopologyKind::SingleSwitch)
+        return router_ports;
+    return meshWidth * meshHeight * endpointsPerSwitch;
+}
+
+void
+NetworkConfig::validate(int router_ports) const
+{
+    using sim::fatal;
+    if (topology == TopologyKind::SingleSwitch)
+        return;
+    if (meshWidth < 1 || meshHeight < 1)
+        fatal("NetworkConfig: mesh dimensions must be >= 1");
+    if (meshWidth * meshHeight < 2)
+        fatal("NetworkConfig: a mesh needs at least 2 switches");
+    if (fatFactor < 1)
+        fatal("NetworkConfig: fatFactor must be >= 1");
+    if (endpointsPerSwitch < 1)
+        fatal("NetworkConfig: endpointsPerSwitch must be >= 1");
+
+    // Each switch needs ports for its endpoints plus fatFactor links
+    // towards each mesh neighbour (at most 4 neighbours).
+    int max_neighbours = 0;
+    for (int y = 0; y < meshHeight; ++y) {
+        for (int x = 0; x < meshWidth; ++x) {
+            int neighbours = 0;
+            neighbours += (x > 0) + (x < meshWidth - 1);
+            neighbours += (y > 0) + (y < meshHeight - 1);
+            if (neighbours > max_neighbours)
+                max_neighbours = neighbours;
+        }
+    }
+    const int needed = endpointsPerSwitch + max_neighbours * fatFactor;
+    if (needed > router_ports) {
+        fatal("NetworkConfig: %d endpoint + %d fat-link ports exceed "
+              "the %d-port router",
+              endpointsPerSwitch, max_neighbours * fatFactor,
+              router_ports);
+    }
+}
+
+std::string
+NetworkConfig::describe() const
+{
+    char buf[160];
+    if (topology == TopologyKind::SingleSwitch) {
+        std::snprintf(buf, sizeof(buf), "single switch");
+    } else {
+        std::snprintf(buf, sizeof(buf),
+                      "%dx%d fat-mesh, fat=%d (%s), %d endpoints/switch",
+                      meshWidth, meshHeight, fatFactor,
+                      toString(fatLinkPolicy), endpointsPerSwitch);
+    }
+    return buf;
+}
+
+} // namespace mediaworm::config

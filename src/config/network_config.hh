@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Topology-level configuration.
+ */
+
+#ifndef MEDIAWORM_CONFIG_NETWORK_CONFIG_HH
+#define MEDIAWORM_CONFIG_NETWORK_CONFIG_HH
+
+#include <string>
+
+namespace mediaworm::config {
+
+/** Supported interconnect topologies. */
+enum class TopologyKind {
+    SingleSwitch, ///< One router, one endpoint per port (Sections 5.1-5.6).
+    FatMesh,      ///< k x k mesh with parallel inter-switch links (5.7).
+};
+
+/** Policy used to pick among the parallel links of a fat channel. */
+enum class FatLinkPolicy {
+    LeastLoaded, ///< Fewest queued flits right now (the paper's choice).
+    Static,      ///< Hash of the stream id (no load awareness).
+    Random,      ///< Uniform random per message.
+};
+
+/** Returns a stable display name for a topology kind. */
+const char* toString(TopologyKind kind);
+
+/** Returns a stable display name for a fat-link policy. */
+const char* toString(FatLinkPolicy policy);
+
+/**
+ * Interconnect shape.
+ *
+ * Defaults describe the paper's fat-mesh study: a 2x2 mesh of 8-port
+ * switches with 2 parallel links between neighbours, leaving 4
+ * endpoint ports per switch (16 nodes).
+ */
+struct NetworkConfig
+{
+    TopologyKind topology = TopologyKind::SingleSwitch;
+
+    int meshWidth = 2;  ///< Switches per mesh row.
+    int meshHeight = 2; ///< Switches per mesh column.
+    int fatFactor = 2;  ///< Parallel links between adjacent switches.
+    FatLinkPolicy fatLinkPolicy = FatLinkPolicy::LeastLoaded;
+
+    /**
+     * Endpoints attached to each switch. For SingleSwitch this always
+     * equals the router port count and is derived, not read.
+     */
+    int endpointsPerSwitch = 4;
+
+    /** Number of endpoint nodes in the configured topology. */
+    int totalNodes(int router_ports) const;
+
+    /** Aborts via fatal() if the shape is inconsistent. */
+    void validate(int router_ports) const;
+
+    /** One-line summary for logs and reports. */
+    std::string describe() const;
+};
+
+} // namespace mediaworm::config
+
+#endif // MEDIAWORM_CONFIG_NETWORK_CONFIG_HH

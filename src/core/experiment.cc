@@ -1,0 +1,157 @@
+#include "core/experiment.hh"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "network/metrics.hh"
+#include "network/network.hh"
+#include "sim/event.hh"
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+#include "traffic/best_effort_source.hh"
+#include "traffic/frame_source.hh"
+#include "traffic/traffic_mix.hh"
+
+namespace mediaworm::core {
+
+ExperimentResult
+runExperiment(const ExperimentConfig& cfg)
+{
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    if (cfg.timeScale <= 0.0 || cfg.timeScale > 1.0)
+        sim::fatal("runExperiment: timeScale %.3f out of (0,1]",
+                   cfg.timeScale);
+
+    // Apply time-scale compression to the workload (see the field's
+    // documentation); load and flit-level behaviour are unchanged.
+    config::TrafficConfig traffic = cfg.traffic;
+    traffic.frameBytesMean *= cfg.timeScale;
+    traffic.frameBytesStddev *= cfg.timeScale;
+    traffic.frameInterval = static_cast<sim::Tick>(
+        static_cast<double>(traffic.frameInterval) * cfg.timeScale);
+
+    cfg.router.validate();
+    traffic.validate();
+    cfg.network.validate(cfg.router.numPorts);
+
+    sim::Simulator simulator(cfg.seed);
+    network::MetricsHub metrics;
+    sim::Rng net_rng = simulator.rng().split();
+    network::Network net(simulator, cfg.router, cfg.network, metrics,
+                         net_rng);
+
+    sim::Rng mix_rng = simulator.rng().split();
+    traffic::MixPlan plan =
+        traffic::planMix(cfg.router, traffic, net.numNodes(), mix_rng);
+
+    // Real-time sources, one per stream.
+    std::vector<std::unique_ptr<traffic::FrameSource>> rt_sources;
+    rt_sources.reserve(plan.streams.size());
+    for (const traffic::Stream& stream : plan.streams) {
+        rt_sources.push_back(std::make_unique<traffic::FrameSource>(
+            simulator, stream, traffic, cfg.router.flitSizeBits,
+            net.ni(stream.src.value()), simulator.rng().split()));
+    }
+
+    // Injection horizon: all sources stop after this time.
+    const int total_frames = traffic.warmupFrames
+        + traffic.measuredFrames;
+    const sim::Tick horizon =
+        static_cast<sim::Tick>(total_frames + 1) * traffic.frameInterval;
+
+    // Best-effort sources, one per node.
+    std::vector<std::unique_ptr<traffic::BestEffortSource>> be_sources;
+    if (plan.beInterval != sim::kTickNever) {
+        be_sources.reserve(static_cast<std::size_t>(net.numNodes()));
+        for (int node = 0; node < net.numNodes(); ++node) {
+            be_sources.push_back(
+                std::make_unique<traffic::BestEffortSource>(
+                    simulator,
+                    sim::StreamId(1000000 + node), sim::NodeId(node),
+                    net.numNodes(), traffic.beMessageFlits,
+                    plan.beInterval, horizon,
+                    plan.partition.beFirst, plan.partition.beCount,
+                    net.ni(node), simulator.rng().split()));
+        }
+    }
+
+    for (auto& source : rt_sources)
+        source->start();
+    for (auto& source : be_sources)
+        source->start();
+
+    // Steady-state measurement starts once every stream has injected
+    // its warmup frames (stream phases are within one interval).
+    const sim::Tick warm = static_cast<sim::Tick>(
+                               traffic.warmupFrames + 1)
+        * traffic.frameInterval;
+    sim::CallbackEvent enable_event(
+        [&] { metrics.enable(simulator.now()); }, "enableMetrics");
+    simulator.schedule(enable_event, warm);
+
+    // Run to drain, with a generous safety cap: at most several
+    // injection horizons (overload backlogs drain at service rate).
+    const sim::Tick cap = cfg.maxSimTime > 0
+        ? cfg.maxSimTime
+        : horizon * 8 + 100 * sim::kMillisecond;
+    simulator.run(cap);
+
+    ExperimentResult result;
+    result.truncated = !simulator.queue().empty();
+    if (result.truncated) {
+        sim::warn("runExperiment: truncated at %s with %llu flits of "
+                  "host backlog",
+                  sim::formatTime(simulator.now()).c_str(),
+                  static_cast<unsigned long long>(
+                      net.totalBacklogFlits()));
+        // Unhook pending events so components tear down cleanly.
+        simulator.queue().clear();
+    }
+
+    const auto& frames = metrics.frames();
+    result.meanIntervalMs = frames.meanIntervalMs();
+    result.stddevIntervalMs = frames.stddevIntervalMs();
+    result.meanIntervalNormMs = result.meanIntervalMs / cfg.timeScale;
+    result.stddevIntervalNormMs =
+        result.stddevIntervalMs / cfg.timeScale;
+    result.beLatencyUs = metrics.beLatency().mean();
+    result.beNetworkLatencyUs = metrics.beNetworkLatency().mean();
+    result.beLatencyP99Us = metrics.beLatencyHistogram().quantile(0.99);
+    result.rtMessageLatencyUs = metrics.rtMessageLatency().mean();
+    result.intervalSamples = frames.sampleCount();
+    result.framesDelivered = frames.framesDelivered();
+    result.beMessages = metrics.beMessages();
+    result.flitsDelivered = metrics.flitsDelivered();
+    result.eventsFired = simulator.eventsFired();
+    result.rtStreams = static_cast<int>(plan.streams.size());
+    result.streamsPerNode = plan.streamsPerNode;
+    result.simulatedMs = sim::toMilliseconds(simulator.now());
+
+    const auto wall_end = std::chrono::steady_clock::now();
+    result.wallSeconds =
+        std::chrono::duration<double>(wall_end - wall_start).count();
+    return result;
+}
+
+std::string
+ExperimentResult::describe() const
+{
+    char buf[240];
+    std::snprintf(
+        buf, sizeof(buf),
+        "d=%.2fms sd=%.3fms (norm d=%.2f sd=%.3f) beLat=%.1fus "
+        "[%llu intervals, %llu frames, %llu BE msgs]%s",
+        meanIntervalMs, stddevIntervalMs, meanIntervalNormMs,
+        stddevIntervalNormMs, beLatencyUs,
+        static_cast<unsigned long long>(intervalSamples),
+        static_cast<unsigned long long>(framesDelivered),
+        static_cast<unsigned long long>(beMessages),
+        truncated ? " TRUNCATED" : "");
+    return buf;
+}
+
+} // namespace mediaworm::core

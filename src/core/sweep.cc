@@ -1,0 +1,73 @@
+#include "core/sweep.hh"
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace mediaworm::core {
+
+Sweep::Sweep(ExperimentConfig base) : base_(std::move(base)) {}
+
+void
+Sweep::addPoint(std::string label, Modifier modify)
+{
+    points_.push_back({std::move(label), std::move(modify)});
+}
+
+void
+Sweep::addLoadAxis(const std::vector<double>& loads, Modifier modify)
+{
+    for (double load : loads) {
+        char label[32];
+        std::snprintf(label, sizeof(label), "load=%.2f", load);
+        points_.push_back(
+            {label, [load, modify](ExperimentConfig& cfg) {
+                 cfg.traffic.inputLoad = load;
+                 if (modify)
+                     modify(cfg);
+             }});
+    }
+}
+
+const std::vector<Sweep::Row>&
+Sweep::run(const Progress& progress)
+{
+    rows_.clear();
+    rows_.reserve(points_.size());
+    for (const Point& point : points_) {
+        ExperimentConfig cfg = base_;
+        if (point.modify)
+            point.modify(cfg);
+        Row row{point.label, runExperiment(cfg)};
+        if (progress)
+            progress(row.label, row.result);
+        rows_.push_back(std::move(row));
+    }
+    return rows_;
+}
+
+Table
+Sweep::toTable() const
+{
+    Table table({"point", "d (ms)", "sigma_d (ms)", "BE total (us)",
+                 "BE network (us)", "streams"});
+    for (const Row& row : rows_) {
+        table.addRow(
+            {row.label,
+             Table::num(row.result.meanIntervalNormMs, 2),
+             Table::num(row.result.stddevIntervalNormMs, 3),
+             Table::num(row.result.beLatencyUs, 1),
+             Table::num(row.result.beNetworkLatencyUs, 1),
+             Table::num(
+                 static_cast<std::int64_t>(row.result.rtStreams))});
+    }
+    return table;
+}
+
+std::string
+Sweep::toCsv() const
+{
+    return toTable().toCsv();
+}
+
+} // namespace mediaworm::core

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Parameter-sweep runner: the programmatic counterpart of the bench
+ * binaries. Builds a list of labelled experiment points from a base
+ * configuration plus per-point modifiers, runs them sequentially and
+ * renders the standard result columns as a table or CSV.
+ */
+
+#ifndef MEDIAWORM_CORE_SWEEP_HH
+#define MEDIAWORM_CORE_SWEEP_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/table.hh"
+
+namespace mediaworm::core {
+
+/** A grid of experiment points sharing a base configuration. */
+class Sweep
+{
+  public:
+    /** Mutates one point's configuration before it runs. */
+    using Modifier = std::function<void(ExperimentConfig&)>;
+    /** Invoked after each point completes (progress reporting). */
+    using Progress =
+        std::function<void(const std::string&, const ExperimentResult&)>;
+
+    /** @param base Configuration every point starts from. */
+    explicit Sweep(ExperimentConfig base);
+
+    /**
+     * Adds one point: @p modify is applied to a copy of the base
+     * configuration when the sweep runs.
+     */
+    void addPoint(std::string label, Modifier modify);
+
+    /**
+     * Convenience axis: one point per load value, labelled with the
+     * load and composed with @p modify (optional).
+     */
+    void addLoadAxis(const std::vector<double>& loads,
+                     Modifier modify = {});
+
+    /** Number of points added. */
+    std::size_t size() const { return points_.size(); }
+
+    /** One completed point. */
+    struct Row
+    {
+        std::string label;
+        ExperimentResult result;
+    };
+
+    /**
+     * Runs every point in order.
+     *
+     * @param progress Optional per-point callback.
+     * @return All rows, in insertion order.
+     */
+    const std::vector<Row>& run(const Progress& progress = {});
+
+    /** Rows from the last run(). */
+    const std::vector<Row>& rows() const { return rows_; }
+
+    /**
+     * Renders the standard columns (label, d, sigma_d, best-effort
+     * latencies, stream count) for the last run.
+     */
+    Table toTable() const;
+
+    /** CSV rendering of the standard columns for the last run. */
+    std::string toCsv() const;
+
+  private:
+    struct Point
+    {
+        std::string label;
+        Modifier modify;
+    };
+
+    ExperimentConfig base_;
+    std::vector<Point> points_;
+    std::vector<Row> rows_;
+};
+
+} // namespace mediaworm::core
+
+#endif // MEDIAWORM_CORE_SWEEP_HH

@@ -1,0 +1,91 @@
+#include "core/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace mediaworm::core {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    MW_ASSERT(!headers_.empty());
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    MW_ASSERT(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double value, int decimals)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+Table::num(std::int64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+    return buf;
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    auto render_row = [&](const std::vector<std::string>& row) {
+        std::string line;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            line += "  ";
+            line.append(width[c] - row[c].size(), ' ');
+            line += row[c];
+        }
+        line += '\n';
+        return line;
+    };
+
+    std::string out = render_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : width)
+        total += w + 2;
+    out.append(total, '-');
+    out += '\n';
+    for (const auto& row : rows_)
+        out += render_row(row);
+    return out;
+}
+
+std::string
+Table::toCsv() const
+{
+    std::string out;
+    auto render = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c > 0)
+                out += ',';
+            out += row[c];
+        }
+        out += '\n';
+    };
+    render(headers_);
+    for (const auto& row : rows_)
+        render(row);
+    return out;
+}
+
+} // namespace mediaworm::core

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Aligned text-table builder used by the benchmark binaries to print
+ * the paper's tables and figure series.
+ */
+
+#ifndef MEDIAWORM_CORE_TABLE_HH
+#define MEDIAWORM_CORE_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mediaworm::core {
+
+/** Accumulates rows of strings and prints them column-aligned. */
+class Table
+{
+  public:
+    /** @param headers Column titles. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Appends a row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Formats a double with @p decimals places. */
+    static std::string num(double value, int decimals = 2);
+
+    /** Formats an integer. */
+    static std::string num(std::int64_t value);
+
+    /** Renders with aligned columns and a separator rule. */
+    std::string toString() const;
+
+    /** Renders as CSV. */
+    std::string toCsv() const;
+
+    /** Number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mediaworm::core
+
+#endif // MEDIAWORM_CORE_TABLE_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Network-wide measurement hub (the paper's output parameters,
+ * Section 4.1): mean frame delivery interval d and its standard
+ * deviation sigma_d for CBR/VBR streams, and average latency for
+ * best-effort traffic.
+ */
+
+#ifndef MEDIAWORM_NETWORK_METRICS_HH
+#define MEDIAWORM_NETWORK_METRICS_HH
+
+#include <cstdint>
+
+#include "sim/ids.hh"
+#include "sim/time.hh"
+#include "stats/accumulator.hh"
+#include "stats/histogram.hh"
+#include "stats/interval_tracker.hh"
+
+namespace mediaworm::network {
+
+/** Shared by every NI sink; aggregates delivery measurements. */
+class MetricsHub
+{
+  public:
+    MetricsHub() = default;
+
+    /**
+     * Starts measurement at @p now. Frame intervals spanning the
+     * boundary and best-effort messages injected before it are
+     * excluded (steady-state measurement after warmup).
+     */
+    void
+    enable(sim::Tick now)
+    {
+        frames_.enable();
+        enableTime_ = now;
+        enabled_ = true;
+    }
+
+    /** True once enable() ran. */
+    bool enabled() const { return enabled_; }
+
+    /** Records delivery of a complete video frame. */
+    void
+    recordFrameDelivery(sim::StreamId stream, sim::Tick now)
+    {
+        frames_.recordDelivery(stream, now);
+    }
+
+    /** Records delivery of a real-time message. */
+    void
+    recordRtMessage(sim::Tick inject_time, sim::Tick now)
+    {
+        ++rtMessages_;
+        if (enabled_ && inject_time >= enableTime_) {
+            rtMessageLatency_.add(
+                sim::toMicroseconds(now - inject_time));
+        }
+    }
+
+    /**
+     * Records delivery of a best-effort message.
+     *
+     * @param inject_time Message creation time at the host.
+     * @param network_enter_time When the tail flit left the NI.
+     * @param now Tail delivery time.
+     */
+    void
+    recordBeMessage(sim::Tick inject_time, sim::Tick network_enter_time,
+                    sim::Tick now)
+    {
+        ++beMessages_;
+        if (enabled_ && inject_time >= enableTime_) {
+            const double total_us =
+                sim::toMicroseconds(now - inject_time);
+            beLatency_.add(total_us);
+            beLatencyHistogram_.add(total_us);
+            beNetworkLatency_.add(
+                sim::toMicroseconds(now - network_enter_time));
+        }
+    }
+
+    /** Counts one delivered flit (any class). */
+    void recordFlit() { ++flitsDelivered_; }
+
+    /** Frame delivery-interval statistics. */
+    const stats::IntervalTracker& frames() const { return frames_; }
+
+    /** Best-effort message latency in microseconds (host to sink). */
+    const stats::Accumulator& beLatency() const { return beLatency_; }
+
+    /** Best-effort in-network latency (NI exit to sink). */
+    const stats::Accumulator&
+    beNetworkLatency() const
+    {
+        return beNetworkLatency_;
+    }
+
+    /**
+     * Best-effort total-latency distribution (10 us buckets up to
+     * 50 ms; tail quantiles via quantile()).
+     */
+    const stats::Histogram&
+    beLatencyHistogram() const
+    {
+        return beLatencyHistogram_;
+    }
+
+    /** Real-time message latency in microseconds. */
+    const stats::Accumulator&
+    rtMessageLatency() const
+    {
+        return rtMessageLatency_;
+    }
+
+    /** Total best-effort messages delivered (measured or not). */
+    std::uint64_t beMessages() const { return beMessages_; }
+
+    /** Total real-time messages delivered (measured or not). */
+    std::uint64_t rtMessages() const { return rtMessages_; }
+
+    /** Total flits delivered to sinks. */
+    std::uint64_t flitsDelivered() const { return flitsDelivered_; }
+
+  private:
+    stats::IntervalTracker frames_;
+    stats::Accumulator beLatency_;
+    stats::Accumulator beNetworkLatency_;
+    stats::Histogram beLatencyHistogram_{0.0, 50000.0, 5000};
+    stats::Accumulator rtMessageLatency_;
+    std::uint64_t beMessages_ = 0;
+    std::uint64_t rtMessages_ = 0;
+    std::uint64_t flitsDelivered_ = 0;
+    sim::Tick enableTime_ = 0;
+    bool enabled_ = false;
+};
+
+} // namespace mediaworm::network
+
+#endif // MEDIAWORM_NETWORK_METRICS_HH

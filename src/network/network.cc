@@ -1,0 +1,260 @@
+#include "network/network.hh"
+
+#include <array>
+
+#include "sim/logging.hh"
+
+namespace mediaworm::network {
+
+namespace {
+
+/** Credit depth that never throttles an ejection sink. */
+constexpr int kSinkCredits = 1 << 20;
+
+/** Mesh directions, in port-assignment order. */
+enum Direction { kEast = 0, kWest = 1, kSouth = 2, kNorth = 3 };
+
+} // namespace
+
+Network::Network(sim::Simulator& simulator,
+                 const config::RouterConfig& router_cfg,
+                 const config::NetworkConfig& net_cfg,
+                 MetricsHub& metrics, sim::Rng& rng)
+    : simulator_(simulator), routerCfg_(router_cfg), netCfg_(net_cfg),
+      metrics_(metrics), rng_(&rng)
+{
+    routerCfg_.validate();
+    netCfg_.validate(routerCfg_.numPorts);
+    linkDelay_ =
+        static_cast<sim::Tick>(routerCfg_.linkDelayCycles
+                               + routerCfg_.outputCycles)
+        * routerCfg_.cycleTime();
+
+    if (netCfg_.topology == config::TopologyKind::SingleSwitch)
+        buildSingleSwitch();
+    else
+        buildFatMesh();
+}
+
+router::Link&
+Network::newLink(const std::string& name)
+{
+    links_.push_back(std::make_unique<router::Link>(simulator_,
+                                                    linkDelay_, name));
+    return *links_.back();
+}
+
+void
+Network::attachEndpoint(router::WormholeRouter& sw, int port, int node)
+{
+    auto ni = std::make_unique<NetworkInterface>(
+        simulator_, sim::NodeId(node), routerCfg_, metrics_,
+        "ni" + std::to_string(node));
+
+    router::Link& inj =
+        newLink("inj" + std::to_string(node));
+    sw.connectInputLink(port, inj);
+    ni->connectInjectionLink(inj, routerCfg_.flitBufferDepth);
+
+    router::Link& ej = newLink("ej" + std::to_string(node));
+    sw.connectOutputLink(port, ej, kSinkCredits);
+    ni->connectEjectionLink(ej);
+
+    MW_ASSERT(static_cast<int>(nis_.size()) == node);
+    nis_.push_back(std::move(ni));
+}
+
+void
+Network::buildSingleSwitch()
+{
+    auto sw = std::make_unique<router::WormholeRouter>(
+        simulator_, routerCfg_, "router0");
+
+    for (int p = 0; p < routerCfg_.numPorts; ++p)
+        attachEndpoint(*sw, p, p);
+
+    // One endpoint per port: the destination id is the output port.
+    sw->setRouteFunction([](sim::NodeId dest) {
+        return router::RouteCandidates::single(dest.value());
+    });
+
+    routers_.push_back(std::move(sw));
+}
+
+void
+Network::buildFatMesh()
+{
+    const int width = netCfg_.meshWidth;
+    const int height = netCfg_.meshHeight;
+    const int fat = netCfg_.fatFactor;
+    const int eps = netCfg_.endpointsPerSwitch;
+    const int num_switches = width * height;
+
+    // Port map per switch: endpoint ports first, then fat channels
+    // per present direction in East/West/South/North order.
+    std::vector<std::array<int, 4>> dir_port(
+        static_cast<std::size_t>(num_switches), {-1, -1, -1, -1});
+
+    for (int s = 0; s < num_switches; ++s) {
+        routers_.push_back(std::make_unique<router::WormholeRouter>(
+            simulator_, routerCfg_, "router" + std::to_string(s)));
+        const int x = s % width;
+        const int y = s / width;
+        int next_port = eps;
+        auto assign = [&](Direction d, bool present) {
+            if (!present)
+                return;
+            dir_port[static_cast<std::size_t>(s)]
+                    [static_cast<std::size_t>(d)] = next_port;
+            next_port += fat;
+        };
+        assign(kEast, x < width - 1);
+        assign(kWest, x > 0);
+        assign(kSouth, y < height - 1);
+        assign(kNorth, y > 0);
+        MW_ASSERT(next_port <= routerCfg_.numPorts);
+    }
+
+    // Endpoints: node n lives on switch n / eps at port n % eps.
+    for (int s = 0; s < num_switches; ++s) {
+        for (int e = 0; e < eps; ++e) {
+            attachEndpoint(*routers_[static_cast<std::size_t>(s)], e,
+                           s * eps + e);
+        }
+    }
+
+    // Inter-switch fat channels: for each adjacent pair, fat links in
+    // each direction, pairing the k-th port on both sides.
+    auto wire = [&](int s, Direction sd, int t, Direction td) {
+        for (int k = 0; k < fat; ++k) {
+            const int sp =
+                dir_port[static_cast<std::size_t>(s)]
+                        [static_cast<std::size_t>(sd)] + k;
+            const int tp =
+                dir_port[static_cast<std::size_t>(t)]
+                        [static_cast<std::size_t>(td)] + k;
+            router::Link& link = newLink(
+                "sw" + std::to_string(s) + "p" + std::to_string(sp)
+                + "-sw" + std::to_string(t) + "p" + std::to_string(tp));
+            routers_[static_cast<std::size_t>(s)]->connectOutputLink(
+                sp, link, routerCfg_.flitBufferDepth);
+            routers_[static_cast<std::size_t>(t)]->connectInputLink(
+                tp, link);
+        }
+    };
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            const int s = y * width + x;
+            if (x < width - 1) {
+                wire(s, kEast, s + 1, kWest);
+                wire(s + 1, kWest, s, kEast);
+            }
+            if (y < height - 1) {
+                wire(s, kSouth, s + width, kNorth);
+                wire(s + width, kNorth, s, kSouth);
+            }
+        }
+    }
+
+    // Deterministic XY routing with fat-channel selection.
+    for (int s = 0; s < num_switches; ++s) {
+        const int x = s % width;
+        const int y = s / width;
+        const auto& ports = dir_port[static_cast<std::size_t>(s)];
+        const config::FatLinkPolicy policy = netCfg_.fatLinkPolicy;
+        sim::Rng* rng = rng_;
+        routers_[static_cast<std::size_t>(s)]->setRouteFunction(
+            [=, this](sim::NodeId dest) {
+                const int dest_switch = dest.value() / eps;
+                if (dest_switch == s) {
+                    return router::RouteCandidates::single(
+                        dest.value() % eps);
+                }
+                const int dx = dest_switch % width;
+                const int dy = dest_switch / width;
+                Direction dir;
+                if (dx != x)
+                    dir = dx > x ? kEast : kWest;
+                else
+                    dir = dy > y ? kSouth : kNorth;
+                const int first =
+                    ports[static_cast<std::size_t>(dir)];
+                MW_ASSERT(first >= 0);
+                switch (policy) {
+                  case config::FatLinkPolicy::LeastLoaded: {
+                    router::RouteCandidates rc;
+                    rc.count = fat;
+                    for (int k = 0; k < fat; ++k)
+                        rc.ports[static_cast<std::size_t>(k)] =
+                            first + k;
+                    return rc;
+                  }
+                  case config::FatLinkPolicy::Static:
+                    return router::RouteCandidates::single(
+                        first + dest.value() % fat);
+                  case config::FatLinkPolicy::Random:
+                    return router::RouteCandidates::single(
+                        first
+                        + static_cast<int>(rng->uniformInt(
+                            static_cast<std::uint64_t>(fat))));
+                }
+                sim::panic("unreachable fat-link policy");
+            });
+    }
+}
+
+int
+Network::switchOfNode(int node) const
+{
+    if (netCfg_.topology == config::TopologyKind::SingleSwitch)
+        return 0;
+    return node / netCfg_.endpointsPerSwitch;
+}
+
+std::uint64_t
+Network::totalBacklogFlits() const
+{
+    std::uint64_t total = 0;
+    for (const auto& ni : nis_)
+        total += ni->backlogFlits();
+    return total;
+}
+
+void
+Network::attachTracer(sim::Tracer& tracer)
+{
+    for (std::size_t i = 0; i < routers_.size(); ++i)
+        routers_[i]->setTracer(&tracer, static_cast<int>(i));
+    for (auto& ni : nis_)
+        ni->setTracer(&tracer);
+}
+
+void
+Network::registerStats(stats::Registry& registry) const
+{
+    for (const auto& sw : routers_)
+        sw->registerStats(registry);
+    for (std::size_t i = 0; i < nis_.size(); ++i) {
+        const NetworkInterface* ni = nis_[i].get();
+        registry.add("ni" + std::to_string(i) + ".flits_injected",
+                     "flits this endpoint put on its link", [ni] {
+                         return static_cast<double>(
+                             ni->flitsInjected());
+                     });
+        registry.add("ni" + std::to_string(i) + ".backlog_flits",
+                     "flits queued at the host", [ni] {
+                         return static_cast<double>(
+                             ni->backlogFlits());
+                     });
+    }
+    for (const auto& link : links_) {
+        const router::Link* raw = link.get();
+        registry.add("link." + raw->name() + ".flits",
+                     "flits transmitted", [raw] {
+                         return static_cast<double>(
+                             raw->flitRate().count());
+                     });
+    }
+}
+
+} // namespace mediaworm::network

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Topology construction: wires routers, links and network interfaces
+ * into the two systems the paper evaluates - a single switch with one
+ * endpoint per port, and a k x k fat-mesh with parallel inter-switch
+ * links and multiple endpoints per switch (Section 3.4).
+ */
+
+#ifndef MEDIAWORM_NETWORK_NETWORK_HH
+#define MEDIAWORM_NETWORK_NETWORK_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "config/network_config.hh"
+#include "config/router_config.hh"
+#include "network/metrics.hh"
+#include "network/network_interface.hh"
+#include "router/link.hh"
+#include "router/wormhole_router.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+#include "stats/registry.hh"
+
+namespace mediaworm::network {
+
+/** A built interconnect: routers + links + NIs, ready for traffic. */
+class Network
+{
+  public:
+    /**
+     * Builds and wires the configured topology.
+     *
+     * @param simulator Owning kernel.
+     * @param router_cfg Per-router hardware configuration.
+     * @param net_cfg Topology shape.
+     * @param metrics Shared measurement hub for all NI sinks.
+     * @param rng Random stream (used by the Random fat-link policy).
+     */
+    Network(sim::Simulator& simulator,
+            const config::RouterConfig& router_cfg,
+            const config::NetworkConfig& net_cfg, MetricsHub& metrics,
+            sim::Rng& rng);
+
+    Network(const Network&) = delete;
+    Network& operator=(const Network&) = delete;
+
+    /** Endpoint count. */
+    int numNodes() const { return static_cast<int>(nis_.size()); }
+
+    /** Router count. */
+    int numRouters() const { return static_cast<int>(routers_.size()); }
+
+    /** Endpoint @p node's network interface. */
+    NetworkInterface& ni(int node) { return *nis_[
+        static_cast<std::size_t>(node)]; }
+
+    /** Router @p index. */
+    router::WormholeRouter& router(int index)
+    {
+        return *routers_[static_cast<std::size_t>(index)];
+    }
+
+    /** All links (for utilization reporting). */
+    const std::vector<std::unique_ptr<router::Link>>&
+    links() const
+    {
+        return links_;
+    }
+
+    /** The switch that hosts endpoint @p node. */
+    int switchOfNode(int node) const;
+
+    /** Total host-side injection backlog, for drain diagnostics. */
+    std::uint64_t totalBacklogFlits() const;
+
+    /**
+     * Registers every router's, NI's and link's counters in
+     * @p registry for end-of-run reporting.
+     */
+    void registerStats(stats::Registry& registry) const;
+
+    /** Attaches @p tracer to every router and NI. */
+    void attachTracer(sim::Tracer& tracer);
+
+  private:
+    void buildSingleSwitch();
+    void buildFatMesh();
+
+    router::Link& newLink(const std::string& name);
+    void attachEndpoint(router::WormholeRouter& sw, int port, int node);
+
+    sim::Simulator& simulator_;
+    config::RouterConfig routerCfg_;
+    config::NetworkConfig netCfg_;
+    MetricsHub& metrics_;
+    sim::Rng* rng_;
+    sim::Tick linkDelay_;
+
+    std::vector<std::unique_ptr<router::WormholeRouter>> routers_;
+    std::vector<std::unique_ptr<NetworkInterface>> nis_;
+    std::vector<std::unique_ptr<router::Link>> links_;
+};
+
+} // namespace mediaworm::network
+
+#endif // MEDIAWORM_NETWORK_NETWORK_HH

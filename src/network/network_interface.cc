@@ -1,0 +1,184 @@
+#include "network/network_interface.hh"
+
+#include "sim/logging.hh"
+
+namespace mediaworm::network {
+
+NetworkInterface::NetworkInterface(sim::Simulator& simulator,
+                                   sim::NodeId node,
+                                   const config::RouterConfig& cfg,
+                                   MetricsHub& metrics, std::string name)
+    : simulator_(simulator), node_(node), cfg_(cfg), metrics_(metrics),
+      name_(std::move(name)), cycleTime_(cfg.cycleTime()),
+      vcs_(static_cast<std::size_t>(cfg.numVcs)),
+      scheduler_(router::makeScheduler(cfg.injectionScheduler)),
+      muxEvent_(
+          [this] {
+              muxBusy_ = false;
+              serveMux();
+          },
+          "NetworkInterface::mux")
+{
+    scratch_.reserve(static_cast<std::size_t>(cfg.numVcs));
+}
+
+void
+NetworkInterface::connectInjectionLink(router::Link& link,
+                                       int router_buffer_depth)
+{
+    MW_ASSERT(router_buffer_depth > 0);
+    injectionLink_ = &link;
+    routerBufferDepth_ = router_buffer_depth;
+    link.connectCreditReceiver(this);
+    for (InjectionVc& vc : vcs_)
+        vc.credits = router_buffer_depth;
+}
+
+void
+NetworkInterface::connectEjectionLink(router::Link& link)
+{
+    link.connectReceiver(this);
+}
+
+void
+NetworkInterface::injectMessage(const traffic::MessageDesc& message)
+{
+    MW_ASSERT(message.numFlits >= 2);
+    MW_ASSERT(message.vcLane >= 0 && message.vcLane < cfg_.numVcs);
+    MW_ASSERT(message.dest.valid() && message.dest != node_);
+    if (cfg_.switching == config::SwitchingKind::VirtualCutThrough
+        && routerBufferDepth_ > 0
+        && message.numFlits > routerBufferDepth_) {
+        sim::fatal("virtual cut-through requires messages (%d flits) "
+                   "to fit the %d-flit router buffers",
+                   message.numFlits, routerBufferDepth_);
+    }
+
+    InjectionVc& vc = vcs_[static_cast<std::size_t>(message.vcLane)];
+    const sim::Tick now = simulator_.now();
+
+    if (tracer_ != nullptr && tracer_->accepts(message.stream)) {
+        tracer_->record({now, sim::TracePoint::HostInject,
+                         message.stream, message.seq, -1,
+                         node_.value(), -1, message.vcLane});
+    }
+
+    // The injection multiplexer is a scheduling point like the
+    // router's stage 5: stamp every flit with the Virtual Clock of
+    // this VC lane (header installs the message's Vtick).
+    vc.vclock.beginMessage(message.vtick);
+
+    router::Flit flit;
+    flit.cls = message.cls;
+    flit.stream = message.stream;
+    flit.message = message.seq;
+    flit.messageFlits = message.numFlits;
+    flit.dest = message.dest;
+    flit.vcLane = message.vcLane;
+    flit.vtick = message.vtick;
+    flit.frame = message.frame;
+    flit.injectTime = now;
+
+    for (int i = 0; i < message.numFlits; ++i) {
+        flit.index = i;
+        flit.type = i == 0 ? router::FlitType::Header
+            : i == message.numFlits - 1 ? router::FlitType::Tail
+                                        : router::FlitType::Body;
+        flit.endOfFrame =
+            message.endOfFrame && flit.type == router::FlitType::Tail;
+        flit.stamp = vc.vclock.tick(now);
+        flit.arrivalSeq = nextArrivalSeq_++;
+        vc.queue.push(flit);
+    }
+    kickMux();
+}
+
+void
+NetworkInterface::receiveFlit(const router::Flit& flit, int vc)
+{
+    if (tracer_ != nullptr && tracer_->accepts(flit.stream)) {
+        tracer_->record({simulator_.now(), sim::TracePoint::Eject,
+                         flit.stream, flit.message, flit.index,
+                         node_.value(), -1, vc});
+    }
+    metrics_.recordFlit();
+    if (!flit.isTail())
+        return;
+    const sim::Tick now = simulator_.now();
+    if (flit.cls == router::TrafficClass::BestEffort) {
+        metrics_.recordBeMessage(flit.injectTime,
+                                 flit.networkEnterTime, now);
+        return;
+    }
+    metrics_.recordRtMessage(flit.injectTime, now);
+    if (flit.endOfFrame)
+        metrics_.recordFrameDelivery(flit.stream, now);
+}
+
+void
+NetworkInterface::creditReturned(int vc)
+{
+    ++vcs_[static_cast<std::size_t>(vc)].credits;
+    kickMux();
+}
+
+std::uint64_t
+NetworkInterface::backlogFlits() const
+{
+    std::uint64_t total = 0;
+    for (const InjectionVc& vc : vcs_)
+        total += vc.queue.size();
+    return total;
+}
+
+void
+NetworkInterface::kickMux()
+{
+    if (!muxBusy_)
+        serveMux();
+}
+
+void
+NetworkInterface::serveMux()
+{
+    MW_ASSERT(!muxBusy_);
+    MW_ASSERT(injectionLink_ != nullptr);
+
+    scratch_.clear();
+    for (int v = 0; v < cfg_.numVcs; ++v) {
+        InjectionVc& vc = vcs_[static_cast<std::size_t>(v)];
+        if (vc.queue.empty() || vc.credits <= 0)
+            continue;
+        const router::Flit& head = vc.queue.front();
+        // Virtual cut-through gates message launch on the router
+        // input buffer holding the whole message.
+        if (cfg_.switching == config::SwitchingKind::VirtualCutThrough
+            && head.isHeader() && vc.credits < head.messageFlits) {
+            continue;
+        }
+        scratch_.push_back({v, head.stamp, head.arrivalSeq, head.vtick});
+    }
+    if (scratch_.empty())
+        return;
+
+    const std::size_t winner = scheduler_->pick(scratch_);
+    const int v = scratch_[winner].slot;
+    InjectionVc& vc = vcs_[static_cast<std::size_t>(v)];
+
+    router::Flit flit = vc.queue.pop();
+    flit.networkEnterTime = simulator_.now();
+    --vc.credits;
+    injectionLink_->sendFlit(flit, v);
+    ++flitsInjected_;
+    if (tracer_ != nullptr && tracer_->accepts(flit.stream)) {
+        tracer_->record({simulator_.now(),
+                         sim::TracePoint::NetworkLaunch, flit.stream,
+                         flit.message, flit.index, node_.value(), -1,
+                         v});
+    }
+
+    muxBusy_ = true;
+    simulator_.scheduleAfter(muxEvent_, cycleTime_);
+}
+
+} // namespace mediaworm::network

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Endpoint network interface.
+ *
+ * Injection side: per-VC message queues (host memory, unbounded), a
+ * VC multiplexer onto the injection link scheduled by the configured
+ * discipline - the same Virtual Clock machinery as the router's
+ * output stage, since the injection link is itself a contended
+ * physical channel - and credit flow control against the router's
+ * input buffers.
+ *
+ * Ejection side: a sink that consumes flits at link rate, reassembles
+ * frame completions from tail flits and reports them to the
+ * MetricsHub.
+ */
+
+#ifndef MEDIAWORM_NETWORK_NETWORK_INTERFACE_HH
+#define MEDIAWORM_NETWORK_NETWORK_INTERFACE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "config/router_config.hh"
+#include "network/metrics.hh"
+#include "router/flit.hh"
+#include "router/flit_buffer.hh"
+#include "router/link.hh"
+#include "router/scheduler.hh"
+#include "router/virtual_clock.hh"
+#include "sim/event.hh"
+#include "sim/simulator.hh"
+#include "sim/tracer.hh"
+#include "traffic/stream.hh"
+
+namespace mediaworm::network {
+
+/** One endpoint's injection/ejection machinery. */
+class NetworkInterface final : public traffic::Injector,
+                               public router::FlitReceiver,
+                               public router::CreditReceiver
+{
+  public:
+    /**
+     * @param simulator Owning kernel.
+     * @param node This endpoint's id.
+     * @param cfg Router configuration (VC count, cycle time, flit
+     *            size, scheduling discipline for the injection mux).
+     * @param metrics Shared measurement hub.
+     * @param name Diagnostic name.
+     */
+    NetworkInterface(sim::Simulator& simulator, sim::NodeId node,
+                     const config::RouterConfig& cfg, MetricsHub& metrics,
+                     std::string name);
+
+    /**
+     * Attaches the injection link towards the router. The NI
+     * registers as the link's credit receiver; @p router_buffer_depth
+     * initializes per-VC credits.
+     */
+    void connectInjectionLink(router::Link& link,
+                              int router_buffer_depth);
+
+    /** Attaches the ejection link; the NI registers as receiver. */
+    void connectEjectionLink(router::Link& link);
+
+    /** This endpoint's id. */
+    sim::NodeId node() const { return node_; }
+
+    // traffic::Injector
+    void injectMessage(const traffic::MessageDesc& message) override;
+
+    // router::FlitReceiver (ejection sink)
+    void receiveFlit(const router::Flit& flit, int vc) override;
+
+    // router::CreditReceiver (injection credits)
+    void creditReturned(int vc) override;
+
+    /** Messages queued at the host and not yet fully transmitted. */
+    std::uint64_t backlogFlits() const;
+
+    /** Attaches a flit tracer; nullptr detaches. */
+    void setTracer(sim::Tracer* tracer) { tracer_ = tracer; }
+
+    /** Flits injected onto the link since construction. */
+    std::uint64_t flitsInjected() const { return flitsInjected_; }
+
+  private:
+    struct InjectionVc
+    {
+        router::FlitBuffer queue{0}; // unbounded host-side queue
+        int credits = 0;
+        router::VirtualClockState vclock;
+    };
+
+    void kickMux();
+    void serveMux();
+
+    sim::Simulator& simulator_;
+    sim::NodeId node_;
+    config::RouterConfig cfg_;
+    MetricsHub& metrics_;
+    std::string name_;
+    sim::Tick cycleTime_;
+
+    std::vector<InjectionVc> vcs_;
+    std::unique_ptr<router::Scheduler> scheduler_;
+    sim::CallbackEvent muxEvent_;
+    bool muxBusy_ = false;
+    std::uint64_t nextArrivalSeq_ = 0;
+    std::vector<router::Candidate> scratch_;
+
+    router::Link* injectionLink_ = nullptr;
+    int routerBufferDepth_ = 0;
+    sim::Tracer* tracer_ = nullptr;
+
+    std::uint64_t flitsInjected_ = 0;
+};
+
+} // namespace mediaworm::network
+
+#endif // MEDIAWORM_NETWORK_NETWORK_INTERFACE_HH

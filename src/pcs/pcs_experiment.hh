@@ -1,0 +1,55 @@
+/**
+ * @file
+ * One-call PCS experiment harness (Fig 8 and Table 3).
+ */
+
+#ifndef MEDIAWORM_PCS_PCS_EXPERIMENT_HH
+#define MEDIAWORM_PCS_PCS_EXPERIMENT_HH
+
+#include <cstdint>
+
+#include "config/traffic_config.hh"
+#include "pcs/pcs_config.hh"
+
+namespace mediaworm::pcs {
+
+/** Everything that defines one PCS experiment point. */
+struct PcsExperimentConfig
+{
+    PcsConfig pcs;
+    config::TrafficConfig traffic;
+    std::uint64_t seed = 1;
+    /** Same time-scale compression as core::ExperimentConfig. */
+    double timeScale = 0.1;
+};
+
+/** Measured outputs of one PCS experiment point. */
+struct PcsExperimentResult
+{
+    double meanIntervalMs = 0.0;
+    double stddevIntervalMs = 0.0;
+    double meanIntervalNormMs = 0.0;   ///< Re-normalised to 1/timeScale.
+    double stddevIntervalNormMs = 0.0; ///< Re-normalised likewise.
+
+    std::uint64_t intervalSamples = 0;
+    std::uint64_t framesDelivered = 0;
+
+    int connectionsRequested = 0; ///< Target for the offered load.
+    std::uint64_t attempts = 0;   ///< Probes sent (Table 3 col 2).
+    std::uint64_t established = 0;///< Circuits set up (col 3).
+    std::uint64_t dropped = 0;    ///< Probes nacked (col 4).
+
+    std::uint64_t eventsFired = 0;
+    bool truncated = false;
+};
+
+/**
+ * Establishes enough connections for the offered load (counting
+ * every probe attempt), then streams VBR/CBR frames over the
+ * circuits and measures delivery-interval statistics.
+ */
+PcsExperimentResult runPcsExperiment(const PcsExperimentConfig& cfg);
+
+} // namespace mediaworm::pcs
+
+#endif // MEDIAWORM_PCS_PCS_EXPERIMENT_HH

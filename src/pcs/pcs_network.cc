@@ -1,0 +1,269 @@
+#include "pcs/pcs_network.hh"
+
+#include "sim/logging.hh"
+
+namespace mediaworm::pcs {
+
+PcsNetwork::PcsNetwork(sim::Simulator& simulator, const PcsConfig& cfg,
+                       network::MetricsHub& metrics)
+    : simulator_(simulator), cfg_(cfg), metrics_(metrics),
+      cycleTime_(cfg.cycleTime()), table_(cfg)
+{
+    const int n = cfg_.numPorts;
+    const int m = cfg_.numVcs;
+    sources_ = std::make_unique<SourceUnit[]>(
+        static_cast<std::size_t>(n));
+    dests_ = std::make_unique<DestUnit[]>(static_cast<std::size_t>(n));
+    destReceivers_ = std::make_unique<DestReceiver[]>(
+        static_cast<std::size_t>(n));
+    creditReceivers_ = std::make_unique<SourceCreditReceiver[]>(
+        static_cast<std::size_t>(n));
+
+    for (int node = 0; node < n; ++node) {
+        destReceivers_[static_cast<std::size_t>(node)].init(this, node);
+        creditReceivers_[static_cast<std::size_t>(node)].init(this,
+                                                              node);
+
+        SourceUnit& su = sources_[static_cast<std::size_t>(node)];
+        su.vcs = std::make_unique<SourceVc[]>(
+            static_cast<std::size_t>(m));
+        su.scheduler = router::makeScheduler(cfg_.linkScheduler);
+        su.muxEvent.setCallback([this, node] {
+            sources_[static_cast<std::size_t>(node)].muxBusy = false;
+            serveSourceMux(node);
+        });
+
+        DestUnit& du = dests_[static_cast<std::size_t>(node)];
+        du.vcs = std::make_unique<DestVc[]>(static_cast<std::size_t>(m));
+        for (int v = 0; v < m; ++v) {
+            du.vcs[static_cast<std::size_t>(v)].buffer =
+                router::FlitBuffer(
+                    static_cast<std::size_t>(cfg_.flitBufferDepth));
+        }
+        du.scheduler = router::makeScheduler(cfg_.linkScheduler);
+        du.muxEvent.setCallback([this, node] {
+            dests_[static_cast<std::size_t>(node)].muxBusy = false;
+            serveDestMux(node);
+        });
+    }
+    scratch_.reserve(static_cast<std::size_t>(m));
+}
+
+void
+PcsNetwork::registerConnection(const Connection& connection)
+{
+    SourceUnit& su =
+        sources_[static_cast<std::size_t>(connection.src.value())];
+    SourceVc& svc =
+        su.vcs[static_cast<std::size_t>(connection.srcVc)];
+    MW_ASSERT(!svc.active);
+
+    DestUnit& du =
+        dests_[static_cast<std::size_t>(connection.dst.value())];
+    DestVc& dvc = du.vcs[static_cast<std::size_t>(connection.dstVc)];
+    MW_ASSERT(!dvc.active);
+
+    // One bidirectional circuit segment: data towards the
+    // destination, credits back to the source.
+    links_.push_back(std::make_unique<router::Link>(
+        simulator_,
+        static_cast<sim::Tick>(cfg_.pathCycles) * cycleTime_,
+        "pcs-conn" + std::to_string(connection.stream.value())));
+    router::Link& link = *links_.back();
+    link.connectReceiver(&destReceivers_[static_cast<std::size_t>(
+        connection.dst.value())]);
+    link.connectCreditReceiver(
+        &creditReceivers_[static_cast<std::size_t>(
+            connection.src.value())]);
+
+    svc.active = true;
+    svc.credits = cfg_.flitBufferDepth;
+    svc.dstVc = connection.dstVc;
+    svc.link = &link;
+    // Connection-oriented Virtual Clock: the reservation persists
+    // for the connection's lifetime (unlike MediaWorm's per-message
+    // state).
+    svc.vclock.beginMessage(connection.vtick);
+
+    dvc.active = true;
+    dvc.srcVc = connection.srcVc;
+    dvc.link = &link;
+    dvc.vclock.beginMessage(connection.vtick);
+
+    const auto index =
+        static_cast<std::size_t>(connection.stream.value());
+    if (byStream_.size() <= index)
+        byStream_.resize(index + 1);
+    byStream_[index] = connection;
+}
+
+traffic::Stream
+PcsNetwork::makeStream(const Connection& connection,
+                       const config::TrafficConfig& traffic,
+                       sim::Rng& rng) const
+{
+    traffic::Stream stream;
+    stream.id = connection.stream;
+    stream.src = connection.src;
+    stream.dst = connection.dst;
+    stream.cls = traffic.realTimeKind == config::RealTimeKind::Cbr
+        ? router::TrafficClass::Cbr
+        : router::TrafficClass::Vbr;
+    stream.vcLane = connection.srcVc;
+    stream.vtick = connection.vtick;
+    stream.frameInterval = traffic.frameInterval;
+    stream.startOffset = static_cast<sim::Tick>(rng.uniformInt(
+        static_cast<std::uint64_t>(traffic.frameInterval)));
+    return stream;
+}
+
+void
+PcsNetwork::injectMessage(const traffic::MessageDesc& message)
+{
+    const auto index =
+        static_cast<std::size_t>(message.stream.value());
+    MW_ASSERT(index < byStream_.size());
+    const Connection& connection = byStream_[index];
+
+    SourceUnit& su =
+        sources_[static_cast<std::size_t>(connection.src.value())];
+    SourceVc& svc =
+        su.vcs[static_cast<std::size_t>(connection.srcVc)];
+    MW_ASSERT(svc.active);
+
+    const sim::Tick now = simulator_.now();
+    router::Flit flit;
+    flit.cls = message.cls;
+    flit.stream = message.stream;
+    flit.message = message.seq;
+    flit.messageFlits = message.numFlits;
+    flit.dest = connection.dst;
+    flit.vcLane = connection.srcVc;
+    flit.vtick = connection.vtick;
+    flit.frame = message.frame;
+    flit.injectTime = now;
+
+    for (int i = 0; i < message.numFlits; ++i) {
+        flit.index = i;
+        flit.type = i == 0 ? router::FlitType::Header
+            : i == message.numFlits - 1 ? router::FlitType::Tail
+                                        : router::FlitType::Body;
+        flit.endOfFrame =
+            message.endOfFrame && flit.type == router::FlitType::Tail;
+        flit.stamp = svc.vclock.tick(now);
+        flit.arrivalSeq = su.nextSeq++;
+        svc.queue.push(flit);
+    }
+    kickSourceMux(connection.src.value());
+}
+
+void
+PcsNetwork::flitArrived(int node, int vc, const router::Flit& flit)
+{
+    DestUnit& du = dests_[static_cast<std::size_t>(node)];
+    DestVc& dvc = du.vcs[static_cast<std::size_t>(vc)];
+    MW_ASSERT(dvc.active);
+    MW_ASSERT(!dvc.buffer.full());
+
+    router::Flit stamped = flit;
+    stamped.stamp = dvc.vclock.tick(simulator_.now());
+    stamped.arrivalSeq = du.nextSeq++;
+    dvc.buffer.push(stamped);
+    kickDestMux(node);
+}
+
+void
+PcsNetwork::creditArrived(int node, int vc)
+{
+    SourceUnit& su = sources_[static_cast<std::size_t>(node)];
+    ++su.vcs[static_cast<std::size_t>(vc)].credits;
+    kickSourceMux(node);
+}
+
+void
+PcsNetwork::kickSourceMux(int node)
+{
+    if (!sources_[static_cast<std::size_t>(node)].muxBusy)
+        serveSourceMux(node);
+}
+
+void
+PcsNetwork::serveSourceMux(int node)
+{
+    SourceUnit& su = sources_[static_cast<std::size_t>(node)];
+    MW_ASSERT(!su.muxBusy);
+
+    scratch_.clear();
+    for (int v = 0; v < cfg_.numVcs; ++v) {
+        SourceVc& svc = su.vcs[static_cast<std::size_t>(v)];
+        if (!svc.active || svc.queue.empty() || svc.credits <= 0)
+            continue;
+        const router::Flit& head = svc.queue.front();
+        scratch_.push_back({v, head.stamp, head.arrivalSeq, head.vtick});
+    }
+    if (scratch_.empty())
+        return;
+
+    const std::size_t winner = su.scheduler->pick(scratch_);
+    const int v = scratch_[winner].slot;
+    SourceVc& svc = su.vcs[static_cast<std::size_t>(v)];
+
+    const router::Flit flit = svc.queue.pop();
+    --svc.credits;
+    svc.link->sendFlit(flit, svc.dstVc);
+
+    su.muxBusy = true;
+    simulator_.scheduleAfter(su.muxEvent, cycleTime_);
+}
+
+void
+PcsNetwork::kickDestMux(int node)
+{
+    if (!dests_[static_cast<std::size_t>(node)].muxBusy)
+        serveDestMux(node);
+}
+
+void
+PcsNetwork::serveDestMux(int node)
+{
+    DestUnit& du = dests_[static_cast<std::size_t>(node)];
+    MW_ASSERT(!du.muxBusy);
+
+    scratch_.clear();
+    for (int v = 0; v < cfg_.numVcs; ++v) {
+        DestVc& dvc = du.vcs[static_cast<std::size_t>(v)];
+        if (!dvc.active || dvc.buffer.empty())
+            continue;
+        const router::Flit& head = dvc.buffer.front();
+        scratch_.push_back({v, head.stamp, head.arrivalSeq, head.vtick});
+    }
+    if (scratch_.empty())
+        return;
+
+    const std::size_t winner = du.scheduler->pick(scratch_);
+    const int v = scratch_[winner].slot;
+    DestVc& dvc = du.vcs[static_cast<std::size_t>(v)];
+
+    const router::Flit flit = dvc.buffer.pop();
+    dvc.link->sendCredit(dvc.srcVc);
+
+    // The flit leaves on the ejection channel now; record delivery.
+    ++flitsDelivered_;
+    metrics_.recordFlit();
+    if (flit.isTail()) {
+        const sim::Tick now = simulator_.now();
+        if (flit.cls == router::TrafficClass::BestEffort) {
+            metrics_.recordBeMessage(flit.injectTime, flit.injectTime,
+                                     now);
+        } else {
+            metrics_.recordRtMessage(flit.injectTime, now);
+            if (flit.endOfFrame)
+                metrics_.recordFrameDelivery(flit.stream, now);
+        }
+    }
+
+    du.muxBusy = true;
+    simulator_.scheduleAfter(du.muxEvent, cycleTime_);
+}
+
+} // namespace mediaworm::pcs

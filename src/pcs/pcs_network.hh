@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Single-switch Pipelined Circuit Switching data path (Section 3.5).
+ *
+ * After a probe reserves a VC on the source and destination links
+ * (ConnectionTable), the stream's flits flow along the fixed circuit
+ * with no per-hop arbitration. The contended resources are the two
+ * physical channels: the source link multiplexes the node's outgoing
+ * connections and the destination link multiplexes the connections
+ * terminating at that node, each served one flit per cycle under a
+ * rate-proportional (Virtual Clock) discipline with the reservation
+ * made at setup. Per-connection router buffers apply credit-based
+ * backpressure to the source.
+ */
+
+#ifndef MEDIAWORM_PCS_PCS_NETWORK_HH
+#define MEDIAWORM_PCS_PCS_NETWORK_HH
+
+#include <memory>
+#include <vector>
+
+#include "config/traffic_config.hh"
+#include "network/metrics.hh"
+#include "pcs/connection_table.hh"
+#include "pcs/pcs_config.hh"
+#include "router/flit.hh"
+#include "router/flit_buffer.hh"
+#include "router/link.hh"
+#include "router/scheduler.hh"
+#include "router/virtual_clock.hh"
+#include "sim/event.hh"
+#include "sim/simulator.hh"
+#include "traffic/stream.hh"
+
+namespace mediaworm::pcs {
+
+/** The PCS switch plus all endpoint source/sink machinery. */
+class PcsNetwork final : public traffic::Injector
+{
+  public:
+    /**
+     * @param simulator Owning kernel.
+     * @param cfg PCS configuration.
+     * @param metrics Shared measurement hub.
+     */
+    PcsNetwork(sim::Simulator& simulator, const PcsConfig& cfg,
+               network::MetricsHub& metrics);
+
+    PcsNetwork(const PcsNetwork&) = delete;
+    PcsNetwork& operator=(const PcsNetwork&) = delete;
+
+    /** Probe bookkeeping and VC reservations. */
+    ConnectionTable& table() { return table_; }
+
+    /**
+     * Wires the queues, buffers and credit loop of an established
+     * connection. Must be called once per connection before traffic.
+     */
+    void registerConnection(const Connection& connection);
+
+    /**
+     * Builds the traffic::Stream descriptor driving a FrameSource
+     * over @p connection.
+     */
+    traffic::Stream makeStream(const Connection& connection,
+                               const config::TrafficConfig& traffic,
+                               sim::Rng& rng) const;
+
+    // traffic::Injector - resolves the connection from the stream id.
+    void injectMessage(const traffic::MessageDesc& message) override;
+
+    /** Flits delivered to sinks. */
+    std::uint64_t flitsDelivered() const { return flitsDelivered_; }
+
+  private:
+    struct SourceVc
+    {
+        bool active = false;
+        router::FlitBuffer queue{0}; // unbounded host queue
+        int credits = 0;
+        int dstVc = -1;
+        router::VirtualClockState vclock;
+        router::Link* link = nullptr;
+    };
+
+    struct SourceUnit
+    {
+        std::unique_ptr<SourceVc[]> vcs;
+        std::unique_ptr<router::Scheduler> scheduler;
+        sim::CallbackEvent muxEvent;
+        bool muxBusy = false;
+        std::uint64_t nextSeq = 0;
+    };
+
+    struct DestVc
+    {
+        bool active = false;
+        router::FlitBuffer buffer;
+        int srcVc = -1;
+        router::VirtualClockState vclock;
+        router::Link* link = nullptr; ///< For credit return.
+    };
+
+    struct DestUnit
+    {
+        std::unique_ptr<DestVc[]> vcs;
+        std::unique_ptr<router::Scheduler> scheduler;
+        sim::CallbackEvent muxEvent;
+        bool muxBusy = false;
+        std::uint64_t nextSeq = 0;
+    };
+
+    /** Per-node facade receiving flits at the destination link. */
+    class DestReceiver final : public router::FlitReceiver
+    {
+      public:
+        void
+        init(PcsNetwork* owner, int node)
+        {
+            owner_ = owner;
+            node_ = node;
+        }
+        void
+        receiveFlit(const router::Flit& flit, int vc) override
+        {
+            owner_->flitArrived(node_, vc, flit);
+        }
+
+      private:
+        PcsNetwork* owner_ = nullptr;
+        int node_ = 0;
+    };
+
+    /** Per-node facade receiving credits at the source link. */
+    class SourceCreditReceiver final : public router::CreditReceiver
+    {
+      public:
+        void
+        init(PcsNetwork* owner, int node)
+        {
+            owner_ = owner;
+            node_ = node;
+        }
+        void
+        creditReturned(int vc) override
+        {
+            owner_->creditArrived(node_, vc);
+        }
+
+      private:
+        PcsNetwork* owner_ = nullptr;
+        int node_ = 0;
+    };
+
+    void flitArrived(int node, int vc, const router::Flit& flit);
+    void creditArrived(int node, int vc);
+    void kickSourceMux(int node);
+    void serveSourceMux(int node);
+    void kickDestMux(int node);
+    void serveDestMux(int node);
+
+    sim::Simulator& simulator_;
+    PcsConfig cfg_;
+    network::MetricsHub& metrics_;
+    sim::Tick cycleTime_;
+    ConnectionTable table_;
+
+    std::unique_ptr<SourceUnit[]> sources_;
+    std::unique_ptr<DestUnit[]> dests_;
+    std::unique_ptr<DestReceiver[]> destReceivers_;
+    std::unique_ptr<SourceCreditReceiver[]> creditReceivers_;
+    std::vector<std::unique_ptr<router::Link>> links_;
+
+    /** stream id -> connection (index assigned by ConnectionTable). */
+    std::vector<Connection> byStream_;
+
+    std::vector<router::Candidate> scratch_;
+    std::uint64_t flitsDelivered_ = 0;
+};
+
+} // namespace mediaworm::pcs
+
+#endif // MEDIAWORM_PCS_PCS_NETWORK_HH

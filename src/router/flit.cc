@@ -1,0 +1,19 @@
+#include "router/flit.hh"
+
+namespace mediaworm::router {
+
+const char*
+toString(TrafficClass cls)
+{
+    switch (cls) {
+      case TrafficClass::Cbr:
+        return "CBR";
+      case TrafficClass::Vbr:
+        return "VBR";
+      case TrafficClass::BestEffort:
+        return "best-effort";
+    }
+    return "?";
+}
+
+} // namespace mediaworm::router

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Flit and traffic-class definitions.
+ *
+ * A flit is a plain value: it carries everything the routers need so
+ * that the simulator's hot path never allocates. Header flits carry
+ * the message's routing and bandwidth request (Vtick), exactly as in
+ * the paper's router (Section 3.2); for convenience every flit of a
+ * message replicates the descriptor fields.
+ */
+
+#ifndef MEDIAWORM_ROUTER_FLIT_HH
+#define MEDIAWORM_ROUTER_FLIT_HH
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/ids.hh"
+#include "sim/time.hh"
+
+namespace mediaworm::router {
+
+/** ATM Forum traffic classes the router differentiates. */
+enum class TrafficClass : std::uint8_t {
+    Cbr,        ///< Constant bit rate (uncompressed media).
+    Vbr,        ///< Variable bit rate (compressed media).
+    BestEffort, ///< Everything without real-time requirements.
+};
+
+/** True for CBR/VBR traffic that carries a bandwidth request. */
+constexpr bool
+isRealTime(TrafficClass cls)
+{
+    return cls != TrafficClass::BestEffort;
+}
+
+/** Returns a stable display name for a traffic class. */
+const char* toString(TrafficClass cls);
+
+/** Position of a flit within its message. */
+enum class FlitType : std::uint8_t {
+    Header, ///< First flit; triggers routing and VC allocation.
+    Body,   ///< Middle flit; bypasses stages 2-3.
+    Tail,   ///< Last flit; releases the held output VC.
+};
+
+/**
+ * Vtick advertised by best-effort messages: "infinity" (maximum
+ * slack, Section 3.3). Kept far from overflow so the Virtual Clock
+ * arithmetic can still add it to the wall clock safely.
+ */
+constexpr sim::Tick kBestEffortVtick =
+    std::numeric_limits<sim::Tick>::max() / 4;
+
+/** One flow-control unit. */
+struct Flit
+{
+    FlitType type = FlitType::Header;
+    TrafficClass cls = TrafficClass::BestEffort;
+
+    sim::StreamId stream;    ///< Owning stream (connection).
+    sim::MessageSeq message = 0; ///< Message number within the stream.
+    std::int32_t index = 0;  ///< Flit position within the message.
+    std::int32_t messageFlits = 0; ///< Message length (header field).
+
+    sim::NodeId dest;        ///< Destination endpoint.
+    std::int32_t vcLane = 0; ///< VC index the stream uses on each link.
+
+    sim::Tick vtick = kBestEffortVtick; ///< Requested service interval.
+
+    sim::FrameSeq frame = 0; ///< Video frame this message belongs to.
+    bool endOfFrame = false; ///< Tail of the frame's last message.
+
+    sim::Tick injectTime = 0; ///< Message creation time at the source.
+    sim::Tick networkEnterTime = 0; ///< When this flit left its NI.
+
+    /** Virtual Clock timestamp; rewritten at each scheduling point. */
+    sim::Tick stamp = 0;
+    /** Arrival order at the current scheduling point (FIFO ties). */
+    std::uint64_t arrivalSeq = 0;
+
+    /** True for the header flit. */
+    bool isHeader() const { return type == FlitType::Header; }
+    /** True for the tail flit. */
+    bool isTail() const { return type == FlitType::Tail; }
+};
+
+} // namespace mediaworm::router
+
+#endif // MEDIAWORM_ROUTER_FLIT_HH

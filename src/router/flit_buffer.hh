@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Fixed-capacity FIFO flit buffer (a VC's flit storage).
+ */
+
+#ifndef MEDIAWORM_ROUTER_FLIT_BUFFER_HH
+#define MEDIAWORM_ROUTER_FLIT_BUFFER_HH
+
+#include <vector>
+
+#include "router/flit.hh"
+#include "sim/logging.hh"
+
+namespace mediaworm::router {
+
+/**
+ * Ring buffer of flits with a hard capacity.
+ *
+ * Capacity 0 means unbounded (used for NI injection queues, which
+ * model host memory rather than router SRAM).
+ */
+class FlitBuffer
+{
+  public:
+    /** @param capacity Maximum flits held; 0 for unbounded. */
+    explicit FlitBuffer(std::size_t capacity = 0) : capacity_(capacity)
+    {
+        if (capacity_ > 0)
+            ring_.reserve(capacity_);
+    }
+
+    /** True when no flits are buffered. */
+    bool empty() const { return size_ == 0; }
+
+    /** Buffered flit count. */
+    std::size_t size() const { return size_; }
+
+    /** Configured capacity; 0 if unbounded. */
+    std::size_t capacity() const { return capacity_; }
+
+    /** Remaining space; a large value if unbounded. */
+    std::size_t
+    space() const
+    {
+        if (capacity_ == 0)
+            return static_cast<std::size_t>(-1) / 2;
+        return capacity_ - size_;
+    }
+
+    /** True if at capacity (never for unbounded buffers). */
+    bool full() const { return capacity_ != 0 && size_ == capacity_; }
+
+    /** Appends a flit; the buffer must not be full. */
+    void
+    push(const Flit& flit)
+    {
+        MW_ASSERT(!full());
+        if (capacity_ == 0) {
+            // Unbounded: plain growable ring via vector doubling.
+            if (size_ == ring_.size()) {
+                grow();
+            }
+        }
+        ring_[(head_ + size_) % ring_.size()] = flit;
+        ++size_;
+    }
+
+    /** The oldest flit; the buffer must not be empty. */
+    const Flit&
+    front() const
+    {
+        MW_ASSERT(size_ > 0);
+        return ring_[head_];
+    }
+
+    /** Mutable access to the oldest flit. */
+    Flit&
+    front()
+    {
+        MW_ASSERT(size_ > 0);
+        return ring_[head_];
+    }
+
+    /** Removes and returns the oldest flit. */
+    Flit
+    pop()
+    {
+        MW_ASSERT(size_ > 0);
+        Flit flit = ring_[head_];
+        head_ = (head_ + 1) % ring_.size();
+        --size_;
+        return flit;
+    }
+
+    /** Drops all flits. */
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    void
+    grow()
+    {
+        const std::size_t old_cap = ring_.size();
+        const std::size_t new_cap = old_cap == 0 ? 16 : old_cap * 2;
+        std::vector<Flit> next(new_cap);
+        for (std::size_t i = 0; i < size_; ++i)
+            next[i] = ring_[(head_ + i) % old_cap];
+        ring_ = std::move(next);
+        head_ = 0;
+    }
+
+    std::size_t capacity_;
+    std::vector<Flit> ring_ = std::vector<Flit>(capacity_ ? capacity_ : 0);
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace mediaworm::router
+
+#endif // MEDIAWORM_ROUTER_FLIT_BUFFER_HH

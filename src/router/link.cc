@@ -1,0 +1,73 @@
+#include "router/link.hh"
+
+#include "sim/logging.hh"
+
+namespace mediaworm::router {
+
+Link::Link(sim::Simulator& simulator, sim::Tick delay, std::string name)
+    : simulator_(simulator), delay_(delay), name_(std::move(name)),
+      flitEvent_([this] { deliverFlits(); }, "Link::deliverFlits"),
+      creditEvent_([this] { deliverCredits(); }, "Link::deliverCredits")
+{
+    MW_ASSERT(delay >= 0);
+}
+
+void
+Link::connectReceiver(FlitReceiver* receiver)
+{
+    receiver_ = receiver;
+}
+
+void
+Link::connectCreditReceiver(CreditReceiver* receiver)
+{
+    creditReceiver_ = receiver;
+}
+
+void
+Link::sendFlit(const Flit& flit, int vc)
+{
+    MW_ASSERT(receiver_ != nullptr);
+    flitRate_.add();
+    flitPipe_.push_back({flit, vc, simulator_.now() + delay_});
+    if (!flitEvent_.scheduled())
+        simulator_.schedule(flitEvent_, flitPipe_.front().deliverAt);
+}
+
+void
+Link::sendCredit(int vc)
+{
+    MW_ASSERT(creditReceiver_ != nullptr);
+    creditPipe_.push_back({vc, simulator_.now() + delay_});
+    if (!creditEvent_.scheduled())
+        simulator_.schedule(creditEvent_, creditPipe_.front().deliverAt);
+}
+
+void
+Link::deliverFlits()
+{
+    const sim::Tick now = simulator_.now();
+    while (!flitPipe_.empty() && flitPipe_.front().deliverAt <= now) {
+        InFlightFlit entry = flitPipe_.front();
+        flitPipe_.pop_front();
+        receiver_->receiveFlit(entry.flit, entry.vc);
+    }
+    if (!flitPipe_.empty())
+        simulator_.schedule(flitEvent_, flitPipe_.front().deliverAt);
+}
+
+void
+Link::deliverCredits()
+{
+    const sim::Tick now = simulator_.now();
+    while (!creditPipe_.empty()
+           && creditPipe_.front().deliverAt <= now) {
+        InFlightCredit entry = creditPipe_.front();
+        creditPipe_.pop_front();
+        creditReceiver_->creditReturned(entry.vc);
+    }
+    if (!creditPipe_.empty())
+        simulator_.schedule(creditEvent_, creditPipe_.front().deliverAt);
+}
+
+} // namespace mediaworm::router

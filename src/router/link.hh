@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Physical channel model: a unidirectional flit pipe with a reverse
+ * credit wire.
+ *
+ * The Link does no arbitration - the sender's VC multiplexer already
+ * serialized flits at one per cycle - it only adds propagation delay
+ * and delivers in order. Credits flow the other way with the same
+ * delay, implementing credit-based flow control between the sender's
+ * output unit and the receiver's input buffers.
+ */
+
+#ifndef MEDIAWORM_ROUTER_LINK_HH
+#define MEDIAWORM_ROUTER_LINK_HH
+
+#include <deque>
+#include <string>
+
+#include "router/flit.hh"
+#include "sim/event.hh"
+#include "sim/simulator.hh"
+#include "stats/rate_monitor.hh"
+
+namespace mediaworm::router {
+
+/** Consumer side of a link: a router input port or an NI sink. */
+class FlitReceiver
+{
+  public:
+    virtual ~FlitReceiver() = default;
+
+    /** Delivers @p flit into virtual channel @p vc. */
+    virtual void receiveFlit(const Flit& flit, int vc) = 0;
+};
+
+/** Producer side of a link: receives returned buffer credits. */
+class CreditReceiver
+{
+  public:
+    virtual ~CreditReceiver() = default;
+
+    /** One buffer slot of virtual channel @p vc was freed downstream. */
+    virtual void creditReturned(int vc) = 0;
+};
+
+/** Unidirectional physical channel with a credit backchannel. */
+class Link
+{
+  public:
+    /**
+     * @param simulator The owning simulation kernel.
+     * @param delay One-way propagation delay (both directions).
+     * @param name Diagnostic name.
+     */
+    Link(sim::Simulator& simulator, sim::Tick delay, std::string name);
+
+    /** Attaches the downstream flit consumer. */
+    void connectReceiver(FlitReceiver* receiver);
+
+    /** Attaches the upstream credit consumer. */
+    void connectCreditReceiver(CreditReceiver* receiver);
+
+    /** Sends @p flit on VC @p vc; delivered after the link delay. */
+    void sendFlit(const Flit& flit, int vc);
+
+    /** Returns one credit for VC @p vc to the sender. */
+    void sendCredit(int vc);
+
+    /** Flits transmitted since the last stats reset. */
+    stats::RateMonitor& flitRate() { return flitRate_; }
+
+    /** Flits transmitted since the last stats reset (read-only). */
+    const stats::RateMonitor& flitRate() const { return flitRate_; }
+
+    /** Diagnostic name. */
+    const std::string& name() const { return name_; }
+
+    /** One-way propagation delay. */
+    sim::Tick delay() const { return delay_; }
+
+  private:
+    struct InFlightFlit
+    {
+        Flit flit;
+        int vc;
+        sim::Tick deliverAt;
+    };
+
+    struct InFlightCredit
+    {
+        int vc;
+        sim::Tick deliverAt;
+    };
+
+    void deliverFlits();
+    void deliverCredits();
+
+    sim::Simulator& simulator_;
+    sim::Tick delay_;
+    std::string name_;
+
+    FlitReceiver* receiver_ = nullptr;
+    CreditReceiver* creditReceiver_ = nullptr;
+
+    std::deque<InFlightFlit> flitPipe_;
+    std::deque<InFlightCredit> creditPipe_;
+    sim::CallbackEvent flitEvent_;
+    sim::CallbackEvent creditEvent_;
+
+    stats::RateMonitor flitRate_;
+};
+
+} // namespace mediaworm::router
+
+#endif // MEDIAWORM_ROUTER_LINK_HH

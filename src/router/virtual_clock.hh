@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Virtual Clock per-connection state (Zhang, TOCS 1991; Section 3.3).
+ *
+ * In MediaWorm each message acts as a connection and each flit as a
+ * packet: on every flit arrival at a scheduling point,
+ *
+ *     auxVC <- max(Clock, auxVC); auxVC <- auxVC + Vtick
+ *
+ * and the flit is stamped with the resulting auxVC. The scheduler
+ * serves pending flits in increasing stamp order. Vtick is carried in
+ * the header flit and discarded when the tail leaves the router.
+ */
+
+#ifndef MEDIAWORM_ROUTER_VIRTUAL_CLOCK_HH
+#define MEDIAWORM_ROUTER_VIRTUAL_CLOCK_HH
+
+#include <algorithm>
+
+#include "router/flit.hh"
+#include "sim/time.hh"
+
+namespace mediaworm::router {
+
+/** auxVC/Vtick pair for the message currently using a VC. */
+class VirtualClockState
+{
+  public:
+    VirtualClockState() = default;
+
+    /**
+     * Installs a new message's bandwidth request (header arrival).
+     * Resets auxVC so the new message starts from the wall clock.
+     */
+    void
+    beginMessage(sim::Tick vtick)
+    {
+        vtick_ = vtick;
+        auxVc_ = 0;
+    }
+
+    /** Clears state when the tail leaves (paper: info discarded). */
+    void
+    endMessage()
+    {
+        vtick_ = kBestEffortVtick;
+        auxVc_ = 0;
+    }
+
+    /**
+     * Advances the clock for one flit arriving at @p now and returns
+     * the timestamp to stamp the flit with. Saturates for best-effort
+     * traffic whose Vtick is "infinite".
+     */
+    sim::Tick
+    tick(sim::Tick now)
+    {
+        auxVc_ = std::max(now, auxVc_);
+        if (auxVc_ > kBestEffortVtick - vtick_)
+            auxVc_ = kBestEffortVtick; // saturate, never overflow
+        else
+            auxVc_ += vtick_;
+        return auxVc_;
+    }
+
+    /** Current auxVC value. */
+    sim::Tick auxVc() const { return auxVc_; }
+
+    /** Current Vtick value. */
+    sim::Tick vtick() const { return vtick_; }
+
+  private:
+    sim::Tick auxVc_ = 0;
+    sim::Tick vtick_ = kBestEffortVtick;
+};
+
+} // namespace mediaworm::router
+
+#endif // MEDIAWORM_ROUTER_VIRTUAL_CLOCK_HH

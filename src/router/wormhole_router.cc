@@ -1,0 +1,602 @@
+#include "router/wormhole_router.hh"
+
+#include "sim/logging.hh"
+
+namespace mediaworm::router {
+
+WormholeRouter::WormholeRouter(sim::Simulator& simulator,
+                               const config::RouterConfig& cfg,
+                               std::string name)
+    : simulator_(simulator), cfg_(cfg), name_(std::move(name)),
+      cycleTime_(cfg.cycleTime())
+{
+    cfg_.validate();
+
+    const int n = cfg_.numPorts;
+    const int m = cfg_.numVcs;
+
+    inputs_ = std::make_unique<InputPort[]>(static_cast<std::size_t>(n));
+    outputs_ =
+        std::make_unique<OutputPort[]>(static_cast<std::size_t>(n));
+    receivers_ =
+        std::make_unique<PortReceiver[]>(static_cast<std::size_t>(n));
+    creditReceivers_ = std::make_unique<PortCreditReceiver[]>(
+        static_cast<std::size_t>(n));
+
+    for (int p = 0; p < n; ++p) {
+        receivers_[static_cast<std::size_t>(p)].init(this, p);
+        creditReceivers_[static_cast<std::size_t>(p)].init(this, p);
+
+        InputPort& ip = inputs_[static_cast<std::size_t>(p)];
+        ip.vcs = std::make_unique<InputVc[]>(
+            static_cast<std::size_t>(m));
+        for (int v = 0; v < m; ++v) {
+            InputVc& ivc = ip.vcs[static_cast<std::size_t>(v)];
+            ivc.buffer = FlitBuffer(
+                static_cast<std::size_t>(cfg_.flitBufferDepth));
+            ivc.routeEvent.setCallback(
+                [this, p, v] { routeComputed(p, v); });
+            ivc.serveEvent.setCallback([this, p, v] {
+                InputVc& vc_ref =
+                    inputs_[static_cast<std::size_t>(p)]
+                        .vcs[static_cast<std::size_t>(v)];
+                const Flit flit = vc_ref.inFlight;
+                const int out_port = vc_ref.inFlightOutPort;
+                const int out_vc = vc_ref.inFlightOutVc;
+                vc_ref.serverBusy = false;
+                depositIntoOutputVc(out_port, out_vc, flit);
+                serveInputVc(p, v);
+            });
+        }
+        // Point-A scheduler only exists for multiplexed crossbars.
+        if (cfg_.crossbar == config::CrossbarKind::Multiplexed) {
+            ip.scheduler = makeScheduler(cfg_.scheduler);
+        }
+        ip.muxEvent.setCallback([this, p] {
+            inputs_[static_cast<std::size_t>(p)].muxBusy = false;
+            serveInputMux(p);
+        });
+
+        OutputPort& op = outputs_[static_cast<std::size_t>(p)];
+        op.vcs.resize(static_cast<std::size_t>(m));
+        for (OutputVc& ovc : op.vcs) {
+            ovc.buffer = FlitBuffer(
+                static_cast<std::size_t>(cfg_.flitBufferDepth));
+        }
+        // Point C uses the configured discipline for full crossbars
+        // (where it is the only flit-level contention point) and
+        // FIFO otherwise, matching Section 3.3's placement argument.
+        op.scheduler = makeScheduler(
+            cfg_.crossbar == config::CrossbarKind::Full
+                ? cfg_.scheduler
+                : config::SchedulerKind::Fifo);
+        op.xbarEvent.setCallback([this, p] { xbarDeliver(p); });
+        op.muxEvent.setCallback([this, p] {
+            outputs_[static_cast<std::size_t>(p)].muxBusy = false;
+            serveOutputMux(p);
+        });
+    }
+    scratchCandidates_.reserve(static_cast<std::size_t>(m));
+}
+
+void
+WormholeRouter::connectInputLink(int port, Link& link)
+{
+    MW_ASSERT(port >= 0 && port < cfg_.numPorts);
+    link.connectReceiver(&receivers_[static_cast<std::size_t>(port)]);
+    inputs_[static_cast<std::size_t>(port)].link = &link;
+}
+
+void
+WormholeRouter::connectOutputLink(int port, Link& link,
+                                  int downstream_buffer_depth)
+{
+    MW_ASSERT(port >= 0 && port < cfg_.numPorts);
+    MW_ASSERT(downstream_buffer_depth > 0);
+    OutputPort& op = outputs_[static_cast<std::size_t>(port)];
+    op.link = &link;
+    link.connectCreditReceiver(
+        &creditReceivers_[static_cast<std::size_t>(port)]);
+    for (OutputVc& ovc : op.vcs)
+        ovc.credits = downstream_buffer_depth;
+}
+
+void
+WormholeRouter::setRouteFunction(RouteFunction fn)
+{
+    routeFn_ = std::move(fn);
+}
+
+int
+WormholeRouter::outputLoad(int port) const
+{
+    const OutputPort& op = outputs_[static_cast<std::size_t>(port)];
+    int load = op.xbarBusy ? 1 : 0;
+    for (const OutputVc& ovc : op.vcs) {
+        load += static_cast<int>(ovc.buffer.size()) + ovc.reservedSlots;
+        if (ovc.allocated)
+            ++load;
+    }
+    return load;
+}
+
+// --- arrival ---------------------------------------------------------------
+
+void
+WormholeRouter::flitArrived(int port, int vc, const Flit& flit)
+{
+    InputVc& ivc = inputs_[static_cast<std::size_t>(port)]
+                       .vcs[static_cast<std::size_t>(vc)];
+    MW_ASSERT(!ivc.buffer.full());
+
+    Flit stamped = flit;
+    if (stamped.isHeader()) {
+        // The header carries the message's bandwidth request; install
+        // it as this VC's Virtual Clock state (Section 3.3).
+        ivc.vclock.beginMessage(stamped.vtick);
+        ivc.vtick = stamped.vtick;
+    }
+    stamped.stamp = ivc.vclock.tick(simulator_.now());
+    stamped.arrivalSeq = nextInputSeq_++;
+    if (tracer_ != nullptr && tracer_->accepts(stamped.stream)) {
+        tracer_->record({simulator_.now(),
+                         sim::TracePoint::RouterArrive, stamped.stream,
+                         stamped.message, stamped.index,
+                         traceLocation_, port, vc});
+    }
+    ivc.buffer.push(stamped);
+
+    if (ivc.state == InputVcState::Idle) {
+        MW_ASSERT(stamped.isHeader());
+        startRouting(port, vc);
+    } else if (ivc.state == InputVcState::Active) {
+        if (cfg_.crossbar == config::CrossbarKind::Multiplexed)
+            kickInputMux(port);
+        else
+            kickInputVcServer(port, vc);
+    }
+}
+
+void
+WormholeRouter::creditArrived(int port, int vc)
+{
+    OutputVc& ovc = outputs_[static_cast<std::size_t>(port)]
+                        .vcs[static_cast<std::size_t>(vc)];
+    ++ovc.credits;
+    if (cfg_.switching == config::SwitchingKind::VirtualCutThrough)
+        tryGrantNextWaiter(port, vc);
+    kickOutputMux(port);
+}
+
+// --- routing and VC allocation ---------------------------------------------
+
+void
+WormholeRouter::startRouting(int port, int vc)
+{
+    InputVc& ivc = inputs_[static_cast<std::size_t>(port)]
+                       .vcs[static_cast<std::size_t>(vc)];
+    MW_ASSERT(!ivc.buffer.empty() && ivc.buffer.front().isHeader());
+    ivc.state = InputVcState::Routing;
+    simulator_.scheduleAfter(
+        ivc.routeEvent,
+        static_cast<sim::Tick>(cfg_.headerPipelineCycles) * cycle());
+}
+
+void
+WormholeRouter::routeComputed(int port, int vc)
+{
+    InputVc& ivc = inputs_[static_cast<std::size_t>(port)]
+                       .vcs[static_cast<std::size_t>(vc)];
+    MW_ASSERT(ivc.state == InputVcState::Routing);
+    MW_ASSERT(!ivc.buffer.empty());
+    const Flit& header = ivc.buffer.front();
+    MW_ASSERT(header.isHeader());
+    MW_ASSERT(routeFn_ != nullptr);
+
+    const RouteCandidates candidates = routeFn_(header.dest);
+    MW_ASSERT(candidates.count >= 1);
+
+    // Fat-channel selection: pick the least-loaded candidate port
+    // (Section 3.4: "a message can use any one of the two links ...
+    // based on the current load").
+    int out_port = candidates.ports[0];
+    int best_load = outputLoad(out_port);
+    for (int i = 1; i < candidates.count; ++i) {
+        const int load = outputLoad(candidates.ports[i]);
+        if (load < best_load) {
+            best_load = load;
+            out_port = candidates.ports[i];
+        }
+    }
+
+    const int out_vc = header.vcLane;
+    MW_ASSERT(out_vc >= 0 && out_vc < cfg_.numVcs);
+    ++headersRouted_;
+    requestOutputVc(port, vc, out_port, out_vc);
+}
+
+void
+WormholeRouter::requestOutputVc(int port, int vc, int out_port,
+                                int out_vc)
+{
+    InputVc& ivc = inputs_[static_cast<std::size_t>(port)]
+                       .vcs[static_cast<std::size_t>(vc)];
+    OutputVc& ovc = outputs_[static_cast<std::size_t>(out_port)]
+                        .vcs[static_cast<std::size_t>(out_vc)];
+    ivc.outPort = out_port;
+    ivc.outVc = out_vc;
+    ivc.state = InputVcState::WaitingVc;
+    ovc.allocWaiters.push_back({port, vc});
+    if (!tryGrantNextWaiter(out_port, out_vc))
+        ++allocationWaits_;
+}
+
+bool
+WormholeRouter::tryGrantNextWaiter(int out_port, int out_vc)
+{
+    OutputVc& ovc = outputs_[static_cast<std::size_t>(out_port)]
+                        .vcs[static_cast<std::size_t>(out_vc)];
+    if (ovc.allocated || ovc.allocWaiters.empty())
+        return false;
+
+    const InputVcKey key = ovc.allocWaiters.front();
+    if (cfg_.switching == config::SwitchingKind::VirtualCutThrough) {
+        // Cut-through gate: the next hop must be able to buffer the
+        // whole message, so a blocked message parks here instead of
+        // stretching across the link. Re-checked on credit returns.
+        const InputVc& ivc =
+            inputs_[static_cast<std::size_t>(key.port)]
+                .vcs[static_cast<std::size_t>(key.vc)];
+        MW_ASSERT(!ivc.buffer.empty()
+                  && ivc.buffer.front().isHeader());
+        const int message_flits = ivc.buffer.front().messageFlits;
+        if (message_flits > cfg_.flitBufferDepth) {
+            sim::fatal("virtual cut-through requires messages (%d "
+                       "flits) to fit the %d-flit VC buffers",
+                       message_flits, cfg_.flitBufferDepth);
+        }
+        if (ovc.credits < message_flits)
+            return false;
+    }
+    ovc.allocWaiters.pop_front();
+    ovc.allocated = true;
+    grantOutputVc(key, out_port, out_vc);
+    return true;
+}
+
+void
+WormholeRouter::grantOutputVc(InputVcKey key, int out_port, int out_vc)
+{
+    InputVc& ivc = inputs_[static_cast<std::size_t>(key.port)]
+                       .vcs[static_cast<std::size_t>(key.vc)];
+    MW_ASSERT(ivc.outPort == out_port && ivc.outVc == out_vc);
+    ivc.state = InputVcState::Active;
+    if (cfg_.crossbar == config::CrossbarKind::Multiplexed)
+        kickInputMux(key.port);
+    else
+        kickInputVcServer(key.port, key.vc);
+}
+
+void
+WormholeRouter::finishInputMessage(InputVcKey key)
+{
+    InputVc& ivc = inputs_[static_cast<std::size_t>(key.port)]
+                       .vcs[static_cast<std::size_t>(key.vc)];
+    ivc.outPort = -1;
+    ivc.outVc = -1;
+    if (!ivc.buffer.empty()) {
+        // The next message's header is already queued behind the tail.
+        startRouting(key.port, key.vc);
+    } else {
+        ivc.state = InputVcState::Idle;
+    }
+}
+
+// --- point A: crossbar input multiplexer (multiplexed crossbar) ------------
+
+void
+WormholeRouter::kickInputMux(int port)
+{
+    if (!inputs_[static_cast<std::size_t>(port)].muxBusy)
+        serveInputMux(port);
+}
+
+void
+WormholeRouter::serveInputMux(int port)
+{
+    InputPort& ip = inputs_[static_cast<std::size_t>(port)];
+    MW_ASSERT(!ip.muxBusy);
+    MW_ASSERT(cfg_.crossbar == config::CrossbarKind::Multiplexed);
+
+    scratchCandidates_.clear();
+    for (int v = 0; v < cfg_.numVcs; ++v) {
+        InputVc& ivc = ip.vcs[static_cast<std::size_t>(v)];
+        if (ivc.state != InputVcState::Active || ivc.buffer.empty())
+            continue;
+        OutputPort& op =
+            outputs_[static_cast<std::size_t>(ivc.outPort)];
+        OutputVc& ovc = op.vcs[static_cast<std::size_t>(ivc.outVc)];
+        if (ovc.buffer.space()
+            <= static_cast<std::size_t>(ovc.reservedSlots)) {
+            registerSpaceWaiter(ovc, {port, v});
+            continue;
+        }
+        if (op.xbarBusy) {
+            op.xbarWaiters |= std::uint64_t{1}
+                << static_cast<unsigned>(port);
+            continue;
+        }
+        const Flit& head = ivc.buffer.front();
+        scratchCandidates_.push_back(
+            {v, head.stamp, head.arrivalSeq, head.vtick});
+    }
+    if (scratchCandidates_.empty())
+        return;
+
+    const std::size_t winner = ip.scheduler->pick(scratchCandidates_);
+    const int v = scratchCandidates_[winner].slot;
+    InputVc& ivc = ip.vcs[static_cast<std::size_t>(v)];
+
+    // Dispatch the head flit into the crossbar (point B server).
+    Flit flit = ivc.buffer.pop();
+    OutputPort& op = outputs_[static_cast<std::size_t>(ivc.outPort)];
+    OutputVc& ovc = op.vcs[static_cast<std::size_t>(ivc.outVc)];
+    ++ovc.reservedSlots;
+    MW_ASSERT(!op.xbarBusy);
+    op.xbarBusy = true;
+    op.xbarFlit = flit;
+    op.xbarFlitVc = ivc.outVc;
+    simulator_.scheduleAfter(
+        op.xbarEvent,
+        static_cast<sim::Tick>(cfg_.crossbarCycles) * cycle());
+
+    if (ip.link)
+        ip.link->sendCredit(v);
+    if (flit.isTail())
+        finishInputMessage({port, v});
+
+    ip.muxBusy = true;
+    simulator_.scheduleAfter(ip.muxEvent, cycle());
+}
+
+// --- full crossbar: one private server per input VC -------------------------
+
+void
+WormholeRouter::kickInputVcServer(int port, int vc)
+{
+    if (!inputs_[static_cast<std::size_t>(port)]
+             .vcs[static_cast<std::size_t>(vc)]
+             .serverBusy) {
+        serveInputVc(port, vc);
+    }
+}
+
+void
+WormholeRouter::serveInputVc(int port, int vc)
+{
+    InputVc& ivc = inputs_[static_cast<std::size_t>(port)]
+                       .vcs[static_cast<std::size_t>(vc)];
+    MW_ASSERT(!ivc.serverBusy);
+    if (ivc.state != InputVcState::Active || ivc.buffer.empty())
+        return;
+    OutputVc& ovc = outputs_[static_cast<std::size_t>(ivc.outPort)]
+                        .vcs[static_cast<std::size_t>(ivc.outVc)];
+    if (ovc.buffer.space()
+        <= static_cast<std::size_t>(ovc.reservedSlots)) {
+        registerSpaceWaiter(ovc, {port, vc});
+        return;
+    }
+
+    Flit flit = ivc.buffer.pop();
+    ++ovc.reservedSlots;
+    ivc.inFlight = flit;
+    ivc.inFlightOutPort = ivc.outPort;
+    ivc.inFlightOutVc = ivc.outVc;
+    ivc.serverBusy = true;
+    simulator_.scheduleAfter(
+        ivc.serveEvent,
+        static_cast<sim::Tick>(cfg_.crossbarCycles) * cycle());
+
+    InputPort& ip = inputs_[static_cast<std::size_t>(port)];
+    if (ip.link)
+        ip.link->sendCredit(vc);
+    if (flit.isTail())
+        finishInputMessage({port, vc});
+}
+
+// --- point B: crossbar output port ------------------------------------------
+
+void
+WormholeRouter::xbarDeliver(int out_port)
+{
+    OutputPort& op = outputs_[static_cast<std::size_t>(out_port)];
+    MW_ASSERT(op.xbarBusy);
+    const Flit flit = op.xbarFlit;
+    const int out_vc = op.xbarFlitVc;
+    op.xbarBusy = false;
+    op.xbarFlitVc = -1;
+    depositIntoOutputVc(out_port, out_vc, flit);
+
+    // Wake input multiplexers blocked on this crossbar output.
+    std::uint64_t waiters = op.xbarWaiters;
+    op.xbarWaiters = 0;
+    while (waiters != 0) {
+        const int p = __builtin_ctzll(waiters);
+        waiters &= waiters - 1;
+        kickInputMux(p);
+    }
+}
+
+void
+WormholeRouter::depositIntoOutputVc(int out_port, int out_vc,
+                                    const Flit& flit)
+{
+    OutputPort& op = outputs_[static_cast<std::size_t>(out_port)];
+    OutputVc& ovc = op.vcs[static_cast<std::size_t>(out_vc)];
+    MW_ASSERT(ovc.reservedSlots > 0);
+    --ovc.reservedSlots;
+
+    // Point-C stamping: relevant when the configured discipline runs
+    // at the VC output multiplexer (full crossbars).
+    Flit stamped = flit;
+    if (stamped.isHeader())
+        ovc.vclock.beginMessage(stamped.vtick);
+    stamped.stamp = ovc.vclock.tick(simulator_.now());
+    stamped.arrivalSeq = op.nextArrivalSeq++;
+    MW_ASSERT(!ovc.buffer.full());
+    ovc.buffer.push(stamped);
+    kickOutputMux(out_port);
+}
+
+// --- point C: VC output multiplexer ------------------------------------------
+
+void
+WormholeRouter::kickOutputMux(int port)
+{
+    if (!outputs_[static_cast<std::size_t>(port)].muxBusy)
+        serveOutputMux(port);
+}
+
+void
+WormholeRouter::serveOutputMux(int port)
+{
+    OutputPort& op = outputs_[static_cast<std::size_t>(port)];
+    MW_ASSERT(!op.muxBusy);
+    MW_ASSERT(op.link != nullptr);
+
+    scratchCandidates_.clear();
+    for (int v = 0; v < cfg_.numVcs; ++v) {
+        OutputVc& ovc = op.vcs[static_cast<std::size_t>(v)];
+        if (ovc.buffer.empty() || ovc.credits <= 0)
+            continue;
+        const Flit& head = ovc.buffer.front();
+        scratchCandidates_.push_back(
+            {v, head.stamp, head.arrivalSeq, head.vtick});
+    }
+    if (scratchCandidates_.empty())
+        return;
+
+    const std::size_t winner = op.scheduler->pick(scratchCandidates_);
+    const int v = scratchCandidates_[winner].slot;
+    OutputVc& ovc = op.vcs[static_cast<std::size_t>(v)];
+
+    const Flit flit = ovc.buffer.pop();
+    --ovc.credits;
+    op.link->sendFlit(flit, v);
+    ++flitsForwarded_;
+    if (tracer_ != nullptr && tracer_->accepts(flit.stream)) {
+        tracer_->record({simulator_.now(),
+                         sim::TracePoint::RouterDepart, flit.stream,
+                         flit.message, flit.index, traceLocation_,
+                         port, v});
+    }
+    wakeSpaceWaiters(ovc);
+
+    if (flit.isTail()) {
+        // Tail left stage 5: discard the Vtick state and hand the VC
+        // to the next waiting message (stage-3 arbitration order;
+        // virtual cut-through additionally gates on downstream
+        // buffer space).
+        ovc.vclock.endMessage();
+        ovc.allocated = false;
+        tryGrantNextWaiter(port, v);
+    }
+
+    op.muxBusy = true;
+    simulator_.scheduleAfter(op.muxEvent, cycle());
+}
+
+// --- waiter bookkeeping -------------------------------------------------------
+
+void
+WormholeRouter::registerSpaceWaiter(OutputVc& ovc, InputVcKey key)
+{
+    InputVc& ivc = inputs_[static_cast<std::size_t>(key.port)]
+                       .vcs[static_cast<std::size_t>(key.vc)];
+    if (ivc.inSpaceWaitList)
+        return;
+    ivc.inSpaceWaitList = true;
+    ovc.spaceWaiters.push_back(key);
+}
+
+void
+WormholeRouter::wakeSpaceWaiters(OutputVc& ovc)
+{
+    if (ovc.spaceWaiters.empty())
+        return;
+    // Swap out first: kicked handlers may re-register.
+    std::vector<InputVcKey> waiters;
+    waiters.swap(ovc.spaceWaiters);
+    for (const InputVcKey& key : waiters) {
+        InputVc& ivc = inputs_[static_cast<std::size_t>(key.port)]
+                           .vcs[static_cast<std::size_t>(key.vc)];
+        ivc.inSpaceWaitList = false;
+    }
+    for (const InputVcKey& key : waiters) {
+        if (cfg_.crossbar == config::CrossbarKind::Multiplexed)
+            kickInputMux(key.port);
+        else
+            kickInputVcServer(key.port, key.vc);
+    }
+}
+
+// --- diagnostics ----------------------------------------------------------------
+
+void
+WormholeRouter::registerStats(stats::Registry& registry) const
+{
+    registry.add(name_ + ".flits_forwarded",
+                 "flits that left the router",
+                 [this] { return static_cast<double>(flitsForwarded_); });
+    registry.add(name_ + ".headers_routed",
+                 "messages whose header computed a route",
+                 [this] { return static_cast<double>(headersRouted_); });
+    registry.add(name_ + ".allocation_waits",
+                 "messages that blocked on output-VC allocation",
+                 [this] {
+                     return static_cast<double>(allocationWaits_);
+                 });
+    for (int p = 0; p < cfg_.numPorts; ++p) {
+        registry.add(name_ + ".port" + std::to_string(p)
+                         + ".output_load",
+                     "buffered flits at this output port",
+                     [this, p] {
+                         return static_cast<double>(outputLoad(p));
+                     });
+    }
+}
+
+void
+WormholeRouter::checkInvariants() const
+{
+    for (int p = 0; p < cfg_.numPorts; ++p) {
+        const InputPort& ip = inputs_[static_cast<std::size_t>(p)];
+        for (int v = 0; v < cfg_.numVcs; ++v) {
+            const InputVc& ivc = ip.vcs[static_cast<std::size_t>(v)];
+            MW_ASSERT(ivc.buffer.size()
+                      <= static_cast<std::size_t>(
+                          cfg_.flitBufferDepth));
+            if (ivc.state == InputVcState::Active)
+                MW_ASSERT(ivc.outPort >= 0 && ivc.outVc >= 0);
+            if (ivc.state == InputVcState::Idle)
+                MW_ASSERT(ivc.buffer.empty());
+        }
+        const OutputPort& op = outputs_[static_cast<std::size_t>(p)];
+        for (const OutputVc& ovc : op.vcs) {
+            MW_ASSERT(ovc.reservedSlots >= 0);
+            MW_ASSERT(ovc.buffer.size()
+                          + static_cast<std::size_t>(ovc.reservedSlots)
+                      <= ovc.buffer.capacity());
+            MW_ASSERT(ovc.credits >= 0);
+            if (!ovc.allocated) {
+                // Wormhole grants immediately on release; only the
+                // cut-through space gate may leave waiters parked.
+                if (cfg_.switching == config::SwitchingKind::Wormhole)
+                    MW_ASSERT(ovc.allocWaiters.empty());
+                MW_ASSERT(ovc.buffer.empty());
+            }
+        }
+    }
+}
+
+} // namespace mediaworm::router

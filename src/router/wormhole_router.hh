@@ -1,0 +1,326 @@
+/**
+ * @file
+ * The MediaWorm wormhole router (Section 3 of the paper).
+ *
+ * Models the five-stage PROUD pipeline as an event-driven network of
+ * rate-1-flit-per-cycle servers around the three contention points of
+ * Figure 2:
+ *
+ *   (A) the crossbar input multiplexer (multiplexed crossbars) - one
+ *       per input port, serving that port's VCs under the configured
+ *       scheduling discipline (Virtual Clock for MediaWorm, FIFO for
+ *       the conventional baseline);
+ *   (B) the crossbar output port - a capacity-one server per output
+ *       port enforcing one flit per cycle through the switch column;
+ *   (C) the virtual-channel output multiplexer - one per output
+ *       physical channel, sharing link bandwidth among the output
+ *       VCs. For full crossbars (which have no input multiplexer)
+ *       the configured discipline applies here instead.
+ *
+ * Wormhole semantics: a header flit traverses stages 1-3 (routing +
+ * switch arbitration), then acquires its message's output VC and
+ * holds it until the tail flit leaves stage 5. Body flits bypass
+ * stages 2-3. Flow control is credit-based on every buffer.
+ */
+
+#ifndef MEDIAWORM_ROUTER_WORMHOLE_ROUTER_HH
+#define MEDIAWORM_ROUTER_WORMHOLE_ROUTER_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "config/router_config.hh"
+#include "router/flit.hh"
+#include "router/flit_buffer.hh"
+#include "router/link.hh"
+#include "router/scheduler.hh"
+#include "router/virtual_clock.hh"
+#include "sim/event.hh"
+#include "sim/simulator.hh"
+#include "sim/tracer.hh"
+#include "stats/registry.hh"
+
+namespace mediaworm::router {
+
+/**
+ * Output-port candidates for one destination, as produced by a
+ * routing function. Multiple entries occur only on fat channels; the
+ * router picks the least-loaded one at header-routing time.
+ */
+struct RouteCandidates
+{
+    std::array<int, 4> ports{};
+    int count = 0;
+
+    /** Convenience factory for a single-port route. */
+    static RouteCandidates
+    single(int port)
+    {
+        RouteCandidates rc;
+        rc.ports[0] = port;
+        rc.count = 1;
+        return rc;
+    }
+};
+
+/** Maps a destination endpoint to candidate output ports. */
+using RouteFunction = std::function<RouteCandidates(sim::NodeId dest)>;
+
+/** An 8x8-class pipelined wormhole router with pluggable scheduling. */
+class WormholeRouter
+{
+  public:
+    /**
+     * @param simulator Owning simulation kernel.
+     * @param cfg Validated hardware configuration.
+     * @param name Diagnostic name ("router0").
+     */
+    WormholeRouter(sim::Simulator& simulator,
+                   const config::RouterConfig& cfg, std::string name);
+
+    WormholeRouter(const WormholeRouter&) = delete;
+    WormholeRouter& operator=(const WormholeRouter&) = delete;
+
+    /**
+     * Attaches the link that feeds input port @p port. The router
+     * registers itself as the link's flit receiver and uses the link
+     * to return buffer credits upstream.
+     */
+    void connectInputLink(int port, Link& link);
+
+    /**
+     * Attaches the link driven by output port @p port. @p
+     * downstream_buffer_depth initializes the credit counters (the
+     * input buffer capacity of whatever sits across the link).
+     */
+    void connectOutputLink(int port, Link& link,
+                           int downstream_buffer_depth);
+
+    /** Installs the routing function. Must be set before traffic. */
+    void setRouteFunction(RouteFunction fn);
+
+    /** Hardware configuration. */
+    const config::RouterConfig& cfg() const { return cfg_; }
+
+    /** Diagnostic name. */
+    const std::string& name() const { return name_; }
+
+    /**
+     * Aggregate buffered-flit count of output port @p port; the
+     * load signal used for fat-link selection.
+     */
+    int outputLoad(int port) const;
+
+    /** Total flits that left the router since construction. */
+    std::uint64_t flitsForwarded() const { return flitsForwarded_; }
+
+    /** Total headers routed since construction. */
+    std::uint64_t headersRouted() const { return headersRouted_; }
+
+    /** Messages that had to wait for output-VC allocation. */
+    std::uint64_t allocationWaits() const { return allocationWaits_; }
+
+    /** Runtime sanity check: verifies queue/credit invariants. */
+    void checkInvariants() const;
+
+    /**
+     * Registers this router's counters under "<name>." in
+     * @p registry for end-of-run reporting.
+     */
+    void registerStats(stats::Registry& registry) const;
+
+    /**
+     * Attaches a flit tracer; @p location identifies this router in
+     * the records. Pass nullptr to detach.
+     */
+    void
+    setTracer(sim::Tracer* tracer, int location)
+    {
+        tracer_ = tracer;
+        traceLocation_ = location;
+    }
+
+  private:
+    /** Identifies one input VC. */
+    struct InputVcKey
+    {
+        int port;
+        int vc;
+    };
+
+    /** Lifecycle of the message occupying an input VC. */
+    enum class InputVcState : std::uint8_t {
+        Idle,      ///< No message present.
+        Routing,   ///< Header in stages 2-3.
+        WaitingVc, ///< Output VC busy; message blocked (wormhole).
+        Active,    ///< Output VC held; flits may flow.
+    };
+
+    struct InputVc
+    {
+        FlitBuffer buffer;
+        InputVcState state = InputVcState::Idle;
+        int outPort = -1;
+        int outVc = -1;
+        VirtualClockState vclock; ///< Point-A stamping state.
+        sim::Tick vtick = kBestEffortVtick; ///< Current message's rate.
+        sim::CallbackEvent routeEvent; ///< Fires when stages 2-3 finish.
+        // Full-crossbar mode: this VC's private crossbar input server.
+        sim::CallbackEvent serveEvent;
+        bool serverBusy = false;
+        Flit inFlight;            ///< Flit traversing the crossbar.
+        int inFlightOutPort = -1; ///< Destination of the in-flight flit.
+        int inFlightOutVc = -1;
+        bool inSpaceWaitList = false; ///< Registered on an OutputVc.
+    };
+
+    struct InputPort
+    {
+        // Fixed array: InputVc embeds events and cannot be moved.
+        std::unique_ptr<InputVc[]> vcs;
+        Link* link = nullptr; ///< For returning credits upstream.
+        // Point A: the crossbar input multiplexer (multiplexed mode).
+        std::unique_ptr<Scheduler> scheduler;
+        sim::CallbackEvent muxEvent;
+        bool muxBusy = false;
+    };
+
+    struct OutputVc
+    {
+        FlitBuffer buffer;
+        int credits = 0;        ///< Downstream buffer slots available.
+        int reservedSlots = 0;  ///< Claimed by flits in the crossbar.
+        bool allocated = false; ///< Held by a message (wormhole).
+        std::deque<InputVcKey> allocWaiters;
+        std::vector<InputVcKey> spaceWaiters;
+        VirtualClockState vclock; ///< Point-C stamping state.
+    };
+
+    struct OutputPort
+    {
+        std::vector<OutputVc> vcs;
+        Link* link = nullptr;
+        // Point B: the crossbar output port (capacity-one server).
+        bool xbarBusy = false;
+        Flit xbarFlit;
+        int xbarFlitVc = -1;
+        sim::CallbackEvent xbarEvent;
+        std::uint64_t xbarWaiters = 0; ///< Bitmask of blocked muxes.
+        // Point C: the VC output multiplexer driving the link.
+        std::unique_ptr<Scheduler> scheduler;
+        sim::CallbackEvent muxEvent;
+        bool muxBusy = false;
+        std::uint64_t nextArrivalSeq = 0;
+    };
+
+    /** Adapter: per-port FlitReceiver facade over the router. */
+    class PortReceiver final : public FlitReceiver
+    {
+      public:
+        PortReceiver() = default;
+        void
+        init(WormholeRouter* router, int port)
+        {
+            router_ = router;
+            port_ = port;
+        }
+        void
+        receiveFlit(const Flit& flit, int vc) override
+        {
+            router_->flitArrived(port_, vc, flit);
+        }
+
+      private:
+        WormholeRouter* router_ = nullptr;
+        int port_ = 0;
+    };
+
+    /** Adapter: per-port CreditReceiver facade over the router. */
+    class PortCreditReceiver final : public CreditReceiver
+    {
+      public:
+        PortCreditReceiver() = default;
+        void
+        init(WormholeRouter* router, int port)
+        {
+            router_ = router;
+            port_ = port;
+        }
+        void
+        creditReturned(int vc) override
+        {
+            router_->creditArrived(port_, vc);
+        }
+
+      private:
+        WormholeRouter* router_ = nullptr;
+        int port_ = 0;
+    };
+
+    // --- pipeline actions -------------------------------------------------
+    void flitArrived(int port, int vc, const Flit& flit);
+    void creditArrived(int port, int vc);
+    void startRouting(int port, int vc);
+    void routeComputed(int port, int vc);
+    void requestOutputVc(int port, int vc, int out_port, int out_vc);
+    /** Grants the VC to its oldest waiter if the allocation (and,
+     *  for cut-through, the downstream-space gate) permits. */
+    bool tryGrantNextWaiter(int out_port, int out_vc);
+    void grantOutputVc(InputVcKey key, int out_port, int out_vc);
+    void finishInputMessage(InputVcKey key);
+
+    // Point A (multiplexed crossbar).
+    void kickInputMux(int port);
+    void serveInputMux(int port);
+
+    // Full crossbar: per-VC private server.
+    void kickInputVcServer(int port, int vc);
+    void serveInputVc(int port, int vc);
+
+    // Point B.
+    void xbarDeliver(int out_port);
+    void depositIntoOutputVc(int out_port, int out_vc,
+                             const Flit& flit);
+
+    // Point C.
+    void kickOutputMux(int port);
+    void serveOutputMux(int port);
+
+    void registerSpaceWaiter(OutputVc& ovc, InputVcKey key);
+    void wakeSpaceWaiters(OutputVc& ovc);
+    void dispatchFlit(InputVcKey key, InputVc& ivc);
+
+    sim::Tick cycle() const { return cycleTime_; }
+
+    sim::Simulator& simulator_;
+    config::RouterConfig cfg_;
+    std::string name_;
+    sim::Tick cycleTime_;
+
+    RouteFunction routeFn_;
+
+    // Fixed arrays: ports embed events and cannot be moved.
+    std::unique_ptr<InputPort[]> inputs_;
+    std::unique_ptr<OutputPort[]> outputs_;
+    std::unique_ptr<PortReceiver[]> receivers_;
+    std::unique_ptr<PortCreditReceiver[]> creditReceivers_;
+
+    std::uint64_t nextInputSeq_ = 0;
+    std::vector<Candidate> scratchCandidates_;
+
+    std::uint64_t flitsForwarded_ = 0;
+    std::uint64_t headersRouted_ = 0;
+    std::uint64_t allocationWaits_ = 0;
+
+    sim::Tracer* tracer_ = nullptr;
+    int traceLocation_ = -1;
+};
+
+} // namespace mediaworm::router
+
+#endif // MEDIAWORM_ROUTER_WORMHOLE_ROUTER_HH

@@ -1,0 +1,78 @@
+#include "sim/distributions.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace mediaworm::sim {
+
+UniformDistribution::UniformDistribution(double lo, double hi)
+    : lo_(lo), hi_(hi)
+{
+    MW_ASSERT(lo <= hi);
+}
+
+double
+UniformDistribution::sample(Rng& rng)
+{
+    return rng.uniform(lo_, hi_);
+}
+
+NormalDistribution::NormalDistribution(double mean, double stddev)
+    : mean_(mean), stddev_(stddev)
+{
+    MW_ASSERT(stddev >= 0.0);
+}
+
+double
+NormalDistribution::sample(Rng& rng)
+{
+    if (hasSpare_) {
+        hasSpare_ = false;
+        return mean_ + stddev_ * spare_;
+    }
+    double u;
+    double v;
+    double s;
+    do {
+        u = rng.uniform(-1.0, 1.0);
+        v = rng.uniform(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * factor;
+    hasSpare_ = true;
+    return mean_ + stddev_ * u * factor;
+}
+
+TruncatedNormalDistribution::TruncatedNormalDistribution(double mean,
+                                                         double stddev,
+                                                         double floor)
+    : normal_(mean, stddev), floor_(floor)
+{
+    MW_ASSERT(floor < mean);
+}
+
+double
+TruncatedNormalDistribution::sample(Rng& rng)
+{
+    double x;
+    do {
+        x = normal_.sample(rng);
+    } while (x < floor_);
+    return x;
+}
+
+ExponentialDistribution::ExponentialDistribution(double mean) : mean_(mean)
+{
+    MW_ASSERT(mean > 0.0);
+}
+
+double
+ExponentialDistribution::sample(Rng& rng)
+{
+    // 1 - uniform01() is in (0, 1], keeping log() finite.
+    return -mean_ * std::log(1.0 - rng.uniform01());
+}
+
+} // namespace mediaworm::sim

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Event base class for the discrete-event kernel.
+ *
+ * Events are intrusive: the queue stores their scheduled time, a
+ * monotonically increasing sequence number (for deterministic FIFO
+ * tie-breaking of same-tick events) and their heap index (for O(log n)
+ * cancellation/rescheduling) inside the event object itself, so the
+ * hot path performs no allocation.
+ */
+
+#ifndef MEDIAWORM_SIM_EVENT_HH
+#define MEDIAWORM_SIM_EVENT_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/time.hh"
+
+namespace mediaworm::sim {
+
+class EventQueue;
+
+/**
+ * A schedulable action.
+ *
+ * Subclasses implement fire(). The owning object typically embeds its
+ * events by value and reschedules them; an event must outlive any
+ * queue it is scheduled on.
+ */
+class Event
+{
+  public:
+    Event() = default;
+    virtual ~Event();
+
+    Event(const Event&) = delete;
+    Event& operator=(const Event&) = delete;
+
+    /** Invoked by the kernel when simulated time reaches when(). */
+    virtual void fire() = 0;
+
+    /** Human-readable name for tracing. */
+    virtual const char* name() const { return "Event"; }
+
+    /** True if currently scheduled on a queue. */
+    bool scheduled() const { return heapIndex_ >= 0; }
+
+    /** Scheduled firing time; meaningless unless scheduled(). */
+    Tick when() const { return when_; }
+
+  private:
+    friend class EventQueue;
+
+    Tick when_ = kTickNever;
+    std::uint64_t seq_ = 0;
+    std::int32_t heapIndex_ = -1;
+};
+
+/** Event adapter that invokes an arbitrary callable. */
+class CallbackEvent final : public Event
+{
+  public:
+    CallbackEvent() = default;
+
+    /** Constructs with the callable to run on fire(). */
+    explicit CallbackEvent(std::function<void()> fn,
+                           const char* name = "CallbackEvent")
+        : fn_(std::move(fn)), name_(name)
+    {
+    }
+
+    /** Replaces the callable; must not be scheduled when called. */
+    void
+    setCallback(std::function<void()> fn)
+    {
+        fn_ = std::move(fn);
+    }
+
+    void
+    fire() override
+    {
+        fn_();
+    }
+
+    const char* name() const override { return name_; }
+
+  private:
+    std::function<void()> fn_;
+    const char* name_ = "CallbackEvent";
+};
+
+} // namespace mediaworm::sim
+
+#endif // MEDIAWORM_SIM_EVENT_HH

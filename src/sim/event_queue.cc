@@ -1,0 +1,120 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace mediaworm::sim {
+
+Event::~Event()
+{
+    MW_ASSERT(!scheduled());
+}
+
+bool
+EventQueue::before(const Event& a, const Event& b) const
+{
+    if (a.when_ != b.when_)
+        return a.when_ < b.when_;
+    return a.seq_ < b.seq_;
+}
+
+void
+EventQueue::place(Event* event, std::size_t index)
+{
+    heap_[index] = event;
+    event->heapIndex_ = static_cast<std::int32_t>(index);
+}
+
+void
+EventQueue::siftUp(std::size_t index)
+{
+    Event* event = heap_[index];
+    while (index > 0) {
+        const std::size_t parent = (index - 1) / 2;
+        if (!before(*event, *heap_[parent]))
+            break;
+        place(heap_[parent], index);
+        index = parent;
+    }
+    place(event, index);
+}
+
+void
+EventQueue::siftDown(std::size_t index)
+{
+    Event* event = heap_[index];
+    const std::size_t n = heap_.size();
+    while (true) {
+        std::size_t child = 2 * index + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && before(*heap_[child + 1], *heap_[child]))
+            ++child;
+        if (!before(*heap_[child], *event))
+            break;
+        place(heap_[child], index);
+        index = child;
+    }
+    place(event, index);
+}
+
+void
+EventQueue::schedule(Event& event, Tick when)
+{
+    MW_ASSERT(!event.scheduled());
+    MW_ASSERT(when >= 0);
+    event.when_ = when;
+    event.seq_ = nextSeq_++;
+    heap_.push_back(&event);
+    event.heapIndex_ = static_cast<std::int32_t>(heap_.size() - 1);
+    siftUp(heap_.size() - 1);
+}
+
+void
+EventQueue::deschedule(Event& event)
+{
+    if (!event.scheduled())
+        return;
+    const auto index = static_cast<std::size_t>(event.heapIndex_);
+    MW_ASSERT(index < heap_.size() && heap_[index] == &event);
+    event.heapIndex_ = -1;
+    Event* last = heap_.back();
+    heap_.pop_back();
+    if (last == &event)
+        return;
+    place(last, index);
+    // The replacement can need to move either direction.
+    siftUp(index);
+    siftDown(static_cast<std::size_t>(last->heapIndex_));
+}
+
+void
+EventQueue::reschedule(Event& event, Tick when)
+{
+    deschedule(event);
+    schedule(event, when);
+}
+
+Tick
+EventQueue::nextTime() const
+{
+    return heap_.empty() ? kTickNever : heap_.front()->when_;
+}
+
+Event&
+EventQueue::pop()
+{
+    MW_ASSERT(!heap_.empty());
+    Event& event = *heap_.front();
+    deschedule(event);
+    return event;
+}
+
+void
+EventQueue::clear()
+{
+    for (Event* event : heap_)
+        event->heapIndex_ = -1;
+    heap_.clear();
+}
+
+} // namespace mediaworm::sim

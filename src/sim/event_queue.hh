@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Indexed binary min-heap of events.
+ *
+ * Supports O(log n) schedule, cancel and reschedule. Events firing at
+ * the same tick are delivered in schedule order (stable), which keeps
+ * simulations deterministic regardless of heap internals.
+ */
+
+#ifndef MEDIAWORM_SIM_EVENT_QUEUE_HH
+#define MEDIAWORM_SIM_EVENT_QUEUE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/event.hh"
+#include "sim/time.hh"
+
+namespace mediaworm::sim {
+
+/** Priority queue of events ordered by (time, schedule order). */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /**
+     * Schedules @p event to fire at @p when.
+     * The event must not already be scheduled.
+     */
+    void schedule(Event& event, Tick when);
+
+    /** Removes @p event from the queue; no-op if not scheduled. */
+    void deschedule(Event& event);
+
+    /**
+     * Moves @p event to fire at @p when, scheduling it if needed.
+     * The event keeps its FIFO position only relative to events
+     * scheduled after this call.
+     */
+    void reschedule(Event& event, Tick when);
+
+    /** True if no events are pending. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /** Firing time of the earliest event; kTickNever if empty. */
+    Tick nextTime() const;
+
+    /**
+     * Removes and returns the earliest event.
+     * Must not be called on an empty queue.
+     */
+    Event& pop();
+
+    /**
+     * Deschedules every pending event without firing it. Use before
+     * tearing down a truncated simulation so events outlive the
+     * queue cleanly.
+     */
+    void clear();
+
+  private:
+    bool before(const Event& a, const Event& b) const;
+    void siftUp(std::size_t index);
+    void siftDown(std::size_t index);
+    void place(Event* event, std::size_t index);
+
+    std::vector<Event*> heap_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace mediaworm::sim
+
+#endif // MEDIAWORM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Strongly-typed identifiers used throughout the simulator.
+ *
+ * Using distinct types for node, port, virtual-channel, stream and
+ * message identifiers prevents the classic "swapped int arguments"
+ * class of bugs in a codebase whose interfaces pass many small
+ * integers around.
+ */
+
+#ifndef MEDIAWORM_SIM_IDS_HH
+#define MEDIAWORM_SIM_IDS_HH
+
+#include <cstdint>
+#include <functional>
+
+namespace mediaworm::sim {
+
+/**
+ * CRTP-free strong integer wrapper.
+ *
+ * @tparam Tag Phantom type distinguishing id families.
+ */
+template <typename Tag>
+class StrongId
+{
+  public:
+    /** Constructs the invalid id. */
+    constexpr StrongId() : value_(kInvalid) {}
+
+    /** Constructs from a raw integer value. */
+    constexpr explicit StrongId(std::int32_t value) : value_(value) {}
+
+    /** Returns the raw integer value. */
+    constexpr std::int32_t value() const { return value_; }
+
+    /** True if this id was assigned (non-negative). */
+    constexpr bool valid() const { return value_ >= 0; }
+
+    constexpr bool operator==(const StrongId&) const = default;
+    constexpr auto operator<=>(const StrongId&) const = default;
+
+  private:
+    static constexpr std::int32_t kInvalid = -1;
+
+    std::int32_t value_;
+};
+
+struct NodeTag {};
+struct SwitchTag {};
+struct PortTag {};
+struct VcTag {};
+struct StreamTag {};
+struct LinkTag {};
+
+/** Endpoint (traffic source/sink) identifier. */
+using NodeId = StrongId<NodeTag>;
+/** Router/switch identifier within a topology. */
+using SwitchId = StrongId<SwitchTag>;
+/** Physical-channel (port) index within a router. */
+using PortId = StrongId<PortTag>;
+/** Virtual-channel index within a physical channel. */
+using VcId = StrongId<VcTag>;
+/** Traffic stream (connection) identifier. */
+using StreamId = StrongId<StreamTag>;
+/** Physical link identifier within a topology. */
+using LinkId = StrongId<LinkTag>;
+
+/** Message sequence number; unique per stream. */
+using MessageSeq = std::int64_t;
+/** Video frame sequence number; unique per stream. */
+using FrameSeq = std::int64_t;
+
+} // namespace mediaworm::sim
+
+namespace std {
+
+template <typename Tag>
+struct hash<mediaworm::sim::StrongId<Tag>>
+{
+    size_t
+    operator()(const mediaworm::sim::StrongId<Tag>& id) const noexcept
+    {
+        return std::hash<std::int32_t>{}(id.value());
+    }
+};
+
+} // namespace std
+
+#endif // MEDIAWORM_SIM_IDS_HH

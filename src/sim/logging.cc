@@ -1,0 +1,87 @@
+#include "sim/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mediaworm::sim {
+
+namespace {
+
+LogLevel g_level = LogLevel::Info;
+
+void
+vprint(const char* tag, const char* fmt, std::va_list args)
+{
+    std::fprintf(stderr, "%s", tag);
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+fatal(const char* fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    vprint("fatal: ", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+panic(const char* fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    vprint("panic: ", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+warn(const char* fmt, ...)
+{
+    if (g_level < LogLevel::Warn)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    vprint("warn: ", fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char* fmt, ...)
+{
+    if (g_level < LogLevel::Info)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    vprint("info: ", fmt, args);
+    va_end(args);
+}
+
+void
+debug(const char* fmt, ...)
+{
+    if (g_level < LogLevel::Debug)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    vprint("debug: ", fmt, args);
+    va_end(args);
+}
+
+} // namespace mediaworm::sim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Status and error reporting helpers, modelled on gem5's logging.hh.
+ *
+ * fatal()  - the simulation cannot continue because of a user error
+ *            (bad configuration, impossible parameters). Exits cleanly.
+ * panic()  - an internal invariant was violated (a simulator bug).
+ *            Aborts so a core/backtrace is available.
+ * warn()   - something looks wrong but the simulation can continue.
+ * inform() - plain status output.
+ */
+
+#ifndef MEDIAWORM_SIM_LOGGING_HH
+#define MEDIAWORM_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace mediaworm::sim {
+
+/** Verbosity levels for runtime log filtering. */
+enum class LogLevel {
+    Silent = 0, ///< Only fatal/panic output.
+    Warn = 1,   ///< Warnings and errors.
+    Info = 2,   ///< Warnings, errors and status messages.
+    Debug = 3,  ///< Everything, including debug traces.
+};
+
+/** Sets the global log threshold. Defaults to Info. */
+void setLogLevel(LogLevel level);
+
+/** Returns the current global log threshold. */
+LogLevel logLevel();
+
+/** Terminates with exit(1); for user errors. Printf-style format. */
+[[noreturn]] void fatal(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Terminates with abort(); for simulator bugs. Printf-style format. */
+[[noreturn]] void panic(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Non-fatal complaint. Printf-style format. */
+void warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Status message. Printf-style format. */
+void inform(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Debug trace, suppressed unless the level is Debug. */
+void debug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Hard invariant check that survives NDEBUG builds.
+ * Use for conditions whose violation means a simulator bug.
+ */
+#define MW_ASSERT(cond, ...)                                            \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::mediaworm::sim::panic("assertion '%s' failed at %s:%d",   \
+                                    #cond, __FILE__, __LINE__);         \
+        }                                                               \
+    } while (0)
+
+} // namespace mediaworm::sim
+
+#endif // MEDIAWORM_SIM_LOGGING_HH

@@ -1,0 +1,71 @@
+#include "sim/simulator.hh"
+
+#include "sim/logging.hh"
+
+namespace mediaworm::sim {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+void
+Simulator::schedule(Event& event, Tick when)
+{
+    MW_ASSERT(when >= now_);
+    queue_.schedule(event, when);
+}
+
+void
+Simulator::scheduleAfter(Event& event, Tick delay)
+{
+    MW_ASSERT(delay >= 0);
+    queue_.schedule(event, now_ + delay);
+}
+
+void
+Simulator::deschedule(Event& event)
+{
+    queue_.deschedule(event);
+}
+
+void
+Simulator::reschedule(Event& event, Tick when)
+{
+    MW_ASSERT(when >= now_);
+    queue_.reschedule(event, when);
+}
+
+bool
+Simulator::step()
+{
+    if (queue_.empty())
+        return false;
+    Event& event = queue_.pop();
+    MW_ASSERT(event.when() >= now_);
+    now_ = event.when();
+    ++eventsFired_;
+    event.fire();
+    return true;
+}
+
+std::uint64_t
+Simulator::run(Tick until)
+{
+    std::uint64_t fired = 0;
+    while (!queue_.empty() && queue_.nextTime() <= until) {
+        step();
+        ++fired;
+    }
+    if (now_ < until)
+        now_ = until;
+    return fired;
+}
+
+std::uint64_t
+Simulator::runToCompletion()
+{
+    std::uint64_t fired = 0;
+    while (step())
+        ++fired;
+    return fired;
+}
+
+} // namespace mediaworm::sim

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The discrete-event simulation kernel.
+ *
+ * This replaces the commercial CSIM library used by the paper: a
+ * single-threaded event loop over an EventQueue, plus a root random
+ * number generator. All model components hold a reference to the
+ * Simulator to read the clock and schedule their events.
+ */
+
+#ifndef MEDIAWORM_SIM_SIMULATOR_HH
+#define MEDIAWORM_SIM_SIMULATOR_HH
+
+#include <cstdint>
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/time.hh"
+
+namespace mediaworm::sim {
+
+/** Event-driven simulation engine. */
+class Simulator
+{
+  public:
+    /** Creates a simulator whose root RNG uses @p seed. */
+    explicit Simulator(std::uint64_t seed = 1);
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** The pending-event queue. */
+    EventQueue& queue() { return queue_; }
+
+    /** Root random generator; split() it per component. */
+    Rng& rng() { return rng_; }
+
+    /** Schedules @p event at absolute time @p when (>= now). */
+    void schedule(Event& event, Tick when);
+
+    /** Schedules @p event @p delay ticks from now. */
+    void scheduleAfter(Event& event, Tick delay);
+
+    /** Cancels @p event if scheduled. */
+    void deschedule(Event& event);
+
+    /** Moves @p event to absolute time @p when (>= now). */
+    void reschedule(Event& event, Tick when);
+
+    /**
+     * Runs events until the queue drains or the clock passes @p until.
+     *
+     * Events scheduled exactly at @p until still fire.
+     * @return Number of events fired.
+     */
+    std::uint64_t run(Tick until);
+
+    /** Runs until the event queue is empty. */
+    std::uint64_t runToCompletion();
+
+    /**
+     * Fires exactly one event, if any.
+     * @return True if an event fired.
+     */
+    bool step();
+
+    /** Total events fired since construction. */
+    std::uint64_t eventsFired() const { return eventsFired_; }
+
+  private:
+    EventQueue queue_;
+    Rng rng_;
+    Tick now_ = 0;
+    std::uint64_t eventsFired_ = 0;
+};
+
+} // namespace mediaworm::sim
+
+#endif // MEDIAWORM_SIM_SIMULATOR_HH

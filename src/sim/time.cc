@@ -1,0 +1,31 @@
+#include "sim/time.hh"
+
+#include <cstdio>
+
+namespace mediaworm::sim {
+
+std::string
+formatTime(Tick t)
+{
+    char buf[64];
+    if (t == kTickNever) {
+        return "never";
+    }
+    const double abs_t = t < 0 ? -static_cast<double>(t)
+                               : static_cast<double>(t);
+    if (abs_t >= kSecond) {
+        std::snprintf(buf, sizeof(buf), "%.3fs", toSeconds(t));
+    } else if (abs_t >= kMillisecond) {
+        std::snprintf(buf, sizeof(buf), "%.3fms", toMilliseconds(t));
+    } else if (abs_t >= kMicrosecond) {
+        std::snprintf(buf, sizeof(buf), "%.3fus", toMicroseconds(t));
+    } else if (abs_t >= kNanosecond) {
+        std::snprintf(buf, sizeof(buf), "%.3fns", toNanoseconds(t));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%lldps",
+                      static_cast<long long>(t));
+    }
+    return buf;
+}
+
+} // namespace mediaworm::sim

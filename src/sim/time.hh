@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Simulated time base for the MediaWorm simulator.
+ *
+ * All simulated time is kept as a signed 64-bit count of picoseconds.
+ * Picoseconds give sub-cycle resolution for any link rate of interest
+ * (a 32-bit flit on a 400 Mbps link lasts 80,000 ps) while still
+ * representing more than 100 simulated days without overflow.
+ */
+
+#ifndef MEDIAWORM_SIM_TIME_HH
+#define MEDIAWORM_SIM_TIME_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mediaworm::sim {
+
+/** Simulated time in picoseconds. */
+using Tick = std::int64_t;
+
+/** Sentinel for "never" / unscheduled. */
+constexpr Tick kTickNever = -1;
+
+/** One picosecond expressed in ticks. */
+constexpr Tick kPicosecond = 1;
+/** One nanosecond expressed in ticks. */
+constexpr Tick kNanosecond = 1000 * kPicosecond;
+/** One microsecond expressed in ticks. */
+constexpr Tick kMicrosecond = 1000 * kNanosecond;
+/** One millisecond expressed in ticks. */
+constexpr Tick kMillisecond = 1000 * kMicrosecond;
+/** One second expressed in ticks. */
+constexpr Tick kSecond = 1000 * kMillisecond;
+
+/** Builds a Tick from a picosecond count. */
+constexpr Tick
+picoseconds(std::int64_t n)
+{
+    return n * kPicosecond;
+}
+
+/** Builds a Tick from a nanosecond count. */
+constexpr Tick
+nanoseconds(std::int64_t n)
+{
+    return n * kNanosecond;
+}
+
+/** Builds a Tick from a microsecond count. */
+constexpr Tick
+microseconds(std::int64_t n)
+{
+    return n * kMicrosecond;
+}
+
+/** Builds a Tick from a millisecond count. */
+constexpr Tick
+milliseconds(std::int64_t n)
+{
+    return n * kMillisecond;
+}
+
+/** Builds a Tick from a second count. */
+constexpr Tick
+seconds(std::int64_t n)
+{
+    return n * kSecond;
+}
+
+/** Converts ticks to (fractional) nanoseconds. */
+constexpr double
+toNanoseconds(Tick t)
+{
+    return static_cast<double>(t) / kNanosecond;
+}
+
+/** Converts ticks to (fractional) microseconds. */
+constexpr double
+toMicroseconds(Tick t)
+{
+    return static_cast<double>(t) / kMicrosecond;
+}
+
+/** Converts ticks to (fractional) milliseconds. */
+constexpr double
+toMilliseconds(Tick t)
+{
+    return static_cast<double>(t) / kMillisecond;
+}
+
+/** Converts ticks to (fractional) seconds. */
+constexpr double
+toSeconds(Tick t)
+{
+    return static_cast<double>(t) / kSecond;
+}
+
+/**
+ * Transmission time of one data unit on a serial link.
+ *
+ * @param bits Payload size in bits.
+ * @param megabits_per_second Link rate in Mbps.
+ * @return Ticks needed to serialize @p bits onto the link.
+ */
+constexpr Tick
+serializationTime(std::int64_t bits, std::int64_t megabits_per_second)
+{
+    // bits / (Mbps * 1e6 bit/s) seconds == bits * 1e6 / Mbps picoseconds.
+    return bits * 1000000 / megabits_per_second;
+}
+
+/** Renders a tick count with an adaptive human-readable unit. */
+std::string formatTime(Tick t);
+
+} // namespace mediaworm::sim
+
+#endif // MEDIAWORM_SIM_TIME_HH

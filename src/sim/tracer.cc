@@ -1,0 +1,85 @@
+#include "sim/tracer.hh"
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace mediaworm::sim {
+
+const char*
+toString(TracePoint point)
+{
+    switch (point) {
+      case TracePoint::HostInject:
+        return "host-inject";
+      case TracePoint::NetworkLaunch:
+        return "network-launch";
+      case TracePoint::RouterArrive:
+        return "router-arrive";
+      case TracePoint::RouterDepart:
+        return "router-depart";
+      case TracePoint::Eject:
+        return "eject";
+    }
+    return "?";
+}
+
+Tracer::Tracer(std::size_t capacity)
+    : ring_(capacity), capacity_(capacity)
+{
+    MW_ASSERT(capacity > 0);
+}
+
+void
+Tracer::record(const TraceRecord& entry)
+{
+    ring_[(head_ + count_) % capacity_] = entry;
+    if (count_ < capacity_)
+        ++count_;
+    else
+        head_ = (head_ + 1) % capacity_;
+    ++totalRecorded_;
+}
+
+std::size_t
+Tracer::size() const
+{
+    return count_;
+}
+
+void
+Tracer::forEach(
+    const std::function<void(const TraceRecord&)>& visit) const
+{
+    for (std::size_t i = 0; i < count_; ++i)
+        visit(ring_[(head_ + i) % capacity_]);
+}
+
+std::string
+Tracer::toString() const
+{
+    std::string out;
+    char line[160];
+    forEach([&](const TraceRecord& entry) {
+        std::snprintf(line, sizeof(line),
+                      "%14s  %-14s stream=%d msg=%lld flit=%d "
+                      "at=%d port=%d vc=%d\n",
+                      formatTime(entry.when).c_str(),
+                      mediaworm::sim::toString(entry.point),
+                      entry.stream.value(),
+                      static_cast<long long>(entry.message),
+                      entry.flitIndex, entry.location, entry.port,
+                      entry.vc);
+        out += line;
+    });
+    return out;
+}
+
+void
+Tracer::clear()
+{
+    head_ = 0;
+    count_ = 0;
+}
+
+} // namespace mediaworm::sim

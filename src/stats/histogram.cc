@@ -1,0 +1,102 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace mediaworm::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0)
+{
+    MW_ASSERT(buckets > 0);
+    MW_ASSERT(hi > lo);
+}
+
+void
+Histogram::add(double x)
+{
+    summary_.add(x);
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    const auto index = static_cast<std::size_t>((x - lo_) / width_);
+    if (index >= counts_.size()) {
+        ++overflow_;
+        return;
+    }
+    ++counts_[index];
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    underflow_ = 0;
+    overflow_ = 0;
+    summary_.reset();
+}
+
+double
+Histogram::bucketLow(std::size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (summary_.empty())
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(summary_.count());
+    double cumulative = static_cast<double>(underflow_);
+    if (cumulative >= target && underflow_ > 0)
+        return summary_.min();
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const auto in_bucket = static_cast<double>(counts_[i]);
+        if (cumulative + in_bucket >= target && in_bucket > 0) {
+            const double frac = (target - cumulative) / in_bucket;
+            return bucketLow(i) + frac * width_;
+        }
+        cumulative += in_bucket;
+    }
+    return summary_.max();
+}
+
+std::string
+Histogram::toString() const
+{
+    std::string out;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "n=%llu mean=%.4g sd=%.4g min=%.4g max=%.4g "
+                  "under=%llu over=%llu\n",
+                  static_cast<unsigned long long>(summary_.count()),
+                  summary_.mean(), summary_.stddev(), summary_.min(),
+                  summary_.max(),
+                  static_cast<unsigned long long>(underflow_),
+                  static_cast<unsigned long long>(overflow_));
+    out += line;
+    const std::uint64_t peak =
+        *std::max_element(counts_.begin(), counts_.end());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            continue;
+        const int bar = peak
+            ? static_cast<int>(40 * counts_[i] / peak) : 0;
+        std::snprintf(line, sizeof(line), "  [%10.4g) %8llu %s\n",
+                      bucketLow(i),
+                      static_cast<unsigned long long>(counts_[i]),
+                      std::string(static_cast<std::size_t>(bar), '#')
+                          .c_str());
+        out += line;
+    }
+    return out;
+}
+
+} // namespace mediaworm::stats

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fixed-width bucketed histogram with under/overflow buckets.
+ */
+
+#ifndef MEDIAWORM_STATS_HISTOGRAM_HH
+#define MEDIAWORM_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/accumulator.hh"
+
+namespace mediaworm::stats {
+
+/** Histogram over [lo, hi) with equal-width buckets. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower bound of the bucketed range.
+     * @param hi Upper bound of the bucketed range (exclusive).
+     * @param buckets Number of equal-width buckets; must be > 0.
+     */
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    /** Adds a sample; out-of-range samples land in the edge buckets. */
+    void add(double x);
+
+    /** Discards all samples. */
+    void reset();
+
+    /** Total samples, including under/overflow. */
+    std::uint64_t count() const { return summary_.count(); }
+
+    /** Samples below the bucketed range. */
+    std::uint64_t underflow() const { return underflow_; }
+
+    /** Samples at or above the bucketed range. */
+    std::uint64_t overflow() const { return overflow_; }
+
+    /** Count in bucket @p i. */
+    std::uint64_t bucketCount(std::size_t i) const { return counts_.at(i); }
+
+    /** Number of buckets. */
+    std::size_t buckets() const { return counts_.size(); }
+
+    /** Lower edge of bucket @p i. */
+    double bucketLow(std::size_t i) const;
+
+    /** Scalar summary (mean/stddev/min/max) of all samples. */
+    const Accumulator& summary() const { return summary_; }
+
+    /**
+     * Linear-interpolated quantile estimate in [0, 1].
+     * Returns min()/max() at the extremes; 0 when empty.
+     */
+    double quantile(double q) const;
+
+    /** Multi-line text rendering for reports. */
+    std::string toString() const;
+
+  private:
+    double lo_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    Accumulator summary_;
+};
+
+} // namespace mediaworm::stats
+
+#endif // MEDIAWORM_STATS_HISTOGRAM_HH

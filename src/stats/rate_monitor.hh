@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Event-rate measurement over the observation window.
+ *
+ * Counts discrete occurrences (flits transmitted, messages delivered)
+ * and converts them to a rate over the elapsed measurement window;
+ * used for link-utilization and throughput reporting.
+ */
+
+#ifndef MEDIAWORM_STATS_RATE_MONITOR_HH
+#define MEDIAWORM_STATS_RATE_MONITOR_HH
+
+#include <cstdint>
+
+#include "sim/time.hh"
+
+namespace mediaworm::stats {
+
+/** Counts occurrences and reports them as a rate per second. */
+class RateMonitor
+{
+  public:
+    RateMonitor() = default;
+
+    /** Records @p n occurrences. */
+    void add(std::uint64_t n = 1) { count_ += n; }
+
+    /** Restarts the window at @p now, zeroing the count. */
+    void
+    reset(sim::Tick now)
+    {
+        count_ = 0;
+        windowStart_ = now;
+    }
+
+    /** Occurrences since the window start. */
+    std::uint64_t count() const { return count_; }
+
+    /** Occurrences per simulated second over [start, now]. */
+    double
+    ratePerSecond(sim::Tick now) const
+    {
+        const auto elapsed = static_cast<double>(now - windowStart_);
+        if (elapsed <= 0.0)
+            return 0.0;
+        return static_cast<double>(count_)
+            / (elapsed / static_cast<double>(sim::kSecond));
+    }
+
+    /**
+     * Fraction of a resource's capacity consumed, given the per-unit
+     * service time (e.g. one flit time for link utilization).
+     */
+    double
+    utilization(sim::Tick now, sim::Tick service_time) const
+    {
+        const auto elapsed = static_cast<double>(now - windowStart_);
+        if (elapsed <= 0.0)
+            return 0.0;
+        return static_cast<double>(count_)
+            * static_cast<double>(service_time) / elapsed;
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    sim::Tick windowStart_ = 0;
+};
+
+} // namespace mediaworm::stats
+
+#endif // MEDIAWORM_STATS_RATE_MONITOR_HH

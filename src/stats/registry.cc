@@ -1,0 +1,54 @@
+#include "stats/registry.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace mediaworm::stats {
+
+void
+Registry::add(std::string name, std::string description,
+              std::function<double()> value)
+{
+    entries_.push_back({std::move(name), std::move(description),
+                        std::move(value)});
+}
+
+double
+Registry::lookup(const std::string& name) const
+{
+    for (const auto& entry : entries_) {
+        if (entry.name == name)
+            return entry.value();
+    }
+    return std::numeric_limits<double>::quiet_NaN();
+}
+
+std::string
+Registry::dumpText() const
+{
+    std::string out;
+    char line[256];
+    for (const auto& entry : entries_) {
+        std::snprintf(line, sizeof(line), "%-48s %14.6g  # %s\n",
+                      entry.name.c_str(), entry.value(),
+                      entry.description.c_str());
+        out += line;
+    }
+    return out;
+}
+
+std::string
+Registry::dumpCsv() const
+{
+    std::string out = "stat,value\n";
+    char line[256];
+    for (const auto& entry : entries_) {
+        std::snprintf(line, sizeof(line), "%s,%.9g\n",
+                      entry.name.c_str(), entry.value());
+        out += line;
+    }
+    return out;
+}
+
+} // namespace mediaworm::stats

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Named statistics registry for end-of-run reporting.
+ *
+ * Components register scalar-producing callbacks under hierarchical
+ * names ("router0.port3.xbar_grants"); the registry renders them as
+ * text or CSV after a run.
+ */
+
+#ifndef MEDIAWORM_STATS_REGISTRY_HH
+#define MEDIAWORM_STATS_REGISTRY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mediaworm::stats {
+
+/** A named scalar statistic with a lazy value producer. */
+struct StatEntry
+{
+    std::string name;        ///< Hierarchical dotted name.
+    std::string description; ///< Human-readable meaning.
+    std::function<double()> value; ///< Evaluated at dump time.
+};
+
+/** Collects StatEntry items and renders them. */
+class Registry
+{
+  public:
+    Registry() = default;
+
+    /** Registers a scalar statistic. */
+    void add(std::string name, std::string description,
+             std::function<double()> value);
+
+    /** Number of registered statistics. */
+    std::size_t size() const { return entries_.size(); }
+
+    /** All entries in registration order. */
+    const std::vector<StatEntry>& entries() const { return entries_; }
+
+    /** Looks up the current value by exact name; NaN if absent. */
+    double lookup(const std::string& name) const;
+
+    /** Renders "name value  # description" lines. */
+    std::string dumpText() const;
+
+    /** Renders "name,value" lines with a header row. */
+    std::string dumpCsv() const;
+
+  private:
+    std::vector<StatEntry> entries_;
+};
+
+} // namespace mediaworm::stats
+
+#endif // MEDIAWORM_STATS_REGISTRY_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Time-weighted average of a piecewise-constant signal.
+ *
+ * Used for quantities like buffer occupancy and link utilization,
+ * where each value persists for an interval rather than being a
+ * point sample.
+ */
+
+#ifndef MEDIAWORM_STATS_TIME_AVERAGE_HH
+#define MEDIAWORM_STATS_TIME_AVERAGE_HH
+
+#include "sim/time.hh"
+
+namespace mediaworm::stats {
+
+/** Integrates value * dt to produce a time-weighted mean. */
+class TimeAverage
+{
+  public:
+    /** @param start Time at which observation begins. */
+    explicit TimeAverage(sim::Tick start = 0)
+        : lastTime_(start), startTime_(start)
+    {
+    }
+
+    /** Records that the signal changed to @p value at @p now. */
+    void
+    update(sim::Tick now, double value)
+    {
+        integral_ += current_ * static_cast<double>(now - lastTime_);
+        current_ = value;
+        lastTime_ = now;
+    }
+
+    /** Restarts the observation window at @p now, keeping the value. */
+    void
+    reset(sim::Tick now)
+    {
+        integral_ = 0.0;
+        lastTime_ = now;
+        startTime_ = now;
+    }
+
+    /** Time-weighted mean over [start, now]. */
+    double
+    average(sim::Tick now) const
+    {
+        const double elapsed = static_cast<double>(now - startTime_);
+        if (elapsed <= 0.0)
+            return current_;
+        const double total = integral_
+            + current_ * static_cast<double>(now - lastTime_);
+        return total / elapsed;
+    }
+
+    /** Most recently recorded value. */
+    double current() const { return current_; }
+
+  private:
+    double integral_ = 0.0;
+    double current_ = 0.0;
+    sim::Tick lastTime_;
+    sim::Tick startTime_;
+};
+
+} // namespace mediaworm::stats
+
+#endif // MEDIAWORM_STATS_TIME_AVERAGE_HH

@@ -1,0 +1,127 @@
+#include "traffic/admission.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace mediaworm::traffic {
+
+AdmissionController::AdmissionController(
+    const config::RouterConfig& router, const VcPartition& partition,
+    int num_nodes, AdmissionPolicy policy)
+    : router_(router), partition_(partition), numNodes_(num_nodes),
+      policy_(policy),
+      srcLoad_(static_cast<std::size_t>(num_nodes), 0.0),
+      dstLoad_(static_cast<std::size_t>(num_nodes), 0.0),
+      laneStreams_(static_cast<std::size_t>(num_nodes)
+                       * static_cast<std::size_t>(router.numVcs),
+                   0)
+{
+    MW_ASSERT(num_nodes >= 2);
+    router_.validate();
+    if (policy_.maxRealTimeLoad <= 0.0 || policy_.maxRealTimeLoad > 1.0)
+        sim::fatal("AdmissionPolicy: maxRealTimeLoad %.3f out of (0,1]",
+                   policy_.maxRealTimeLoad);
+    // A lane's bandwidth share is linkRate / numVcs; it carries that
+    // many unit-rate streams (Section 4.2.3's "6 connections per VC"
+    // at Table 1 parameters).
+    laneCapacity_ = 0; // derived lazily per stream rate in tryAdmit
+}
+
+double
+AdmissionController::streamLoad(const Stream& stream) const
+{
+    // vtick is the requested per-flit service interval; one flit per
+    // vtick against one flit per cycleTime is the load fraction.
+    MW_ASSERT(stream.vtick > 0);
+    return static_cast<double>(router_.cycleTime())
+        / static_cast<double>(stream.vtick);
+}
+
+std::size_t
+AdmissionController::laneIndex(int node, int lane) const
+{
+    return static_cast<std::size_t>(node)
+        * static_cast<std::size_t>(router_.numVcs)
+        + static_cast<std::size_t>(lane);
+}
+
+bool
+AdmissionController::tryAdmit(const Stream& stream)
+{
+    const int src = stream.src.value();
+    const int dst = stream.dst.value();
+    MW_ASSERT(src >= 0 && src < numNodes_);
+    MW_ASSERT(dst >= 0 && dst < numNodes_);
+
+    const bool lane_in_partition = stream.vcLane >= partition_.rtFirst
+        && stream.vcLane < partition_.rtFirst + partition_.rtCount;
+    if (!lane_in_partition || src == dst) {
+        ++rejected_;
+        return false;
+    }
+
+    // Tolerance absorbs floating-point accumulation so a budget
+    // that divides evenly by the stream rate fills exactly.
+    constexpr double kEpsilon = 1e-9;
+    const double load = streamLoad(stream);
+    if (srcLoad_[static_cast<std::size_t>(src)] + load
+            > policy_.maxRealTimeLoad + kEpsilon
+        || dstLoad_[static_cast<std::size_t>(dst)] + load
+            > policy_.maxRealTimeLoad + kEpsilon) {
+        ++rejected_;
+        return false;
+    }
+
+    if (policy_.enforceLaneCapacity) {
+        // The lane's fair share of the link divided by this stream's
+        // rate bounds its connection count.
+        const int capacity = static_cast<int>(std::floor(
+            1.0 / (static_cast<double>(router_.numVcs) * load)));
+        laneCapacity_ = capacity;
+        if (laneStreams_[laneIndex(dst, stream.vcLane)] >= capacity) {
+            ++rejected_;
+            return false;
+        }
+    }
+
+    srcLoad_[static_cast<std::size_t>(src)] += load;
+    dstLoad_[static_cast<std::size_t>(dst)] += load;
+    ++laneStreams_[laneIndex(dst, stream.vcLane)];
+    ++admitted_;
+    ++live_;
+    return true;
+}
+
+void
+AdmissionController::release(const Stream& stream)
+{
+    const int src = stream.src.value();
+    const int dst = stream.dst.value();
+    const double load = streamLoad(stream);
+    MW_ASSERT(laneStreams_[laneIndex(dst, stream.vcLane)] > 0);
+    srcLoad_[static_cast<std::size_t>(src)] -= load;
+    dstLoad_[static_cast<std::size_t>(dst)] -= load;
+    --laneStreams_[laneIndex(dst, stream.vcLane)];
+    --live_;
+}
+
+double
+AdmissionController::sourceLoad(int node) const
+{
+    return srcLoad_[static_cast<std::size_t>(node)];
+}
+
+double
+AdmissionController::destinationLoad(int node) const
+{
+    return dstLoad_[static_cast<std::size_t>(node)];
+}
+
+int
+AdmissionController::laneOccupancy(int node, int lane) const
+{
+    return laneStreams_[laneIndex(node, lane)];
+}
+
+} // namespace mediaworm::traffic

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Stream admission control.
+ *
+ * The paper's conclusions call for "admission control strategies
+ * devised to track network load and proportion of different traffic
+ * mixes" (Section 6): the router provides soft guarantees only while
+ * the offered real-time load stays inside the jitter-free region
+ * (~70-80% of PC bandwidth, Section 5), and a VC's bandwidth share
+ * bounds how many connections may share it (Section 4.2.3).
+ *
+ * AdmissionController implements that bookkeeping for a single-switch
+ * cluster: per-endpoint source/destination bandwidth budgets, a
+ * per-(destination, VC-lane) connection cap, and a separate
+ * best-effort share reservation.
+ */
+
+#ifndef MEDIAWORM_TRAFFIC_ADMISSION_HH
+#define MEDIAWORM_TRAFFIC_ADMISSION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "config/router_config.hh"
+#include "traffic/stream.hh"
+#include "traffic/traffic_mix.hh"
+
+namespace mediaworm::traffic {
+
+/** Policy knobs for the admission decision. */
+struct AdmissionPolicy
+{
+    /**
+     * Largest real-time fraction of each physical channel's
+     * bandwidth that may be promised; the paper's measurements put
+     * the jitter-free boundary at 0.70-0.80 of link bandwidth.
+     */
+    double maxRealTimeLoad = 0.75;
+
+    /** Enforce the streams-per-VC capacity bound of Section 4.2.3. */
+    bool enforceLaneCapacity = true;
+};
+
+/** Accepts or rejects stream requests against capacity bookkeeping. */
+class AdmissionController
+{
+  public:
+    /**
+     * @param router Link bandwidth and VC geometry.
+     * @param partition How lanes are split between classes.
+     * @param num_nodes Endpoints sharing the switch.
+     * @param policy Thresholds (defaults are the paper's).
+     */
+    AdmissionController(const config::RouterConfig& router,
+                        const VcPartition& partition, int num_nodes,
+                        AdmissionPolicy policy = {});
+
+    /**
+     * Tries to admit @p stream (a real-time connection request).
+     *
+     * Checks, in order: the lane lies in the real-time partition;
+     * the source link's and destination link's real-time budgets
+     * can absorb the stream's rate; and the destination (port, lane)
+     * pair has a free connection slot.
+     *
+     * @return True and records the reservation, or false untouched.
+     */
+    bool tryAdmit(const Stream& stream);
+
+    /** Releases a previously admitted stream's reservations. */
+    void release(const Stream& stream);
+
+    /** Offered real-time load on @p node's injection link. */
+    double sourceLoad(int node) const;
+
+    /** Offered real-time load towards @p node's ejection link. */
+    double destinationLoad(int node) const;
+
+    /** Live streams on destination @p node's lane @p lane. */
+    int laneOccupancy(int node, int lane) const;
+
+    /** Maximum streams a lane's bandwidth share carries (paper: 6). */
+    int laneCapacity() const { return laneCapacity_; }
+
+    /** Requests admitted since construction. */
+    std::uint64_t admitted() const { return admitted_; }
+
+    /** Requests rejected since construction. */
+    std::uint64_t rejected() const { return rejected_; }
+
+    /** Live (admitted minus released) stream count. */
+    int live() const { return live_; }
+
+  private:
+    /** Per-flit-rate of one stream as a fraction of link rate. */
+    double streamLoad(const Stream& stream) const;
+
+    std::size_t laneIndex(int node, int lane) const;
+
+    config::RouterConfig router_;
+    VcPartition partition_;
+    int numNodes_;
+    AdmissionPolicy policy_;
+    int laneCapacity_;
+
+    std::vector<double> srcLoad_; ///< Real-time load per source link.
+    std::vector<double> dstLoad_; ///< Real-time load per dest link.
+    std::vector<int> laneStreams_; ///< Streams per (dest, lane).
+
+    std::uint64_t admitted_ = 0;
+    std::uint64_t rejected_ = 0;
+    int live_ = 0;
+};
+
+} // namespace mediaworm::traffic
+
+#endif // MEDIAWORM_TRAFFIC_ADMISSION_HH

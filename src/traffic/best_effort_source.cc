@@ -1,0 +1,65 @@
+#include "traffic/best_effort_source.hh"
+
+#include "sim/logging.hh"
+
+namespace mediaworm::traffic {
+
+BestEffortSource::BestEffortSource(sim::Simulator& simulator,
+                                   sim::StreamId id, sim::NodeId src,
+                                   int num_nodes, int message_flits,
+                                   sim::Tick interval,
+                                   sim::Tick stop_time, int vc_first,
+                                   int vc_count, Injector& injector,
+                                   sim::Rng rng)
+    : simulator_(simulator), id_(id), src_(src), numNodes_(num_nodes),
+      messageFlits_(message_flits), interval_(interval),
+      stopTime_(stop_time), vcFirst_(vc_first), vcCount_(vc_count),
+      injector_(injector), rng_(rng),
+      event_([this] { injectNext(); }, "BestEffortSource")
+{
+    MW_ASSERT(interval > 0);
+    MW_ASSERT(vc_count >= 1);
+    MW_ASSERT(num_nodes >= 2);
+}
+
+void
+BestEffortSource::start()
+{
+    // Random phase so the nodes' constant-rate injectors interleave.
+    const sim::Tick phase = static_cast<sim::Tick>(
+        rng_.uniformInt(static_cast<std::uint64_t>(interval_)));
+    const sim::Tick first = simulator_.now() + phase;
+    if (first < stopTime_)
+        simulator_.schedule(event_, first);
+}
+
+void
+BestEffortSource::injectNext()
+{
+    MessageDesc desc;
+    desc.stream = id_;
+    desc.cls = router::TrafficClass::BestEffort;
+    desc.vtick = router::kBestEffortVtick;
+    desc.seq = nextSeq_++;
+    desc.numFlits = messageFlits_;
+    desc.endOfFrame = false;
+
+    // Uniform destination over all nodes except the source.
+    const auto draw = static_cast<int>(
+        rng_.uniformInt(static_cast<std::uint64_t>(numNodes_ - 1)));
+    const int dest =
+        draw >= src_.value() ? draw + 1 : draw;
+    desc.dest = sim::NodeId(dest);
+
+    desc.vcLane = vcFirst_
+        + static_cast<int>(
+              rng_.uniformInt(static_cast<std::uint64_t>(vcCount_)));
+
+    injector_.injectMessage(desc);
+
+    const sim::Tick next = simulator_.now() + interval_;
+    if (next < stopTime_)
+        simulator_.schedule(event_, next);
+}
+
+} // namespace mediaworm::traffic

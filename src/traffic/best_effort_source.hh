@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Best-effort traffic generator (Section 4.2.2).
+ *
+ * Each node injects fixed-length best-effort messages at a constant
+ * rate matching the load share allocated to this class. Destinations
+ * and VC lanes (within the best-effort partition) are drawn uniformly
+ * per message. Best-effort messages advertise an infinite Vtick.
+ */
+
+#ifndef MEDIAWORM_TRAFFIC_BEST_EFFORT_SOURCE_HH
+#define MEDIAWORM_TRAFFIC_BEST_EFFORT_SOURCE_HH
+
+#include <vector>
+
+#include "sim/event.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+#include "traffic/stream.hh"
+
+namespace mediaworm::traffic {
+
+/** Per-node best-effort injector. */
+class BestEffortSource
+{
+  public:
+    /**
+     * @param simulator Owning kernel.
+     * @param id Stream id used to tag this node's best-effort traffic.
+     * @param src This node.
+     * @param num_nodes Destination universe (src excluded per draw).
+     * @param message_flits Fixed message length.
+     * @param interval Time between message injections (constant rate).
+     * @param stop_time No messages are injected at or after this time.
+     * @param vc_first First VC lane of the best-effort partition.
+     * @param vc_count Lanes in the best-effort partition.
+     * @param injector Local NI.
+     * @param rng Private random stream.
+     */
+    BestEffortSource(sim::Simulator& simulator, sim::StreamId id,
+                     sim::NodeId src, int num_nodes, int message_flits,
+                     sim::Tick interval, sim::Tick stop_time,
+                     int vc_first, int vc_count, Injector& injector,
+                     sim::Rng rng);
+
+    /** Schedules the first injection at a random phase. */
+    void start();
+
+    /** Messages injected so far. */
+    sim::MessageSeq messagesInjected() const { return nextSeq_; }
+
+  private:
+    void injectNext();
+
+    sim::Simulator& simulator_;
+    sim::StreamId id_;
+    sim::NodeId src_;
+    int numNodes_;
+    int messageFlits_;
+    sim::Tick interval_;
+    sim::Tick stopTime_;
+    int vcFirst_;
+    int vcCount_;
+    Injector& injector_;
+    sim::Rng rng_;
+    sim::MessageSeq nextSeq_ = 0;
+    sim::CallbackEvent event_;
+};
+
+} // namespace mediaworm::traffic
+
+#endif // MEDIAWORM_TRAFFIC_BEST_EFFORT_SOURCE_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Traffic stream and message descriptors.
+ */
+
+#ifndef MEDIAWORM_TRAFFIC_STREAM_HH
+#define MEDIAWORM_TRAFFIC_STREAM_HH
+
+#include "router/flit.hh"
+#include "sim/ids.hh"
+#include "sim/time.hh"
+
+namespace mediaworm::traffic {
+
+/**
+ * One real-time stream (the paper's "connection"): a long-lived
+ * source-destination video flow with a fixed VC lane and a negotiated
+ * bandwidth request.
+ */
+struct Stream
+{
+    sim::StreamId id;
+    sim::NodeId src;
+    sim::NodeId dst;
+    router::TrafficClass cls = router::TrafficClass::Vbr;
+
+    /**
+     * VC lane the stream uses on every link of its path. The paper
+     * draws input and destination VCs uniformly from the class
+     * partition; we use one lane end-to-end, which preserves the
+     * streams-per-VC sharing that Section 5.4 studies.
+     */
+    int vcLane = 0;
+
+    /** Per-flit service interval the headers advertise. */
+    sim::Tick vtick = router::kBestEffortVtick;
+
+    /** Frame period (33 ms at full MPEG-2 scale). */
+    sim::Tick frameInterval = 0;
+
+    /** Random phase so streams are not synchronized. */
+    sim::Tick startOffset = 0;
+};
+
+/** One message handed to a network interface for injection. */
+struct MessageDesc
+{
+    sim::StreamId stream;
+    sim::NodeId dest;
+    router::TrafficClass cls = router::TrafficClass::BestEffort;
+    int vcLane = 0;
+    sim::Tick vtick = router::kBestEffortVtick;
+    sim::MessageSeq seq = 0;
+    sim::FrameSeq frame = 0;
+    int numFlits = 2;
+    bool endOfFrame = false;
+};
+
+/** Destination for injected messages; implemented by the NI. */
+class Injector
+{
+  public:
+    virtual ~Injector() = default;
+
+    /** Queues a whole message for transmission at the local node. */
+    virtual void injectMessage(const MessageDesc& message) = 0;
+};
+
+} // namespace mediaworm::traffic
+
+#endif // MEDIAWORM_TRAFFIC_STREAM_HH

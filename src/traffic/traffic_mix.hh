@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Traffic-mix planning (Section 4.2.3).
+ *
+ * For an x:y real-time-to-best-effort mix at a given input load, the
+ * planner splits the VCs of every physical channel into two disjoint
+ * partitions, computes how many 4 Mbps streams each node must source
+ * to offer the real-time share of the load, assigns each stream a
+ * destination and a VC lane (respecting the streams-per-VC capacity
+ * arithmetic of the paper), and derives the constant injection rate
+ * of the best-effort component.
+ */
+
+#ifndef MEDIAWORM_TRAFFIC_TRAFFIC_MIX_HH
+#define MEDIAWORM_TRAFFIC_TRAFFIC_MIX_HH
+
+#include <string>
+#include <vector>
+
+#include "config/router_config.hh"
+#include "config/traffic_config.hh"
+#include "sim/random.hh"
+#include "traffic/stream.hh"
+
+namespace mediaworm::traffic {
+
+/** How VCs of every physical channel are split between classes. */
+struct VcPartition
+{
+    int rtFirst = 0;  ///< First VC lane reserved for CBR/VBR.
+    int rtCount = 0;  ///< Lanes reserved for CBR/VBR.
+    int beFirst = 0;  ///< First best-effort lane.
+    int beCount = 0;  ///< Best-effort lanes.
+};
+
+/** Complete workload plan for one experiment point. */
+struct MixPlan
+{
+    VcPartition partition;
+
+    /** All real-time streams, every node's share included. */
+    std::vector<Stream> streams;
+
+    /** Real-time streams sourced per node. */
+    int streamsPerNode = 0;
+
+    /** Maximum streams a VC's bandwidth share can carry (paper's
+     *  "6 connections per VC" arithmetic); informational. */
+    int streamsPerVcCapacity = 0;
+
+    /** Best-effort injection interval per node; kTickNever if the
+     *  best-effort share is zero. */
+    sim::Tick beInterval = sim::kTickNever;
+
+    /** Offered real-time load actually planned (quantized by the
+     *  integer stream count). */
+    double plannedRtLoad = 0.0;
+
+    /** Offered best-effort load. */
+    double plannedBeLoad = 0.0;
+
+    /** Human-readable plan summary. */
+    std::string describe() const;
+};
+
+/**
+ * Computes the VC partition for a real-time fraction, guaranteeing
+ * each present class at least one lane.
+ */
+VcPartition partitionVcs(int num_vcs, double rt_fraction);
+
+/**
+ * Builds the workload plan.
+ *
+ * @param router Router configuration (VC count, link rate, flits).
+ * @param traffic Workload configuration (load, mix, stream model).
+ * @param num_nodes Endpoints in the topology.
+ * @param rng Random stream for destinations, lanes and phases.
+ */
+MixPlan planMix(const config::RouterConfig& router,
+                const config::TrafficConfig& traffic, int num_nodes,
+                sim::Rng& rng);
+
+} // namespace mediaworm::traffic
+
+#endif // MEDIAWORM_TRAFFIC_TRAFFIC_MIX_HH

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit tests for the admission controller (the paper's Section 6
+ * future-work strategy, built on its Sections 4-5 arithmetic).
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "traffic/admission.hh"
+
+namespace {
+
+using namespace mediaworm;
+using namespace mediaworm::sim;
+using namespace mediaworm::traffic;
+
+class AdmissionTest : public testing::Test
+{
+  protected:
+    AdmissionTest()
+        : partition(partitionVcs(router.numVcs, 0.8)),
+          controller(router, partition, 8)
+    {
+    }
+
+    /** A 4 Mbps-class stream request (vtick 8 us = 1% of link). */
+    Stream
+    request(int src, int dst, int lane = 0,
+            Tick vtick = microseconds(8))
+    {
+        Stream stream;
+        stream.id = StreamId(nextId++);
+        stream.src = NodeId(src);
+        stream.dst = NodeId(dst);
+        stream.cls = router::TrafficClass::Vbr;
+        stream.vcLane = lane;
+        stream.vtick = vtick;
+        stream.frameInterval = milliseconds(33);
+        return stream;
+    }
+
+    config::RouterConfig router;
+    VcPartition partition;
+    AdmissionController controller;
+    int nextId = 0;
+};
+
+TEST_F(AdmissionTest, AdmitsWithinBudget)
+{
+    EXPECT_TRUE(controller.tryAdmit(request(0, 1)));
+    EXPECT_EQ(controller.admitted(), 1u);
+    EXPECT_EQ(controller.live(), 1);
+    // vtick 8 us over 80 ns cycles = 1% of the link.
+    EXPECT_NEAR(controller.sourceLoad(0), 0.01, 1e-12);
+    EXPECT_NEAR(controller.destinationLoad(1), 0.01, 1e-12);
+}
+
+TEST_F(AdmissionTest, RejectsLaneOutsideRealTimePartition)
+{
+    // 80:20 partition on 16 VCs: lanes 13..15 are best-effort.
+    EXPECT_FALSE(controller.tryAdmit(request(0, 1, /*lane=*/14)));
+    EXPECT_EQ(controller.rejected(), 1u);
+    EXPECT_EQ(controller.live(), 0);
+}
+
+TEST_F(AdmissionTest, RejectsSelfTraffic)
+{
+    EXPECT_FALSE(controller.tryAdmit(request(3, 3)));
+}
+
+TEST_F(AdmissionTest, EnforcesSourceBudget)
+{
+    // Each stream is 1% of the link; the 0.75 default budget admits
+    // 75 per source (spread over lanes to dodge the lane cap).
+    int admitted = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (controller.tryAdmit(request(0, 1 + i % 7,
+                                        i % partition.rtCount))) {
+            ++admitted;
+        }
+    }
+    EXPECT_EQ(admitted, 75);
+    EXPECT_NEAR(controller.sourceLoad(0), 0.75, 1e-9);
+}
+
+TEST_F(AdmissionTest, EnforcesDestinationBudget)
+{
+    int admitted = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (controller.tryAdmit(request(i % 7 + 1, 0,
+                                        i % partition.rtCount))) {
+            ++admitted;
+        }
+    }
+    EXPECT_EQ(admitted, 75);
+    EXPECT_NEAR(controller.destinationLoad(0), 0.75, 1e-9);
+}
+
+TEST_F(AdmissionTest, EnforcesLaneCapacity)
+{
+    // All requests on one destination lane: the paper's arithmetic
+    // caps it at floor(1 / (16 * 0.01)) = 6 connections.
+    int admitted = 0;
+    for (int i = 0; i < 10; ++i)
+        admitted += controller.tryAdmit(request(i % 7 + 1, 0, 2));
+    EXPECT_EQ(admitted, 6);
+    EXPECT_EQ(controller.laneOccupancy(0, 2), 6);
+    EXPECT_EQ(controller.laneCapacity(), 6);
+}
+
+TEST_F(AdmissionTest, LaneCapacityCanBeDisabled)
+{
+    AdmissionPolicy policy;
+    policy.enforceLaneCapacity = false;
+    AdmissionController permissive(router, partition, 8, policy);
+    int admitted = 0;
+    for (int i = 0; i < 10; ++i)
+        admitted += permissive.tryAdmit(request(i % 7 + 1, 0, 2));
+    EXPECT_EQ(admitted, 10);
+}
+
+TEST_F(AdmissionTest, ReleaseReturnsCapacity)
+{
+    std::vector<Stream> admitted;
+    for (int i = 0; i < 6; ++i) {
+        Stream stream = request(i + 1, 0, 2);
+        ASSERT_TRUE(controller.tryAdmit(stream));
+        admitted.push_back(stream);
+    }
+    EXPECT_FALSE(controller.tryAdmit(request(7, 0, 2)));
+
+    controller.release(admitted.back());
+    EXPECT_EQ(controller.live(), 5);
+    EXPECT_TRUE(controller.tryAdmit(request(7, 0, 2)));
+}
+
+TEST_F(AdmissionTest, FasterStreamsConsumeMoreBudget)
+{
+    // A 4x-rate stream (vtick 2 us = 4% of the link) fills the 0.75
+    // budget in 18 admissions instead of 75.
+    int admitted = 0;
+    for (int i = 0; i < 40; ++i) {
+        if (controller.tryAdmit(request(0, 1 + i % 7,
+                                        i % partition.rtCount,
+                                        microseconds(2)))) {
+            ++admitted;
+        }
+    }
+    EXPECT_EQ(admitted, 18);
+}
+
+TEST_F(AdmissionTest, BudgetsAreIndependentPerNode)
+{
+    for (int node = 0; node < 8; ++node) {
+        const int dst = (node + 1) % 8;
+        EXPECT_TRUE(
+            controller.tryAdmit(request(node, dst, node % 13)));
+    }
+    for (int node = 0; node < 8; ++node)
+        EXPECT_NEAR(controller.sourceLoad(node), 0.01, 1e-12);
+}
+
+TEST(AdmissionPolicyDeath, RejectsBadBudget)
+{
+    config::RouterConfig router;
+    const VcPartition partition = partitionVcs(16, 0.8);
+    AdmissionPolicy policy;
+    policy.maxRealTimeLoad = 1.5;
+    EXPECT_EXIT(AdmissionController(router, partition, 8, policy),
+                testing::ExitedWithCode(1), "maxRealTimeLoad");
+}
+
+} // namespace

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for the best-effort traffic generator.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "traffic/best_effort_source.hh"
+
+namespace {
+
+using namespace mediaworm;
+using namespace mediaworm::sim;
+using namespace mediaworm::traffic;
+
+class CapturingInjector final : public Injector
+{
+  public:
+    explicit CapturingInjector(Simulator& simulator)
+        : simulator_(simulator)
+    {
+    }
+
+    void
+    injectMessage(const MessageDesc& message) override
+    {
+        times.push_back(simulator_.now());
+        messages.push_back(message);
+    }
+
+    std::vector<Tick> times;
+    std::vector<MessageDesc> messages;
+
+  private:
+    Simulator& simulator_;
+};
+
+class BestEffortSourceTest : public testing::Test
+{
+  protected:
+    BestEffortSourceTest() : injector(simulator) {}
+
+    void
+    run(Tick interval, Tick stop, int vc_first = 12, int vc_count = 4,
+        std::uint64_t seed = 9)
+    {
+        source = std::make_unique<BestEffortSource>(
+            simulator, StreamId(1000), NodeId(2), /*num_nodes=*/8,
+            /*message_flits=*/20, interval, stop, vc_first, vc_count,
+            injector, Rng(seed));
+        source->start();
+        simulator.runToCompletion();
+    }
+
+    Simulator simulator;
+    CapturingInjector injector;
+    std::unique_ptr<BestEffortSource> source;
+};
+
+TEST_F(BestEffortSourceTest, ConstantRateWithinStopTime)
+{
+    run(microseconds(10), milliseconds(1));
+    // ~100 messages in 1 ms at one per 10 us (random initial phase).
+    EXPECT_GE(injector.messages.size(), 98u);
+    EXPECT_LE(injector.messages.size(), 101u);
+    for (std::size_t i = 1; i < injector.times.size(); ++i)
+        EXPECT_EQ(injector.times[i] - injector.times[i - 1],
+                  microseconds(10));
+}
+
+TEST_F(BestEffortSourceTest, StopsAtStopTime)
+{
+    run(microseconds(10), microseconds(55));
+    for (Tick t : injector.times)
+        EXPECT_LT(t, microseconds(55));
+}
+
+TEST_F(BestEffortSourceTest, NeverSendsToSelf)
+{
+    run(microseconds(5), milliseconds(2));
+    for (const auto& message : injector.messages) {
+        EXPECT_NE(message.dest, NodeId(2));
+        EXPECT_GE(message.dest.value(), 0);
+        EXPECT_LT(message.dest.value(), 8);
+    }
+}
+
+TEST_F(BestEffortSourceTest, CoversAllDestinations)
+{
+    run(microseconds(5), milliseconds(5));
+    std::vector<int> seen(8, 0);
+    for (const auto& message : injector.messages)
+        ++seen[static_cast<std::size_t>(message.dest.value())];
+    for (int node = 0; node < 8; ++node) {
+        if (node == 2)
+            continue;
+        EXPECT_GT(seen[static_cast<std::size_t>(node)], 0)
+            << "node " << node << " never targeted";
+    }
+}
+
+TEST_F(BestEffortSourceTest, LanesStayInPartition)
+{
+    run(microseconds(5), milliseconds(2), /*vc_first=*/12,
+        /*vc_count=*/4);
+    std::vector<int> lanes(16, 0);
+    for (const auto& message : injector.messages) {
+        EXPECT_GE(message.vcLane, 12);
+        EXPECT_LT(message.vcLane, 16);
+        ++lanes[static_cast<std::size_t>(message.vcLane)];
+    }
+    for (int lane = 12; lane < 16; ++lane)
+        EXPECT_GT(lanes[static_cast<std::size_t>(lane)], 0);
+}
+
+TEST_F(BestEffortSourceTest, MessagesAreBestEffortClass)
+{
+    run(microseconds(10), milliseconds(1));
+    MessageSeq expected_seq = 0;
+    for (const auto& message : injector.messages) {
+        EXPECT_EQ(message.cls, router::TrafficClass::BestEffort);
+        EXPECT_EQ(message.vtick, router::kBestEffortVtick);
+        EXPECT_FALSE(message.endOfFrame);
+        EXPECT_EQ(message.numFlits, 20);
+        EXPECT_EQ(message.seq, expected_seq++);
+    }
+}
+
+TEST_F(BestEffortSourceTest, NoInjectionWhenStopBeforePhase)
+{
+    run(milliseconds(10), microseconds(1));
+    EXPECT_TRUE(injector.messages.empty());
+}
+
+} // namespace

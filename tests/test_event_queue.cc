@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit and property tests for the indexed binary-heap event queue.
+ */
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+
+namespace {
+
+using namespace mediaworm::sim;
+
+class RecordingEvent final : public Event
+{
+  public:
+    explicit RecordingEvent(std::vector<int>* log = nullptr, int id = 0)
+        : log_(log), id_(id)
+    {
+    }
+
+    void
+    fire() override
+    {
+        if (log_)
+            log_->push_back(id_);
+    }
+
+  private:
+    std::vector<int>* log_;
+    int id_;
+};
+
+TEST(EventQueue, StartsEmpty)
+{
+    EventQueue queue;
+    EXPECT_TRUE(queue.empty());
+    EXPECT_EQ(queue.size(), 0u);
+    EXPECT_EQ(queue.nextTime(), kTickNever);
+}
+
+TEST(EventQueue, PopsInTimeOrder)
+{
+    EventQueue queue;
+    RecordingEvent a;
+    RecordingEvent b;
+    RecordingEvent c;
+    queue.schedule(a, 30);
+    queue.schedule(b, 10);
+    queue.schedule(c, 20);
+
+    EXPECT_EQ(queue.nextTime(), 10);
+    EXPECT_EQ(&queue.pop(), &b);
+    EXPECT_EQ(&queue.pop(), &c);
+    EXPECT_EQ(&queue.pop(), &a);
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue queue;
+    std::vector<std::unique_ptr<RecordingEvent>> events;
+    for (int i = 0; i < 32; ++i) {
+        events.push_back(std::make_unique<RecordingEvent>());
+        queue.schedule(*events.back(), 100);
+    }
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(&queue.pop(), events[static_cast<std::size_t>(i)].get())
+            << "tie-break broke FIFO order at " << i;
+}
+
+TEST(EventQueue, ScheduledFlagTracksMembership)
+{
+    EventQueue queue;
+    RecordingEvent event;
+    EXPECT_FALSE(event.scheduled());
+    queue.schedule(event, 5);
+    EXPECT_TRUE(event.scheduled());
+    EXPECT_EQ(event.when(), 5);
+    queue.pop();
+    EXPECT_FALSE(event.scheduled());
+}
+
+TEST(EventQueue, DescheduleRemovesArbitraryElement)
+{
+    EventQueue queue;
+    RecordingEvent a;
+    RecordingEvent b;
+    RecordingEvent c;
+    queue.schedule(a, 1);
+    queue.schedule(b, 2);
+    queue.schedule(c, 3);
+
+    queue.deschedule(b);
+    EXPECT_FALSE(b.scheduled());
+    EXPECT_EQ(queue.size(), 2u);
+    EXPECT_EQ(&queue.pop(), &a);
+    EXPECT_EQ(&queue.pop(), &c);
+}
+
+TEST(EventQueue, DescheduleHeadUpdatesNextTime)
+{
+    EventQueue queue;
+    RecordingEvent a;
+    RecordingEvent b;
+    queue.schedule(a, 1);
+    queue.schedule(b, 9);
+    queue.deschedule(a);
+    EXPECT_EQ(queue.nextTime(), 9);
+    queue.deschedule(b); // events must not be destroyed scheduled
+}
+
+TEST(EventQueue, DescheduleUnscheduledIsNoop)
+{
+    EventQueue queue;
+    RecordingEvent a;
+    queue.deschedule(a); // must not crash
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, RescheduleMovesBothDirections)
+{
+    EventQueue queue;
+    RecordingEvent a;
+    RecordingEvent b;
+    queue.schedule(a, 10);
+    queue.schedule(b, 20);
+
+    queue.reschedule(b, 5); // move earlier
+    EXPECT_EQ(&queue.pop(), &b);
+
+    queue.schedule(b, 15);
+    queue.reschedule(a, 30); // move later
+    EXPECT_EQ(&queue.pop(), &b);
+    EXPECT_EQ(&queue.pop(), &a);
+}
+
+TEST(EventQueue, RescheduleUnscheduledSchedules)
+{
+    EventQueue queue;
+    RecordingEvent a;
+    queue.reschedule(a, 7);
+    EXPECT_TRUE(a.scheduled());
+    EXPECT_EQ(a.when(), 7);
+    queue.deschedule(a); // events must not be destroyed scheduled
+}
+
+/**
+ * Property: against a reference model (multimap keyed by time with
+ * insertion counters), random interleavings of schedule, deschedule
+ * and pop always produce the same service order.
+ */
+TEST(EventQueueProperty, MatchesReferenceModelUnderRandomOps)
+{
+    Rng rng(0xfeed);
+    for (int round = 0; round < 20; ++round) {
+        EventQueue queue;
+        constexpr int kEvents = 128;
+        std::vector<std::unique_ptr<RecordingEvent>> events;
+        for (int i = 0; i < kEvents; ++i)
+            events.push_back(std::make_unique<RecordingEvent>());
+
+        // Reference: (time, seq) -> index, mirroring queue content.
+        std::map<std::pair<Tick, std::uint64_t>, int> reference;
+        std::vector<std::uint64_t> seq_of(kEvents, 0);
+        std::uint64_t next_seq = 0;
+
+        for (int op = 0; op < 1000; ++op) {
+            const int i = static_cast<int>(rng.uniformInt(kEvents));
+            auto& event = *events[static_cast<std::size_t>(i)];
+            const int action = static_cast<int>(rng.uniformInt(3));
+            if (action == 0 && !event.scheduled()) {
+                const Tick when =
+                    static_cast<Tick>(rng.uniformInt(50));
+                queue.schedule(event, when);
+                seq_of[static_cast<std::size_t>(i)] = next_seq;
+                reference[{when, next_seq++}] = i;
+            } else if (action == 1 && event.scheduled()) {
+                queue.deschedule(event);
+                reference.erase(
+                    {event.when(),
+                     seq_of[static_cast<std::size_t>(i)]});
+            } else if (action == 2 && !queue.empty()) {
+                Event& popped = queue.pop();
+                ASSERT_FALSE(reference.empty());
+                const auto expected = reference.begin();
+                EXPECT_EQ(&popped,
+                          events[static_cast<std::size_t>(
+                                     expected->second)]
+                              .get());
+                reference.erase(expected);
+            }
+            ASSERT_EQ(queue.size(), reference.size());
+            if (!queue.empty()) {
+                ASSERT_EQ(queue.nextTime(),
+                          reference.begin()->first.first);
+            }
+        }
+        while (!queue.empty()) {
+            Event& popped = queue.pop();
+            const auto expected = reference.begin();
+            EXPECT_EQ(&popped, events[static_cast<std::size_t>(
+                                          expected->second)]
+                                   .get());
+            reference.erase(expected);
+        }
+    }
+}
+
+} // namespace

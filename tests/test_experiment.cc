@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the experiment harness: time-scale compression,
+ * measurement windows, result fields and reproducibility.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+
+namespace {
+
+using namespace mediaworm;
+using namespace mediaworm::core;
+
+ExperimentConfig
+smallConfig()
+{
+    ExperimentConfig cfg;
+    cfg.traffic.warmupFrames = 1;
+    cfg.traffic.measuredFrames = 3;
+    cfg.timeScale = 0.05;
+    return cfg;
+}
+
+TEST(Experiment, ReportsStreamArithmetic)
+{
+    ExperimentConfig cfg = smallConfig();
+    cfg.traffic.inputLoad = 0.8;
+    cfg.traffic.realTimeFraction = 0.8;
+    const ExperimentResult result = runExperiment(cfg);
+    EXPECT_NEAR(result.streamsPerNode, 64, 1);
+    EXPECT_EQ(result.rtStreams, result.streamsPerNode * 8);
+}
+
+TEST(Experiment, NormalisationDividesByTimeScale)
+{
+    ExperimentConfig cfg = smallConfig();
+    cfg.traffic.inputLoad = 0.4;
+    const ExperimentResult result = runExperiment(cfg);
+    EXPECT_NEAR(result.meanIntervalNormMs,
+                result.meanIntervalMs / cfg.timeScale, 1e-9);
+    // At 0.05 scale the raw interval is ~1.65 ms.
+    EXPECT_NEAR(result.meanIntervalMs, 1.65, 0.1);
+}
+
+TEST(Experiment, CountsAreConsistent)
+{
+    ExperimentConfig cfg = smallConfig();
+    cfg.traffic.inputLoad = 0.5;
+    const ExperimentResult result = runExperiment(cfg);
+    // Every stream delivers warmup+measured frames.
+    EXPECT_EQ(result.framesDelivered,
+              static_cast<std::uint64_t>(result.rtStreams) * 4);
+    // Intervals: at most frames-1 per stream, minus warmup gating.
+    EXPECT_LE(result.intervalSamples, result.framesDelivered);
+    EXPECT_GT(result.intervalSamples, 0u);
+    EXPECT_GT(result.flitsDelivered, 0u);
+    EXPECT_GT(result.eventsFired, result.flitsDelivered);
+}
+
+TEST(Experiment, CbrRunsJitterFreeAtModerateLoad)
+{
+    ExperimentConfig cfg = smallConfig();
+    cfg.traffic.inputLoad = 0.6;
+    cfg.traffic.realTimeFraction = 1.0;
+    cfg.traffic.realTimeKind = config::RealTimeKind::Cbr;
+    const ExperimentResult result = runExperiment(cfg);
+    EXPECT_NEAR(result.meanIntervalNormMs, 33.0, 0.5);
+    EXPECT_LT(result.stddevIntervalNormMs, 1.0);
+}
+
+TEST(Experiment, MpegGopRunsToCompletion)
+{
+    ExperimentConfig cfg = smallConfig();
+    cfg.traffic.inputLoad = 0.5;
+    cfg.traffic.realTimeFraction = 1.0;
+    cfg.traffic.realTimeKind = config::RealTimeKind::MpegGop;
+    cfg.traffic.measuredFrames = 12;
+    const ExperimentResult result = runExperiment(cfg);
+    EXPECT_FALSE(result.truncated);
+    EXPECT_GT(result.intervalSamples, 0u);
+    // GoP frames vary widely, so some interval spread is expected,
+    // but the mean period must hold.
+    EXPECT_NEAR(result.meanIntervalNormMs, 33.0, 2.0);
+}
+
+TEST(Experiment, TruncationFlagOnTinyBudget)
+{
+    ExperimentConfig cfg = smallConfig();
+    cfg.traffic.inputLoad = 0.5;
+    cfg.maxSimTime = sim::microseconds(200);
+    const ExperimentResult result = runExperiment(cfg);
+    EXPECT_TRUE(result.truncated);
+}
+
+TEST(Experiment, TailLatencyDominatesMean)
+{
+    ExperimentConfig cfg = smallConfig();
+    cfg.traffic.inputLoad = 0.8;
+    cfg.traffic.realTimeFraction = 0.8;
+    const ExperimentResult result = runExperiment(cfg);
+    EXPECT_GT(result.beLatencyP99Us, 0.0);
+    // The best-effort latency distribution is right-skewed: p99 sits
+    // at or above the mean.
+    EXPECT_GE(result.beLatencyP99Us, result.beLatencyUs * 0.9);
+    // And network-only latency never exceeds the host-to-sink total.
+    EXPECT_LE(result.beNetworkLatencyUs, result.beLatencyUs + 1e-9);
+}
+
+TEST(Experiment, SeedChangesResults)
+{
+    ExperimentConfig cfg = smallConfig();
+    cfg.traffic.inputLoad = 0.7;
+    cfg.seed = 1;
+    const auto a = runExperiment(cfg);
+    cfg.seed = 2;
+    const auto b = runExperiment(cfg);
+    EXPECT_NE(a.eventsFired, b.eventsFired);
+}
+
+TEST(Experiment, DescribeMentionsHeadlineNumbers)
+{
+    ExperimentConfig cfg = smallConfig();
+    cfg.traffic.inputLoad = 0.4;
+    const ExperimentResult result = runExperiment(cfg);
+    const std::string text = result.describe();
+    EXPECT_NE(text.find("d="), std::string::npos);
+    EXPECT_NE(text.find("intervals"), std::string::npos);
+    EXPECT_EQ(text.find("TRUNCATED"), std::string::npos);
+}
+
+TEST(ExperimentDeath, RejectsBadTimeScale)
+{
+    ExperimentConfig cfg = smallConfig();
+    cfg.timeScale = 0.0;
+    EXPECT_EXIT(runExperiment(cfg), testing::ExitedWithCode(1),
+                "timeScale");
+}
+
+TEST(Experiment, FullScaleWorkloadRunsUnscaled)
+{
+    // timeScale = 1.0 must reproduce the paper's exact workload
+    // parameters; keep it tiny (low load, 2 frames) for test speed.
+    ExperimentConfig cfg;
+    cfg.traffic.inputLoad = 0.1;
+    cfg.traffic.warmupFrames = 0;
+    cfg.traffic.measuredFrames = 2;
+    cfg.timeScale = 1.0;
+    const ExperimentResult result = runExperiment(cfg);
+    EXPECT_NEAR(result.meanIntervalMs, 33.0, 0.5);
+    EXPECT_NEAR(result.meanIntervalNormMs, result.meanIntervalMs,
+                1e-9);
+}
+
+} // namespace

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Unit tests for the network interface: flitization, injection
+ * pacing, credit respect and sink-side metric reporting.
+ */
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "network/network_interface.hh"
+
+namespace {
+
+using namespace mediaworm;
+using namespace mediaworm::sim;
+using namespace mediaworm::network;
+
+/** Captures what the NI puts on the injection link. */
+class WireTap final : public router::FlitReceiver
+{
+  public:
+    explicit WireTap(Simulator& simulator) : simulator_(simulator) {}
+
+    void
+    receiveFlit(const router::Flit& flit, int vc) override
+    {
+        times.push_back(simulator_.now());
+        flits.push_back(flit);
+        vcs.push_back(vc);
+    }
+
+    std::vector<Tick> times;
+    std::vector<router::Flit> flits;
+    std::vector<int> vcs;
+
+  private:
+    Simulator& simulator_;
+};
+
+class NetworkInterfaceTest : public testing::Test
+{
+  protected:
+    NetworkInterfaceTest()
+        : tap(simulator),
+          link(simulator, 0, "inj"),
+          ejection(simulator, 0, "ej")
+    {
+        cfg.numPorts = 8;
+        cfg.numVcs = 4;
+        ni = std::make_unique<NetworkInterface>(
+            simulator, NodeId(1), cfg, metrics, "ni1");
+        link.connectReceiver(&tap);
+        ni->connectInjectionLink(link, /*router_buffer_depth=*/4);
+        ni->connectEjectionLink(ejection);
+    }
+
+    traffic::MessageDesc
+    message(int flits, int lane = 0, MessageSeq seq = 0)
+    {
+        traffic::MessageDesc desc;
+        desc.stream = StreamId(3);
+        desc.dest = NodeId(5);
+        desc.cls = router::TrafficClass::Vbr;
+        desc.vcLane = lane;
+        desc.vtick = microseconds(8);
+        desc.seq = seq;
+        desc.numFlits = flits;
+        return desc;
+    }
+
+    Simulator simulator;
+    config::RouterConfig cfg;
+    MetricsHub metrics;
+    WireTap tap;
+    router::Link link;
+    router::Link ejection;
+    std::unique_ptr<NetworkInterface> ni;
+};
+
+TEST_F(NetworkInterfaceTest, FlitizesMessageCorrectly)
+{
+    ni->injectMessage(message(5));
+    simulator.runToCompletion();
+
+    ASSERT_EQ(tap.flits.size(), 4u)
+        << "router buffer depth limits in-flight flits";
+    EXPECT_TRUE(tap.flits[0].isHeader());
+    EXPECT_EQ(tap.flits[0].messageFlits, 5);
+    EXPECT_EQ(tap.flits[0].dest, NodeId(5));
+    EXPECT_EQ(tap.flits[0].vtick, microseconds(8));
+    for (std::size_t i = 0; i < tap.flits.size(); ++i) {
+        EXPECT_EQ(tap.flits[i].index, static_cast<int>(i));
+        EXPECT_EQ(tap.vcs[i], 0);
+    }
+}
+
+TEST_F(NetworkInterfaceTest, PacesAtOneFlitPerCycle)
+{
+    ni->injectMessage(message(4));
+    simulator.runToCompletion();
+
+    ASSERT_EQ(tap.times.size(), 4u);
+    for (std::size_t i = 1; i < tap.times.size(); ++i)
+        EXPECT_EQ(tap.times[i] - tap.times[i - 1], cfg.cycleTime());
+}
+
+TEST_F(NetworkInterfaceTest, RespectsCreditsThenResumes)
+{
+    ni->injectMessage(message(6));
+    simulator.runToCompletion();
+    EXPECT_EQ(tap.flits.size(), 4u); // depth-limited
+    EXPECT_EQ(ni->backlogFlits(), 2u);
+
+    CallbackEvent credits([&] {
+        ni->creditReturned(0);
+        ni->creditReturned(0);
+    });
+    simulator.schedule(credits, simulator.now() + microseconds(1));
+    simulator.runToCompletion();
+    EXPECT_EQ(tap.flits.size(), 6u);
+    EXPECT_TRUE(tap.flits.back().isTail());
+    EXPECT_EQ(ni->backlogFlits(), 0u);
+    EXPECT_EQ(ni->flitsInjected(), 6u);
+}
+
+TEST_F(NetworkInterfaceTest, TailCarriesEndOfFrameOnlyWhenFlagged)
+{
+    traffic::MessageDesc desc = message(3);
+    desc.endOfFrame = true;
+    ni->injectMessage(desc);
+    simulator.runToCompletion();
+    ASSERT_EQ(tap.flits.size(), 3u);
+    EXPECT_FALSE(tap.flits[0].endOfFrame);
+    EXPECT_FALSE(tap.flits[1].endOfFrame);
+    EXPECT_TRUE(tap.flits[2].endOfFrame);
+}
+
+TEST_F(NetworkInterfaceTest, LanesDrainIndependently)
+{
+    ni->injectMessage(message(3, /*lane=*/0));
+    ni->injectMessage(message(3, /*lane=*/2, /*seq=*/1));
+    simulator.runToCompletion();
+
+    ASSERT_EQ(tap.flits.size(), 6u);
+    int lane0 = 0;
+    int lane2 = 0;
+    for (int vc : tap.vcs) {
+        lane0 += vc == 0;
+        lane2 += vc == 2;
+    }
+    EXPECT_EQ(lane0, 3);
+    EXPECT_EQ(lane2, 3);
+}
+
+TEST_F(NetworkInterfaceTest, SinkReportsFrameDelivery)
+{
+    metrics.enable(0);
+    router::Flit tail;
+    tail.type = router::FlitType::Tail;
+    tail.cls = router::TrafficClass::Vbr;
+    tail.stream = StreamId(3);
+    tail.endOfFrame = true;
+    tail.injectTime = 0;
+
+    ni->receiveFlit(tail, 0);
+    EXPECT_EQ(metrics.frames().framesDelivered(), 1u);
+    EXPECT_EQ(metrics.rtMessages(), 1u);
+    EXPECT_EQ(metrics.flitsDelivered(), 1u);
+}
+
+TEST_F(NetworkInterfaceTest, SinkReportsBestEffortLatency)
+{
+    metrics.enable(0);
+    router::Flit tail;
+    tail.type = router::FlitType::Tail;
+    tail.cls = router::TrafficClass::BestEffort;
+    tail.stream = StreamId(9);
+    tail.injectTime = 0;
+    tail.networkEnterTime = 0;
+
+    CallbackEvent deliver([&] { ni->receiveFlit(tail, 1); });
+    simulator.schedule(deliver, microseconds(42));
+    simulator.runToCompletion();
+
+    EXPECT_EQ(metrics.beMessages(), 1u);
+    EXPECT_DOUBLE_EQ(metrics.beLatency().mean(), 42.0);
+}
+
+TEST_F(NetworkInterfaceTest, BodyFlitsDoNotCountAsMessages)
+{
+    metrics.enable(0);
+    router::Flit body;
+    body.type = router::FlitType::Body;
+    body.cls = router::TrafficClass::Vbr;
+    ni->receiveFlit(body, 0);
+    EXPECT_EQ(metrics.rtMessages(), 0u);
+    EXPECT_EQ(metrics.flitsDelivered(), 1u);
+}
+
+TEST_F(NetworkInterfaceTest, LatencyHistogramTracksDeliveries)
+{
+    metrics.enable(0);
+    router::Flit tail;
+    tail.type = router::FlitType::Tail;
+    tail.cls = router::TrafficClass::BestEffort;
+    tail.injectTime = 0;
+    tail.networkEnterTime = 0;
+
+    CallbackEvent first([&] { ni->receiveFlit(tail, 0); });
+    CallbackEvent second([&] { ni->receiveFlit(tail, 0); });
+    simulator.schedule(first, microseconds(10));
+    simulator.schedule(second, microseconds(30));
+    simulator.runToCompletion();
+
+    const auto& histogram = metrics.beLatencyHistogram();
+    EXPECT_EQ(histogram.count(), 2u);
+    EXPECT_NEAR(histogram.quantile(0.99), 30.0, 11.0);
+    EXPECT_DOUBLE_EQ(histogram.summary().min(), 10.0);
+}
+
+TEST_F(NetworkInterfaceTest, MetricsHubFiltersWarmupMessages)
+{
+    metrics.enable(microseconds(100));
+    router::Flit tail;
+    tail.type = router::FlitType::Tail;
+    tail.cls = router::TrafficClass::BestEffort;
+    tail.injectTime = microseconds(50); // injected before enable
+    tail.networkEnterTime = microseconds(50);
+    ni->receiveFlit(tail, 0);
+    EXPECT_EQ(metrics.beMessages(), 1u);
+    EXPECT_EQ(metrics.beLatency().count(), 0u)
+        << "warmup message contaminated the measurement";
+}
+
+} // namespace

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Parameterized property sweeps over the whole system: for every
+ * admissible operating point the network must drain, conserve
+ * frames, and deliver at the frame period; and every (scheduler,
+ * crossbar) combination must satisfy the same invariants.
+ */
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+
+namespace {
+
+using namespace mediaworm;
+using namespace mediaworm::core;
+
+ExperimentConfig
+sweepConfig()
+{
+    ExperimentConfig cfg;
+    cfg.traffic.warmupFrames = 1;
+    cfg.traffic.measuredFrames = 3;
+    cfg.timeScale = 0.05;
+    return cfg;
+}
+
+// --- Load x mix sweep ---------------------------------------------------------
+
+class LoadMixSweep
+    : public testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(LoadMixSweep, DrainsAndDeliversEveryFrame)
+{
+    const auto [load, rt_fraction] = GetParam();
+    ExperimentConfig cfg = sweepConfig();
+    cfg.traffic.inputLoad = load;
+    cfg.traffic.realTimeFraction = rt_fraction;
+
+    const ExperimentResult result = runExperiment(cfg);
+    EXPECT_FALSE(result.truncated);
+    if (result.rtStreams > 0) {
+        EXPECT_EQ(result.framesDelivered,
+                  static_cast<std::uint64_t>(result.rtStreams) * 4);
+    }
+}
+
+TEST_P(LoadMixSweep, MeanPeriodHoldsAtAdmissibleLoads)
+{
+    const auto [load, rt_fraction] = GetParam();
+    if (load > 0.85)
+        GTEST_SKIP() << "period drift is legitimate near saturation";
+    ExperimentConfig cfg = sweepConfig();
+    cfg.traffic.inputLoad = load;
+    cfg.traffic.realTimeFraction = rt_fraction;
+
+    const ExperimentResult result = runExperiment(cfg);
+    if (result.rtStreams == 0)
+        GTEST_SKIP() << "no real-time component";
+    EXPECT_NEAR(result.meanIntervalNormMs, 33.0, 1.0)
+        << "load " << load << " mix " << rt_fraction;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OperatingPoints, LoadMixSweep,
+    testing::Combine(testing::Values(0.3, 0.6, 0.8, 0.96),
+                     testing::Values(0.0, 0.5, 0.8, 1.0)));
+
+// --- Scheduler x crossbar sweep ---------------------------------------------------
+
+class MechanismSweep
+    : public testing::TestWithParam<
+          std::tuple<config::SchedulerKind, config::CrossbarKind>>
+{
+};
+
+TEST_P(MechanismSweep, EveryMechanismDeliversCorrectly)
+{
+    const auto [scheduler, crossbar] = GetParam();
+    ExperimentConfig cfg = sweepConfig();
+    cfg.router.scheduler = scheduler;
+    cfg.router.crossbar = crossbar;
+    cfg.router.numVcs = 8;
+    cfg.traffic.inputLoad = 0.7;
+    cfg.traffic.realTimeFraction = 0.8;
+
+    const ExperimentResult result = runExperiment(cfg);
+    EXPECT_FALSE(result.truncated);
+    EXPECT_EQ(result.framesDelivered,
+              static_cast<std::uint64_t>(result.rtStreams) * 4);
+    EXPECT_NEAR(result.meanIntervalNormMs, 33.0, 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mechanisms, MechanismSweep,
+    testing::Combine(
+        testing::Values(config::SchedulerKind::Fifo,
+                        config::SchedulerKind::RoundRobin,
+                        config::SchedulerKind::VirtualClock,
+                        config::SchedulerKind::WeightedRoundRobin),
+        testing::Values(config::CrossbarKind::Multiplexed,
+                        config::CrossbarKind::Full)));
+
+// --- Seed sweep: determinism and seed sensitivity -----------------------------------
+
+class SeedSweep : public testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SeedSweep, RunsAreReproducible)
+{
+    ExperimentConfig cfg = sweepConfig();
+    cfg.traffic.inputLoad = 0.6;
+    cfg.traffic.realTimeFraction = 0.8;
+    cfg.traffic.measuredFrames = 2;
+    cfg.seed = GetParam();
+
+    const ExperimentResult a = runExperiment(cfg);
+    const ExperimentResult b = runExperiment(cfg);
+    EXPECT_EQ(a.eventsFired, b.eventsFired);
+    EXPECT_DOUBLE_EQ(a.meanIntervalMs, b.meanIntervalMs);
+    EXPECT_DOUBLE_EQ(a.stddevIntervalMs, b.stddevIntervalMs);
+    EXPECT_DOUBLE_EQ(a.beLatencyUs, b.beLatencyUs);
+    EXPECT_EQ(a.flitsDelivered, b.flitsDelivered);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         testing::Values(1u, 7u, 42u, 1234567u));
+
+// --- Message size sweep --------------------------------------------------------------
+
+class MessageSizeSweep : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(MessageSizeSweep, AnyMessageSizeDrains)
+{
+    ExperimentConfig cfg = sweepConfig();
+    cfg.traffic.inputLoad = 0.6;
+    cfg.traffic.realTimeFraction = 1.0;
+    cfg.traffic.messageFlits = GetParam();
+
+    const ExperimentResult result = runExperiment(cfg);
+    EXPECT_FALSE(result.truncated);
+    EXPECT_NEAR(result.meanIntervalNormMs, 33.0, 1.0);
+}
+
+// messageFlits = 2 is excluded: with one header per payload flit the
+// effective load doubles (Section 5.5's overhead effect) and 0.6
+// offered saturates the link - covered by the test below instead.
+INSTANTIATE_TEST_SUITE_P(Sizes, MessageSizeSweep,
+                         testing::Values(3, 8, 20, 64, 200));
+
+TEST(MessageSizeOverhead, TwoFlitMessagesSaturateAtModerateLoad)
+{
+    ExperimentConfig cfg = sweepConfig();
+    cfg.traffic.inputLoad = 0.6;
+    cfg.traffic.realTimeFraction = 1.0;
+    cfg.traffic.messageFlits = 2; // 100% header overhead
+    const ExperimentResult result = runExperiment(cfg);
+    EXPECT_GT(result.meanIntervalNormMs, 34.0)
+        << "header overhead should have saturated the link";
+}
+
+} // namespace

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit and statistical tests for the random number generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hh"
+
+namespace {
+
+using namespace mediaworm::sim;
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng rng(9);
+    const auto first = rng.next();
+    rng.next();
+    rng.seed(9);
+    EXPECT_EQ(rng.next(), first);
+}
+
+TEST(Rng, Uniform01InHalfOpenRange)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.uniform01();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, Uniform01MeanIsHalf)
+{
+    Rng rng(5);
+    double sum = 0;
+    constexpr int kSamples = 100000;
+    for (int i = 0; i < kSamples; ++i)
+        sum += rng.uniform01();
+    EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng rng(6);
+    for (std::uint64_t n : {1ull, 2ull, 7ull, 1000ull}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(rng.uniformInt(n), n);
+    }
+}
+
+TEST(Rng, UniformIntCoversAllValues)
+{
+    Rng rng(6);
+    int seen[8] = {};
+    for (int i = 0; i < 8000; ++i)
+        ++seen[rng.uniformInt(8)];
+    for (int v = 0; v < 8; ++v)
+        EXPECT_GT(seen[v], 800) << "value " << v << " under-sampled";
+}
+
+TEST(Rng, UniformRangeInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto x = rng.uniformRange(-3, 3);
+        EXPECT_GE(x, -3);
+        EXPECT_LE(x, 3);
+        saw_lo |= x == -3;
+        saw_hi |= x == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformRangeSingleton)
+{
+    Rng rng(7);
+    EXPECT_EQ(rng.uniformRange(42, 42), 42);
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng rng(8);
+    int hits = 0;
+    constexpr int kSamples = 100000;
+    for (int i = 0; i < kSamples; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(8);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng parent(11);
+    Rng child = parent.split();
+    // The child must differ from the parent's continuation.
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += parent.next() == child.next();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitIsDeterministic)
+{
+    Rng a(11);
+    Rng b(11);
+    Rng ca = a.split();
+    Rng cb = b.split();
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(ca.next(), cb.next());
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator)
+{
+    EXPECT_EQ(Rng::min(), 0u);
+    EXPECT_EQ(Rng::max(), ~0ull);
+    Rng rng(1);
+    EXPECT_NE(rng(), rng());
+}
+
+} // namespace

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Unit, property and parameterized tests for the multiplexer
+ * scheduling disciplines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "router/flit.hh"
+#include "router/scheduler.hh"
+#include "sim/random.hh"
+
+namespace {
+
+using namespace mediaworm::router;
+using namespace mediaworm::config;
+using mediaworm::sim::Rng;
+using mediaworm::sim::Tick;
+using mediaworm::sim::microseconds;
+
+Candidate
+candidate(int slot, Tick stamp, std::uint64_t seq,
+          Tick vtick = microseconds(8))
+{
+    return {slot, stamp, seq, vtick};
+}
+
+// --- FIFO ---------------------------------------------------------------------
+
+TEST(FifoScheduler, PicksOldestArrival)
+{
+    FifoScheduler fifo;
+    const std::vector<Candidate> candidates = {
+        candidate(0, 100, 7),
+        candidate(1, 50, 3),
+        candidate(2, 200, 9),
+    };
+    EXPECT_EQ(fifo.pick(candidates), 1u);
+}
+
+TEST(FifoScheduler, IgnoresStamps)
+{
+    FifoScheduler fifo;
+    const std::vector<Candidate> candidates = {
+        candidate(0, 1, 10), // earliest stamp, latest arrival
+        candidate(1, 999, 2),
+    };
+    EXPECT_EQ(fifo.pick(candidates), 1u);
+}
+
+// --- Virtual Clock -----------------------------------------------------------
+
+TEST(VirtualClockScheduler, PicksLowestStamp)
+{
+    VirtualClockScheduler vc;
+    const std::vector<Candidate> candidates = {
+        candidate(0, 300, 1),
+        candidate(1, 100, 2),
+        candidate(2, 200, 3),
+    };
+    EXPECT_EQ(vc.pick(candidates), 1u);
+}
+
+TEST(VirtualClockScheduler, BreaksTiesFifo)
+{
+    VirtualClockScheduler vc;
+    const std::vector<Candidate> candidates = {
+        candidate(0, 100, 9),
+        candidate(1, 100, 4),
+    };
+    EXPECT_EQ(vc.pick(candidates), 1u);
+}
+
+TEST(VirtualClockScheduler, RealTimeBeatsBestEffort)
+{
+    VirtualClockScheduler vc;
+    const std::vector<Candidate> candidates = {
+        candidate(0, kBestEffortVtick, 1, kBestEffortVtick),
+        candidate(1, microseconds(500), 99),
+    };
+    EXPECT_EQ(vc.pick(candidates), 1u);
+}
+
+// --- Round robin ----------------------------------------------------------------
+
+TEST(RoundRobinScheduler, RotatesAcrossSlots)
+{
+    RoundRobinScheduler rr;
+    const std::vector<Candidate> candidates = {
+        candidate(0, 0, 0),
+        candidate(1, 0, 1),
+        candidate(2, 0, 2),
+    };
+    std::vector<int> picks;
+    for (int i = 0; i < 6; ++i)
+        picks.push_back(
+            candidates[rr.pick(candidates)].slot);
+    EXPECT_EQ(picks, (std::vector<int>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(RoundRobinScheduler, SkipsMissingSlots)
+{
+    RoundRobinScheduler rr;
+    const std::vector<Candidate> all = {
+        candidate(0, 0, 0),
+        candidate(1, 0, 1),
+        candidate(2, 0, 2),
+    };
+    EXPECT_EQ(all[rr.pick(all)].slot, 0);
+    // Slot 1 drops out; rotation continues from the last winner.
+    const std::vector<Candidate> partial = {
+        candidate(0, 0, 0),
+        candidate(2, 0, 2),
+    };
+    EXPECT_EQ(partial[rr.pick(partial)].slot, 2);
+    EXPECT_EQ(partial[rr.pick(partial)].slot, 0);
+}
+
+// --- Weighted round robin ---------------------------------------------------------
+
+TEST(WeightedRoundRobin, ServesProportionallyToRate)
+{
+    WeightedRoundRobinScheduler wrr;
+    // Slot 0 requests twice the rate of slot 1.
+    const std::vector<Candidate> candidates = {
+        candidate(0, 0, 0, microseconds(4)),
+        candidate(1, 0, 1, microseconds(8)),
+    };
+    int grants[2] = {};
+    for (int i = 0; i < 300; ++i)
+        ++grants[candidates[wrr.pick(candidates)].slot];
+    EXPECT_NEAR(static_cast<double>(grants[0]) / grants[1], 2.0, 0.1);
+}
+
+TEST(WeightedRoundRobin, EqualRatesShareEvenly)
+{
+    WeightedRoundRobinScheduler wrr;
+    const std::vector<Candidate> candidates = {
+        candidate(0, 0, 0, microseconds(8)),
+        candidate(1, 0, 1, microseconds(8)),
+        candidate(2, 0, 2, microseconds(8)),
+    };
+    int grants[3] = {};
+    for (int i = 0; i < 300; ++i)
+        ++grants[candidates[wrr.pick(candidates)].slot];
+    EXPECT_NEAR(grants[0], 100, 5);
+    EXPECT_NEAR(grants[1], 100, 5);
+    EXPECT_NEAR(grants[2], 100, 5);
+}
+
+TEST(WeightedRoundRobin, AllBestEffortStillProgresses)
+{
+    WeightedRoundRobinScheduler wrr;
+    const std::vector<Candidate> candidates = {
+        candidate(0, 0, 0, kBestEffortVtick),
+        candidate(1, 0, 1, kBestEffortVtick),
+    };
+    int grants[2] = {};
+    for (int i = 0; i < 100; ++i)
+        ++grants[candidates[wrr.pick(candidates)].slot];
+    EXPECT_GT(grants[0], 20);
+    EXPECT_GT(grants[1], 20);
+}
+
+// --- Factory -------------------------------------------------------------------
+
+TEST(SchedulerFactory, MakesEveryKind)
+{
+    for (auto kind :
+         {SchedulerKind::Fifo, SchedulerKind::RoundRobin,
+          SchedulerKind::VirtualClock,
+          SchedulerKind::WeightedRoundRobin}) {
+        auto scheduler = makeScheduler(kind);
+        ASSERT_NE(scheduler, nullptr);
+        EXPECT_STREQ(scheduler->name(), toString(kind));
+    }
+}
+
+// --- Parameterized properties over all disciplines --------------------------------
+
+class AllSchedulers : public testing::TestWithParam<SchedulerKind>
+{
+};
+
+TEST_P(AllSchedulers, PickIsAlwaysInRange)
+{
+    auto scheduler = makeScheduler(GetParam());
+    Rng rng(2024);
+    for (int round = 0; round < 500; ++round) {
+        const std::size_t n = 1 + rng.uniformInt(16);
+        std::vector<Candidate> candidates;
+        for (std::size_t i = 0; i < n; ++i) {
+            candidates.push_back(candidate(
+                static_cast<int>(rng.uniformInt(32)),
+                static_cast<Tick>(rng.uniformInt(1000)), rng.next(),
+                microseconds(1 + rng.uniformInt(20))));
+        }
+        const std::size_t pick = scheduler->pick(candidates);
+        ASSERT_LT(pick, candidates.size());
+    }
+}
+
+TEST_P(AllSchedulers, SingleCandidateAlwaysWins)
+{
+    auto scheduler = makeScheduler(GetParam());
+    const std::vector<Candidate> one = {candidate(5, 123, 9)};
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(scheduler->pick(one), 0u);
+}
+
+TEST_P(AllSchedulers, DeterministicGivenSameHistory)
+{
+    auto a = makeScheduler(GetParam());
+    auto b = makeScheduler(GetParam());
+    Rng rng(7);
+    for (int round = 0; round < 200; ++round) {
+        const std::size_t n = 1 + rng.uniformInt(8);
+        std::vector<Candidate> candidates;
+        for (std::size_t i = 0; i < n; ++i) {
+            candidates.push_back(candidate(
+                static_cast<int>(i),
+                static_cast<Tick>(rng.uniformInt(1000)), rng.next(),
+                microseconds(1 + rng.uniformInt(20))));
+        }
+        ASSERT_EQ(a->pick(candidates), b->pick(candidates));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Disciplines, AllSchedulers,
+    testing::Values(SchedulerKind::Fifo, SchedulerKind::RoundRobin,
+                    SchedulerKind::VirtualClock,
+                    SchedulerKind::WeightedRoundRobin),
+    [](const testing::TestParamInfo<SchedulerKind>& info) {
+        std::string name = toString(info.param);
+        for (char& c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation kernel.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+
+namespace {
+
+using namespace mediaworm::sim;
+
+TEST(Simulator, StartsAtTimeZero)
+{
+    Simulator simulator;
+    EXPECT_EQ(simulator.now(), 0);
+    EXPECT_EQ(simulator.eventsFired(), 0u);
+    EXPECT_FALSE(simulator.step());
+}
+
+TEST(Simulator, AdvancesClockToEventTimes)
+{
+    Simulator simulator;
+    std::vector<Tick> seen;
+    CallbackEvent a([&] { seen.push_back(simulator.now()); });
+    CallbackEvent b([&] { seen.push_back(simulator.now()); });
+    simulator.schedule(a, 500);
+    simulator.schedule(b, 100);
+    simulator.runToCompletion();
+    EXPECT_EQ(seen, (std::vector<Tick>{100, 500}));
+    EXPECT_EQ(simulator.now(), 500);
+    EXPECT_EQ(simulator.eventsFired(), 2u);
+}
+
+TEST(Simulator, RunStopsAtDeadlineInclusive)
+{
+    Simulator simulator;
+    int fired = 0;
+    CallbackEvent at_deadline([&] { ++fired; });
+    CallbackEvent after_deadline([&] { ++fired; });
+    simulator.schedule(at_deadline, 100);
+    simulator.schedule(after_deadline, 101);
+
+    simulator.run(100);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(simulator.now(), 100);
+
+    simulator.run(200);
+    EXPECT_EQ(fired, 2);
+    // Clock advances to the deadline even with no events left.
+    EXPECT_EQ(simulator.now(), 200);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative)
+{
+    Simulator simulator;
+    Tick fired_at = -1;
+    CallbackEvent first([&] { fired_at = simulator.now(); });
+    simulator.scheduleAfter(first, 70);
+    simulator.runToCompletion();
+    EXPECT_EQ(fired_at, 70);
+}
+
+TEST(Simulator, EventsCanScheduleEvents)
+{
+    Simulator simulator;
+    std::vector<Tick> ticks;
+    CallbackEvent repeating;
+    repeating.setCallback([&] {
+        ticks.push_back(simulator.now());
+        if (ticks.size() < 5)
+            simulator.scheduleAfter(repeating, 10);
+    });
+    simulator.schedule(repeating, 10);
+    simulator.runToCompletion();
+    EXPECT_EQ(ticks, (std::vector<Tick>{10, 20, 30, 40, 50}));
+}
+
+TEST(Simulator, DescheduleCancelsPendingEvent)
+{
+    Simulator simulator;
+    bool fired = false;
+    CallbackEvent event([&] { fired = true; });
+    simulator.schedule(event, 10);
+    simulator.deschedule(event);
+    simulator.runToCompletion();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, RescheduleFromInsideEvent)
+{
+    Simulator simulator;
+    int count = 0;
+    CallbackEvent target([&] { ++count; });
+    CallbackEvent mover([&] { simulator.reschedule(target, 90); });
+    simulator.schedule(target, 50);
+    simulator.schedule(mover, 40);
+    simulator.run(60);
+    EXPECT_EQ(count, 0) << "event should have moved past the deadline";
+    simulator.run(100);
+    EXPECT_EQ(count, 1);
+}
+
+TEST(Simulator, SeedControlsRngStream)
+{
+    Simulator a(7);
+    Simulator b(7);
+    Simulator c(8);
+    const auto x = a.rng().next();
+    EXPECT_EQ(x, b.rng().next());
+    EXPECT_NE(x, c.rng().next());
+}
+
+TEST(Simulator, ZeroDelaySelfScheduleFiresSameTime)
+{
+    Simulator simulator;
+    int fired = 0;
+    CallbackEvent chain;
+    chain.setCallback([&] {
+        if (++fired < 3)
+            simulator.scheduleAfter(chain, 0);
+    });
+    simulator.schedule(chain, 5);
+    simulator.runToCompletion();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(simulator.now(), 5);
+}
+
+} // namespace

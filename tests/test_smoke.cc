@@ -1,0 +1,51 @@
+/**
+ * @file
+ * End-to-end smoke tests: a small single-switch experiment runs to
+ * completion and delivers jitter-free traffic at low load.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mediaworm.hh"
+
+namespace {
+
+using namespace mediaworm;
+
+TEST(Smoke, LowLoadSingleSwitchIsJitterFree)
+{
+    core::ExperimentConfig cfg;
+    cfg.traffic.inputLoad = 0.4;
+    cfg.traffic.realTimeFraction = 0.8;
+    cfg.traffic.warmupFrames = 1;
+    cfg.traffic.measuredFrames = 4;
+    cfg.timeScale = 0.05;
+
+    const core::ExperimentResult result = core::runExperiment(cfg);
+
+    EXPECT_FALSE(result.truncated);
+    EXPECT_GT(result.intervalSamples, 100u);
+    // Jitter-free: d equals the (normalised) 33 ms frame interval.
+    EXPECT_NEAR(result.meanIntervalNormMs, 33.0, 1.0);
+    EXPECT_LT(result.stddevIntervalNormMs, 2.0);
+    EXPECT_GT(result.beMessages, 0u);
+}
+
+TEST(Smoke, DeterministicAcrossRuns)
+{
+    core::ExperimentConfig cfg;
+    cfg.traffic.inputLoad = 0.5;
+    cfg.traffic.warmupFrames = 1;
+    cfg.traffic.measuredFrames = 2;
+    cfg.timeScale = 0.05;
+    cfg.seed = 42;
+
+    const auto a = core::runExperiment(cfg);
+    const auto b = core::runExperiment(cfg);
+    EXPECT_EQ(a.eventsFired, b.eventsFired);
+    EXPECT_DOUBLE_EQ(a.meanIntervalMs, b.meanIntervalMs);
+    EXPECT_DOUBLE_EQ(a.stddevIntervalMs, b.stddevIntervalMs);
+    EXPECT_DOUBLE_EQ(a.beLatencyUs, b.beLatencyUs);
+}
+
+} // namespace

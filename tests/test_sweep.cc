@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the parameter-sweep runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sweep.hh"
+
+namespace {
+
+using namespace mediaworm;
+using namespace mediaworm::core;
+
+ExperimentConfig
+tinyBase()
+{
+    ExperimentConfig cfg;
+    cfg.traffic.warmupFrames = 0;
+    cfg.traffic.measuredFrames = 2;
+    cfg.timeScale = 0.02;
+    return cfg;
+}
+
+TEST(Sweep, RunsEveryPointInOrder)
+{
+    Sweep sweep(tinyBase());
+    sweep.addPoint("low", [](ExperimentConfig& cfg) {
+        cfg.traffic.inputLoad = 0.3;
+    });
+    sweep.addPoint("high", [](ExperimentConfig& cfg) {
+        cfg.traffic.inputLoad = 0.6;
+    });
+    EXPECT_EQ(sweep.size(), 2u);
+
+    const auto& rows = sweep.run();
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].label, "low");
+    EXPECT_EQ(rows[1].label, "high");
+    EXPECT_LT(rows[0].result.rtStreams, rows[1].result.rtStreams);
+}
+
+TEST(Sweep, LoadAxisLabelsAndApplies)
+{
+    Sweep sweep(tinyBase());
+    sweep.addLoadAxis({0.3, 0.5});
+    const auto& rows = sweep.run();
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].label, "load=0.30");
+    EXPECT_EQ(rows[1].label, "load=0.50");
+}
+
+TEST(Sweep, LoadAxisComposesWithModifier)
+{
+    Sweep sweep(tinyBase());
+    sweep.addLoadAxis({0.4}, [](ExperimentConfig& cfg) {
+        cfg.traffic.realTimeFraction = 1.0;
+    });
+    const auto& rows = sweep.run();
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].result.beMessages, 0u)
+        << "modifier did not apply on top of the load axis";
+}
+
+TEST(Sweep, ProgressCallbackFiresPerPoint)
+{
+    Sweep sweep(tinyBase());
+    sweep.addLoadAxis({0.3, 0.4, 0.5});
+    int calls = 0;
+    sweep.run([&](const std::string& label,
+                  const ExperimentResult& result) {
+        ++calls;
+        EXPECT_FALSE(label.empty());
+        EXPECT_GT(result.framesDelivered, 0u);
+    });
+    EXPECT_EQ(calls, 3);
+}
+
+TEST(Sweep, TableAndCsvRenderRows)
+{
+    Sweep sweep(tinyBase());
+    sweep.addLoadAxis({0.3});
+    sweep.run();
+
+    const Table table = sweep.toTable();
+    EXPECT_EQ(table.rows(), 1u);
+    const std::string text = table.toString();
+    EXPECT_NE(text.find("load=0.30"), std::string::npos);
+    EXPECT_NE(text.find("sigma_d"), std::string::npos);
+
+    const std::string csv = sweep.toCsv();
+    EXPECT_NE(csv.find("point,d (ms)"), std::string::npos);
+    EXPECT_NE(csv.find("load=0.30,"), std::string::npos);
+}
+
+TEST(Sweep, RerunReplacesRows)
+{
+    Sweep sweep(tinyBase());
+    sweep.addLoadAxis({0.3});
+    sweep.run();
+    const auto first = sweep.rows()[0].result.eventsFired;
+    sweep.run();
+    EXPECT_EQ(sweep.rows().size(), 1u);
+    EXPECT_EQ(sweep.rows()[0].result.eventsFired, first)
+        << "sweeps must be deterministic";
+}
+
+} // namespace

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Unit tests for the text-table report builder.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/table.hh"
+
+namespace {
+
+using mediaworm::core::Table;
+
+TEST(Table, AlignsColumns)
+{
+    Table table({"load", "d (ms)"});
+    table.addRow({"0.8", "33.00"});
+    table.addRow({"0.96", "41.23"});
+    const std::string text = table.toString();
+
+    // Every line has the same width.
+    std::size_t line_start = 0;
+    std::vector<std::string> lines;
+    for (std::size_t i = 0; i <= text.size(); ++i) {
+        if (i == text.size() || text[i] == '\n') {
+            lines.push_back(text.substr(line_start, i - line_start));
+            line_start = i + 1;
+        }
+    }
+    ASSERT_GE(lines.size(), 4u);
+    EXPECT_EQ(lines[0].size(), lines[2].size());
+    EXPECT_EQ(lines[2].size(), lines[3].size());
+}
+
+TEST(Table, CountsRows)
+{
+    Table table({"a"});
+    EXPECT_EQ(table.rows(), 0u);
+    table.addRow({"1"});
+    table.addRow({"2"});
+    EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Table, CsvUsesCommas)
+{
+    Table table({"load", "d"});
+    table.addRow({"0.8", "33"});
+    EXPECT_EQ(table.toCsv(), "load,d\n0.8,33\n");
+}
+
+TEST(Table, NumFormatsDoubles)
+{
+    EXPECT_EQ(Table::num(33.0, 2), "33.00");
+    EXPECT_EQ(Table::num(0.1234, 3), "0.123");
+    EXPECT_EQ(Table::num(-1.5, 1), "-1.5");
+}
+
+TEST(Table, NumFormatsIntegers)
+{
+    EXPECT_EQ(Table::num(static_cast<std::int64_t>(42)), "42");
+    EXPECT_EQ(Table::num(static_cast<std::int64_t>(-7)), "-7");
+}
+
+TEST(Table, HeaderRendersInFirstLine)
+{
+    Table table({"alpha", "beta"});
+    const std::string text = table.toString();
+    EXPECT_LT(text.find("alpha"), text.find('\n'));
+    EXPECT_LT(text.find("beta"), text.find('\n'));
+}
+
+} // namespace

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Unit tests for the simulated time base.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/time.hh"
+
+namespace {
+
+using namespace mediaworm::sim;
+
+TEST(Time, UnitConstantsCompose)
+{
+    EXPECT_EQ(kNanosecond, 1000 * kPicosecond);
+    EXPECT_EQ(kMicrosecond, 1000 * kNanosecond);
+    EXPECT_EQ(kMillisecond, 1000 * kMicrosecond);
+    EXPECT_EQ(kSecond, 1000 * kMillisecond);
+}
+
+TEST(Time, BuildersScale)
+{
+    EXPECT_EQ(picoseconds(7), 7);
+    EXPECT_EQ(nanoseconds(3), 3000);
+    EXPECT_EQ(microseconds(2), 2000000);
+    EXPECT_EQ(milliseconds(33), 33 * kMillisecond);
+    EXPECT_EQ(seconds(1), kSecond);
+}
+
+TEST(Time, ConversionsRoundTrip)
+{
+    EXPECT_DOUBLE_EQ(toNanoseconds(nanoseconds(80)), 80.0);
+    EXPECT_DOUBLE_EQ(toMicroseconds(microseconds(165)), 165.0);
+    EXPECT_DOUBLE_EQ(toMilliseconds(milliseconds(33)), 33.0);
+    EXPECT_DOUBLE_EQ(toSeconds(seconds(2)), 2.0);
+}
+
+TEST(Time, ConversionsHandleFractions)
+{
+    EXPECT_DOUBLE_EQ(toMilliseconds(kMillisecond / 2), 0.5);
+    EXPECT_DOUBLE_EQ(toMicroseconds(kMicrosecond / 4), 0.25);
+}
+
+TEST(Time, SerializationTimeMatchesPaperNumbers)
+{
+    // A 32-bit flit on a 400 Mbps link takes 80 ns.
+    EXPECT_EQ(serializationTime(32, 400), nanoseconds(80));
+    // On a 100 Mbps link it takes 320 ns.
+    EXPECT_EQ(serializationTime(32, 100), nanoseconds(320));
+    // A 16,666-byte MPEG-2 frame at 400 Mbps takes ~333 us.
+    const Tick frame = serializationTime(16666 * 8, 400);
+    EXPECT_NEAR(toMicroseconds(frame), 333.3, 0.2);
+}
+
+TEST(Time, SerializationTimeIsLinearInBits)
+{
+    EXPECT_EQ(serializationTime(64, 400), 2 * serializationTime(32, 400));
+    EXPECT_EQ(serializationTime(32, 200), 2 * serializationTime(32, 400));
+}
+
+TEST(Time, FormatPicksAdaptiveUnit)
+{
+    EXPECT_EQ(formatTime(kTickNever), "never");
+    EXPECT_EQ(formatTime(500), "500ps");
+    EXPECT_EQ(formatTime(nanoseconds(80)), "80.000ns");
+    EXPECT_EQ(formatTime(microseconds(165)), "165.000us");
+    EXPECT_EQ(formatTime(milliseconds(33)), "33.000ms");
+    EXPECT_EQ(formatTime(seconds(2)), "2.000s");
+}
+
+TEST(Time, FormatHandlesNegative)
+{
+    EXPECT_EQ(formatTime(-nanoseconds(80) * 1000), "-80.000us");
+}
+
+} // namespace

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the Virtual Clock state machine (Section 3.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "router/virtual_clock.hh"
+
+namespace {
+
+using namespace mediaworm::router;
+using namespace mediaworm::sim;
+
+TEST(VirtualClock, StampsAdvanceByVtick)
+{
+    VirtualClockState state;
+    state.beginMessage(microseconds(8));
+    // Backlogged arrivals at the same instant space out by Vtick.
+    EXPECT_EQ(state.tick(microseconds(100)), microseconds(108));
+    EXPECT_EQ(state.tick(microseconds(100)), microseconds(116));
+    EXPECT_EQ(state.tick(microseconds(100)), microseconds(124));
+}
+
+TEST(VirtualClock, IdleConnectionResyncsToWallClock)
+{
+    VirtualClockState state;
+    state.beginMessage(microseconds(8));
+    state.tick(microseconds(100)); // auxVC = 108
+    // Arrival long after the clock caught up: max(Clock, auxVC)
+    // resets the base to the wall clock (no credit accumulation).
+    EXPECT_EQ(state.tick(microseconds(500)), microseconds(508));
+}
+
+TEST(VirtualClock, FasterStreamsGetEarlierStamps)
+{
+    VirtualClockState fast;
+    VirtualClockState slow;
+    fast.beginMessage(microseconds(4));
+    slow.beginMessage(microseconds(16));
+    const Tick now = milliseconds(1);
+    EXPECT_LT(fast.tick(now), slow.tick(now));
+}
+
+TEST(VirtualClock, BeginMessageResetsAux)
+{
+    VirtualClockState state;
+    state.beginMessage(microseconds(8));
+    state.tick(microseconds(100));
+    state.tick(microseconds(100));
+    // New message: aux restarts from the wall clock.
+    state.beginMessage(microseconds(8));
+    EXPECT_EQ(state.tick(microseconds(100)), microseconds(108));
+}
+
+TEST(VirtualClock, EndMessageDiscardsState)
+{
+    VirtualClockState state;
+    state.beginMessage(microseconds(8));
+    state.tick(microseconds(100));
+    state.endMessage();
+    EXPECT_EQ(state.vtick(), kBestEffortVtick);
+    EXPECT_EQ(state.auxVc(), 0);
+}
+
+TEST(VirtualClock, BestEffortSaturatesWithoutOverflow)
+{
+    VirtualClockState state;
+    state.beginMessage(kBestEffortVtick);
+    for (int i = 0; i < 100; ++i) {
+        const Tick stamp = state.tick(seconds(1));
+        EXPECT_EQ(stamp, kBestEffortVtick) << "iteration " << i;
+        EXPECT_GT(stamp, 0);
+    }
+}
+
+TEST(VirtualClock, BestEffortAlwaysLosesToRealTime)
+{
+    VirtualClockState best_effort;
+    VirtualClockState real_time;
+    best_effort.beginMessage(kBestEffortVtick);
+    real_time.beginMessage(microseconds(8));
+    // Even a heavily backlogged RT connection outranks best effort.
+    Tick rt_stamp = 0;
+    for (int i = 0; i < 100000; ++i)
+        rt_stamp = real_time.tick(0);
+    EXPECT_LT(rt_stamp, best_effort.tick(0));
+}
+
+TEST(VirtualClock, DefaultStateIsBestEffort)
+{
+    VirtualClockState state;
+    EXPECT_EQ(state.vtick(), kBestEffortVtick);
+    EXPECT_EQ(state.tick(100), kBestEffortVtick);
+}
+
+} // namespace
