@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fatlink.dir/ablation_fatlink.cc.o"
+  "CMakeFiles/ablation_fatlink.dir/ablation_fatlink.cc.o.d"
+  "ablation_fatlink"
+  "ablation_fatlink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fatlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

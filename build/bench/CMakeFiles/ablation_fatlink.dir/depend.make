@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_fatlink.
+# This may be replaced when dependencies are built.

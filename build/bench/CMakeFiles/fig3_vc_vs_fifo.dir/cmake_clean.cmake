@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_vc_vs_fifo.dir/fig3_vc_vs_fifo.cc.o"
+  "CMakeFiles/fig3_vc_vs_fifo.dir/fig3_vc_vs_fifo.cc.o.d"
+  "fig3_vc_vs_fifo"
+  "fig3_vc_vs_fifo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_vc_vs_fifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

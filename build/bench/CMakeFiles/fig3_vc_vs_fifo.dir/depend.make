@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_vc_vs_fifo.
+# This may be replaced when dependencies are built.

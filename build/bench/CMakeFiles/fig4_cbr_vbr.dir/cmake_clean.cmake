@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cbr_vbr.dir/fig4_cbr_vbr.cc.o"
+  "CMakeFiles/fig4_cbr_vbr.dir/fig4_cbr_vbr.cc.o.d"
+  "fig4_cbr_vbr"
+  "fig4_cbr_vbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cbr_vbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

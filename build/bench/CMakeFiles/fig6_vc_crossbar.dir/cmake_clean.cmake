@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_vc_crossbar.dir/fig6_vc_crossbar.cc.o"
+  "CMakeFiles/fig6_vc_crossbar.dir/fig6_vc_crossbar.cc.o.d"
+  "fig6_vc_crossbar"
+  "fig6_vc_crossbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_vc_crossbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_message_size.dir/fig7_message_size.cc.o"
+  "CMakeFiles/fig7_message_size.dir/fig7_message_size.cc.o.d"
+  "fig7_message_size"
+  "fig7_message_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_message_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

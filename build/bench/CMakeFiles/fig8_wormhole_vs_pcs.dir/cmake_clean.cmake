@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_wormhole_vs_pcs.dir/fig8_wormhole_vs_pcs.cc.o"
+  "CMakeFiles/fig8_wormhole_vs_pcs.dir/fig8_wormhole_vs_pcs.cc.o.d"
+  "fig8_wormhole_vs_pcs"
+  "fig8_wormhole_vs_pcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_wormhole_vs_pcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

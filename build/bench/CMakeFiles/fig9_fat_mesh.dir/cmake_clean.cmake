@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_fat_mesh.dir/fig9_fat_mesh.cc.o"
+  "CMakeFiles/fig9_fat_mesh.dir/fig9_fat_mesh.cc.o.d"
+  "fig9_fat_mesh"
+  "fig9_fat_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_fat_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

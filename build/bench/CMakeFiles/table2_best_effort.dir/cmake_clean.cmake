@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_best_effort.dir/table2_best_effort.cc.o"
+  "CMakeFiles/table2_best_effort.dir/table2_best_effort.cc.o.d"
+  "table2_best_effort"
+  "table2_best_effort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_best_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

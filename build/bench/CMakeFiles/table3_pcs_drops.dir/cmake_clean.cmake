@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_pcs_drops.dir/table3_pcs_drops.cc.o"
+  "CMakeFiles/table3_pcs_drops.dir/table3_pcs_drops.cc.o.d"
+  "table3_pcs_drops"
+  "table3_pcs_drops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_pcs_drops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

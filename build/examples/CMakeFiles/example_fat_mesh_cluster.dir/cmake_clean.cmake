@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fat_mesh_cluster.dir/fat_mesh_cluster.cpp.o"
+  "CMakeFiles/example_fat_mesh_cluster.dir/fat_mesh_cluster.cpp.o.d"
+  "example_fat_mesh_cluster"
+  "example_fat_mesh_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fat_mesh_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

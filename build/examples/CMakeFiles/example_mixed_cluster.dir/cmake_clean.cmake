@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mixed_cluster.dir/mixed_cluster.cpp.o"
+  "CMakeFiles/example_mixed_cluster.dir/mixed_cluster.cpp.o.d"
+  "example_mixed_cluster"
+  "example_mixed_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mixed_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

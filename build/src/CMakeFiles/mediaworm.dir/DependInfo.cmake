@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/network_config.cc" "src/CMakeFiles/mediaworm.dir/config/network_config.cc.o" "gcc" "src/CMakeFiles/mediaworm.dir/config/network_config.cc.o.d"
+  "/root/repo/src/config/options.cc" "src/CMakeFiles/mediaworm.dir/config/options.cc.o" "gcc" "src/CMakeFiles/mediaworm.dir/config/options.cc.o.d"
+  "/root/repo/src/config/router_config.cc" "src/CMakeFiles/mediaworm.dir/config/router_config.cc.o" "gcc" "src/CMakeFiles/mediaworm.dir/config/router_config.cc.o.d"
+  "/root/repo/src/config/traffic_config.cc" "src/CMakeFiles/mediaworm.dir/config/traffic_config.cc.o" "gcc" "src/CMakeFiles/mediaworm.dir/config/traffic_config.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/mediaworm.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/mediaworm.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/sweep.cc" "src/CMakeFiles/mediaworm.dir/core/sweep.cc.o" "gcc" "src/CMakeFiles/mediaworm.dir/core/sweep.cc.o.d"
+  "/root/repo/src/core/table.cc" "src/CMakeFiles/mediaworm.dir/core/table.cc.o" "gcc" "src/CMakeFiles/mediaworm.dir/core/table.cc.o.d"
+  "/root/repo/src/network/network.cc" "src/CMakeFiles/mediaworm.dir/network/network.cc.o" "gcc" "src/CMakeFiles/mediaworm.dir/network/network.cc.o.d"
+  "/root/repo/src/network/network_interface.cc" "src/CMakeFiles/mediaworm.dir/network/network_interface.cc.o" "gcc" "src/CMakeFiles/mediaworm.dir/network/network_interface.cc.o.d"
+  "/root/repo/src/pcs/connection_table.cc" "src/CMakeFiles/mediaworm.dir/pcs/connection_table.cc.o" "gcc" "src/CMakeFiles/mediaworm.dir/pcs/connection_table.cc.o.d"
+  "/root/repo/src/pcs/pcs_config.cc" "src/CMakeFiles/mediaworm.dir/pcs/pcs_config.cc.o" "gcc" "src/CMakeFiles/mediaworm.dir/pcs/pcs_config.cc.o.d"
+  "/root/repo/src/pcs/pcs_experiment.cc" "src/CMakeFiles/mediaworm.dir/pcs/pcs_experiment.cc.o" "gcc" "src/CMakeFiles/mediaworm.dir/pcs/pcs_experiment.cc.o.d"
+  "/root/repo/src/pcs/pcs_network.cc" "src/CMakeFiles/mediaworm.dir/pcs/pcs_network.cc.o" "gcc" "src/CMakeFiles/mediaworm.dir/pcs/pcs_network.cc.o.d"
+  "/root/repo/src/router/flit.cc" "src/CMakeFiles/mediaworm.dir/router/flit.cc.o" "gcc" "src/CMakeFiles/mediaworm.dir/router/flit.cc.o.d"
+  "/root/repo/src/router/link.cc" "src/CMakeFiles/mediaworm.dir/router/link.cc.o" "gcc" "src/CMakeFiles/mediaworm.dir/router/link.cc.o.d"
+  "/root/repo/src/router/scheduler.cc" "src/CMakeFiles/mediaworm.dir/router/scheduler.cc.o" "gcc" "src/CMakeFiles/mediaworm.dir/router/scheduler.cc.o.d"
+  "/root/repo/src/router/wormhole_router.cc" "src/CMakeFiles/mediaworm.dir/router/wormhole_router.cc.o" "gcc" "src/CMakeFiles/mediaworm.dir/router/wormhole_router.cc.o.d"
+  "/root/repo/src/sim/distributions.cc" "src/CMakeFiles/mediaworm.dir/sim/distributions.cc.o" "gcc" "src/CMakeFiles/mediaworm.dir/sim/distributions.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/mediaworm.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/mediaworm.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/mediaworm.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/mediaworm.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/random.cc" "src/CMakeFiles/mediaworm.dir/sim/random.cc.o" "gcc" "src/CMakeFiles/mediaworm.dir/sim/random.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/mediaworm.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/mediaworm.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sim/time.cc" "src/CMakeFiles/mediaworm.dir/sim/time.cc.o" "gcc" "src/CMakeFiles/mediaworm.dir/sim/time.cc.o.d"
+  "/root/repo/src/sim/tracer.cc" "src/CMakeFiles/mediaworm.dir/sim/tracer.cc.o" "gcc" "src/CMakeFiles/mediaworm.dir/sim/tracer.cc.o.d"
+  "/root/repo/src/stats/accumulator.cc" "src/CMakeFiles/mediaworm.dir/stats/accumulator.cc.o" "gcc" "src/CMakeFiles/mediaworm.dir/stats/accumulator.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/mediaworm.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/mediaworm.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/interval_tracker.cc" "src/CMakeFiles/mediaworm.dir/stats/interval_tracker.cc.o" "gcc" "src/CMakeFiles/mediaworm.dir/stats/interval_tracker.cc.o.d"
+  "/root/repo/src/stats/registry.cc" "src/CMakeFiles/mediaworm.dir/stats/registry.cc.o" "gcc" "src/CMakeFiles/mediaworm.dir/stats/registry.cc.o.d"
+  "/root/repo/src/traffic/admission.cc" "src/CMakeFiles/mediaworm.dir/traffic/admission.cc.o" "gcc" "src/CMakeFiles/mediaworm.dir/traffic/admission.cc.o.d"
+  "/root/repo/src/traffic/best_effort_source.cc" "src/CMakeFiles/mediaworm.dir/traffic/best_effort_source.cc.o" "gcc" "src/CMakeFiles/mediaworm.dir/traffic/best_effort_source.cc.o.d"
+  "/root/repo/src/traffic/frame_source.cc" "src/CMakeFiles/mediaworm.dir/traffic/frame_source.cc.o" "gcc" "src/CMakeFiles/mediaworm.dir/traffic/frame_source.cc.o.d"
+  "/root/repo/src/traffic/traffic_mix.cc" "src/CMakeFiles/mediaworm.dir/traffic/traffic_mix.cc.o" "gcc" "src/CMakeFiles/mediaworm.dir/traffic/traffic_mix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

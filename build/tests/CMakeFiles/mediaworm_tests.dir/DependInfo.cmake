@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_admission.cc" "tests/CMakeFiles/mediaworm_tests.dir/test_admission.cc.o" "gcc" "tests/CMakeFiles/mediaworm_tests.dir/test_admission.cc.o.d"
+  "/root/repo/tests/test_best_effort_source.cc" "tests/CMakeFiles/mediaworm_tests.dir/test_best_effort_source.cc.o" "gcc" "tests/CMakeFiles/mediaworm_tests.dir/test_best_effort_source.cc.o.d"
+  "/root/repo/tests/test_configs.cc" "tests/CMakeFiles/mediaworm_tests.dir/test_configs.cc.o" "gcc" "tests/CMakeFiles/mediaworm_tests.dir/test_configs.cc.o.d"
+  "/root/repo/tests/test_distributions.cc" "tests/CMakeFiles/mediaworm_tests.dir/test_distributions.cc.o" "gcc" "tests/CMakeFiles/mediaworm_tests.dir/test_distributions.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/mediaworm_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/mediaworm_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_experiment.cc" "tests/CMakeFiles/mediaworm_tests.dir/test_experiment.cc.o" "gcc" "tests/CMakeFiles/mediaworm_tests.dir/test_experiment.cc.o.d"
+  "/root/repo/tests/test_flit_buffer.cc" "tests/CMakeFiles/mediaworm_tests.dir/test_flit_buffer.cc.o" "gcc" "tests/CMakeFiles/mediaworm_tests.dir/test_flit_buffer.cc.o.d"
+  "/root/repo/tests/test_frame_source.cc" "tests/CMakeFiles/mediaworm_tests.dir/test_frame_source.cc.o" "gcc" "tests/CMakeFiles/mediaworm_tests.dir/test_frame_source.cc.o.d"
+  "/root/repo/tests/test_fuzz.cc" "tests/CMakeFiles/mediaworm_tests.dir/test_fuzz.cc.o" "gcc" "tests/CMakeFiles/mediaworm_tests.dir/test_fuzz.cc.o.d"
+  "/root/repo/tests/test_ids.cc" "tests/CMakeFiles/mediaworm_tests.dir/test_ids.cc.o" "gcc" "tests/CMakeFiles/mediaworm_tests.dir/test_ids.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/mediaworm_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/mediaworm_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_link.cc" "tests/CMakeFiles/mediaworm_tests.dir/test_link.cc.o" "gcc" "tests/CMakeFiles/mediaworm_tests.dir/test_link.cc.o.d"
+  "/root/repo/tests/test_network.cc" "tests/CMakeFiles/mediaworm_tests.dir/test_network.cc.o" "gcc" "tests/CMakeFiles/mediaworm_tests.dir/test_network.cc.o.d"
+  "/root/repo/tests/test_network_interface.cc" "tests/CMakeFiles/mediaworm_tests.dir/test_network_interface.cc.o" "gcc" "tests/CMakeFiles/mediaworm_tests.dir/test_network_interface.cc.o.d"
+  "/root/repo/tests/test_options.cc" "tests/CMakeFiles/mediaworm_tests.dir/test_options.cc.o" "gcc" "tests/CMakeFiles/mediaworm_tests.dir/test_options.cc.o.d"
+  "/root/repo/tests/test_pcs.cc" "tests/CMakeFiles/mediaworm_tests.dir/test_pcs.cc.o" "gcc" "tests/CMakeFiles/mediaworm_tests.dir/test_pcs.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/mediaworm_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/mediaworm_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_random.cc" "tests/CMakeFiles/mediaworm_tests.dir/test_random.cc.o" "gcc" "tests/CMakeFiles/mediaworm_tests.dir/test_random.cc.o.d"
+  "/root/repo/tests/test_router.cc" "tests/CMakeFiles/mediaworm_tests.dir/test_router.cc.o" "gcc" "tests/CMakeFiles/mediaworm_tests.dir/test_router.cc.o.d"
+  "/root/repo/tests/test_scheduler.cc" "tests/CMakeFiles/mediaworm_tests.dir/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/mediaworm_tests.dir/test_scheduler.cc.o.d"
+  "/root/repo/tests/test_simulator.cc" "tests/CMakeFiles/mediaworm_tests.dir/test_simulator.cc.o" "gcc" "tests/CMakeFiles/mediaworm_tests.dir/test_simulator.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/mediaworm_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/mediaworm_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/mediaworm_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/mediaworm_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_stats_wiring.cc" "tests/CMakeFiles/mediaworm_tests.dir/test_stats_wiring.cc.o" "gcc" "tests/CMakeFiles/mediaworm_tests.dir/test_stats_wiring.cc.o.d"
+  "/root/repo/tests/test_sweep.cc" "tests/CMakeFiles/mediaworm_tests.dir/test_sweep.cc.o" "gcc" "tests/CMakeFiles/mediaworm_tests.dir/test_sweep.cc.o.d"
+  "/root/repo/tests/test_table.cc" "tests/CMakeFiles/mediaworm_tests.dir/test_table.cc.o" "gcc" "tests/CMakeFiles/mediaworm_tests.dir/test_table.cc.o.d"
+  "/root/repo/tests/test_time.cc" "tests/CMakeFiles/mediaworm_tests.dir/test_time.cc.o" "gcc" "tests/CMakeFiles/mediaworm_tests.dir/test_time.cc.o.d"
+  "/root/repo/tests/test_tracer.cc" "tests/CMakeFiles/mediaworm_tests.dir/test_tracer.cc.o" "gcc" "tests/CMakeFiles/mediaworm_tests.dir/test_tracer.cc.o.d"
+  "/root/repo/tests/test_traffic_mix.cc" "tests/CMakeFiles/mediaworm_tests.dir/test_traffic_mix.cc.o" "gcc" "tests/CMakeFiles/mediaworm_tests.dir/test_traffic_mix.cc.o.d"
+  "/root/repo/tests/test_vct.cc" "tests/CMakeFiles/mediaworm_tests.dir/test_vct.cc.o" "gcc" "tests/CMakeFiles/mediaworm_tests.dir/test_vct.cc.o.d"
+  "/root/repo/tests/test_virtual_clock.cc" "tests/CMakeFiles/mediaworm_tests.dir/test_virtual_clock.cc.o" "gcc" "tests/CMakeFiles/mediaworm_tests.dir/test_virtual_clock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mediaworm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mediaworm_sim.dir/mediaworm_sim.cc.o"
+  "CMakeFiles/mediaworm_sim.dir/mediaworm_sim.cc.o.d"
+  "mediaworm_sim"
+  "mediaworm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mediaworm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
