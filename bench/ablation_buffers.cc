@@ -17,23 +17,37 @@ main()
     bench::banner("Ablation: buffer depth",
                   "Per-VC flit buffers at 80:20, Virtual Clock");
 
-    core::Table table({"load", "buffer (flits)", "d (ms)",
-                       "sigma_d (ms)", "BE total (us)"});
+    const double loads[] = {0.80, 0.96};
+    const int depths[] = {4, 8, 20, 64};
 
-    for (double load : {0.80, 0.96}) {
-        for (int depth : {4, 8, 20, 64}) {
+    campaign::Campaign camp(bench::campaignConfig());
+    for (double load : loads) {
+        for (int depth : depths) {
             core::ExperimentConfig cfg = bench::paperConfig();
             cfg.router.flitBufferDepth = depth;
             cfg.traffic.inputLoad = load;
             cfg.traffic.realTimeFraction = 0.8;
+            camp.addPoint(core::Table::num(load, 2) + "/"
+                              + std::to_string(depth) + "fl",
+                          cfg);
+        }
+    }
+    const auto& results =
+        bench::runCampaign("ablation_buffers", camp);
 
-            const core::ExperimentResult r = core::runExperiment(cfg);
-            table.addRow({core::Table::num(load, 2),
-                          core::Table::num(
-                              static_cast<std::int64_t>(depth)),
-                          core::Table::num(r.meanIntervalNormMs, 2),
-                          core::Table::num(r.stddevIntervalNormMs, 3),
-                          core::Table::num(r.beLatencyUs, 1)});
+    core::Table table({"load", "buffer (flits)", "d (ms)",
+                       "sigma_d (ms)", "BE total (us)"});
+    std::size_t i = 0;
+    for (double load : loads) {
+        for (int depth : depths) {
+            const campaign::PointSummary& r = results[i++];
+            table.addRow(
+                {core::Table::num(load, 2),
+                 core::Table::num(static_cast<std::int64_t>(depth)),
+                 core::Table::num(r.mean("mean_interval_norm_ms"), 2),
+                 core::Table::num(r.mean("stddev_interval_norm_ms"),
+                                  3),
+                 core::Table::num(r.mean("be_latency_us"), 1)});
         }
     }
 

@@ -16,24 +16,41 @@ main()
     bench::banner("Ablation: fat-link policy",
                   "2x2 fat-mesh at 80:20, Virtual Clock");
 
-    core::Table table({"load", "policy", "d (ms)", "sigma_d (ms)",
-                       "BE total (us)"});
+    const double loads[] = {0.70, 0.90};
+    const config::FatLinkPolicy policies[] = {
+        config::FatLinkPolicy::LeastLoaded,
+        config::FatLinkPolicy::Static,
+        config::FatLinkPolicy::Random,
+    };
 
-    for (double load : {0.70, 0.90}) {
-        for (auto policy : {config::FatLinkPolicy::LeastLoaded,
-                            config::FatLinkPolicy::Static,
-                            config::FatLinkPolicy::Random}) {
+    campaign::Campaign camp(bench::campaignConfig());
+    for (double load : loads) {
+        for (auto policy : policies) {
             core::ExperimentConfig cfg = bench::paperConfig();
             cfg.network.topology = config::TopologyKind::FatMesh;
             cfg.network.fatLinkPolicy = policy;
             cfg.traffic.inputLoad = load;
             cfg.traffic.realTimeFraction = 0.8;
+            camp.addPoint(core::Table::num(load, 2) + "/"
+                              + toString(policy),
+                          cfg);
+        }
+    }
+    const auto& results =
+        bench::runCampaign("ablation_fatlink", camp);
 
-            const core::ExperimentResult r = core::runExperiment(cfg);
-            table.addRow({core::Table::num(load, 2), toString(policy),
-                          core::Table::num(r.meanIntervalNormMs, 2),
-                          core::Table::num(r.stddevIntervalNormMs, 3),
-                          core::Table::num(r.beLatencyUs, 1)});
+    core::Table table({"load", "policy", "d (ms)", "sigma_d (ms)",
+                       "BE total (us)"});
+    std::size_t i = 0;
+    for (double load : loads) {
+        for (auto policy : policies) {
+            const campaign::PointSummary& r = results[i++];
+            table.addRow(
+                {core::Table::num(load, 2), toString(policy),
+                 core::Table::num(r.mean("mean_interval_norm_ms"), 2),
+                 core::Table::num(r.mean("stddev_interval_norm_ms"),
+                                  3),
+                 core::Table::num(r.mean("be_latency_us"), 1)});
         }
     }
 

@@ -20,22 +20,38 @@ main()
     bench::banner("Ablation: stream placement",
                   "Balanced (admission-controlled) vs uniform random");
 
-    core::Table table({"load", "placement", "d (ms)", "sigma_d (ms)"});
+    const double loads[] = {0.70, 0.80, 0.90, 0.96};
+    const config::StreamPlacement placements[] = {
+        config::StreamPlacement::Balanced,
+        config::StreamPlacement::UniformRandom,
+    };
 
-    for (double load : {0.70, 0.80, 0.90, 0.96}) {
-        for (auto placement :
-             {config::StreamPlacement::Balanced,
-              config::StreamPlacement::UniformRandom}) {
+    campaign::Campaign camp(bench::campaignConfig());
+    for (double load : loads) {
+        for (auto placement : placements) {
             core::ExperimentConfig cfg = bench::paperConfig();
             cfg.traffic.inputLoad = load;
             cfg.traffic.realTimeFraction = 0.8;
             cfg.traffic.streamPlacement = placement;
+            camp.addPoint(core::Table::num(load, 2) + "/"
+                              + config::toString(placement),
+                          cfg);
+        }
+    }
+    const auto& results =
+        bench::runCampaign("ablation_placement", camp);
 
-            const core::ExperimentResult r = core::runExperiment(cfg);
-            table.addRow({core::Table::num(load, 2),
-                          config::toString(placement),
-                          core::Table::num(r.meanIntervalNormMs, 2),
-                          core::Table::num(r.stddevIntervalNormMs, 3)});
+    core::Table table({"load", "placement", "d (ms)", "sigma_d (ms)"});
+    std::size_t i = 0;
+    for (double load : loads) {
+        for (auto placement : placements) {
+            const campaign::PointSummary& r = results[i++];
+            table.addRow(
+                {core::Table::num(load, 2),
+                 config::toString(placement),
+                 core::Table::num(r.mean("mean_interval_norm_ms"), 2),
+                 core::Table::num(r.mean("stddev_interval_norm_ms"),
+                                  3)});
         }
     }
 

@@ -18,25 +18,41 @@ main()
     bench::banner("Ablation: schedulers",
                   "Discipline sweep at the crossbar-input mux, 80:20");
 
-    core::Table table({"load", "scheduler", "d (ms)", "sigma_d (ms)",
-                       "BE total (us)"});
+    const double loads[] = {0.80, 0.90, 0.96, 1.00};
+    const config::SchedulerKind scheds[] = {
+        config::SchedulerKind::Fifo,
+        config::SchedulerKind::RoundRobin,
+        config::SchedulerKind::WeightedRoundRobin,
+        config::SchedulerKind::VirtualClock,
+    };
 
-    for (double load : {0.80, 0.90, 0.96, 1.00}) {
-        for (auto sched : {config::SchedulerKind::Fifo,
-                           config::SchedulerKind::RoundRobin,
-                           config::SchedulerKind::WeightedRoundRobin,
-                           config::SchedulerKind::VirtualClock}) {
+    campaign::Campaign camp(bench::campaignConfig());
+    for (double load : loads) {
+        for (auto sched : scheds) {
             core::ExperimentConfig cfg = bench::paperConfig();
             cfg.router.scheduler = sched;
             cfg.traffic.inputLoad = load;
             cfg.traffic.realTimeFraction = 0.8;
+            camp.addPoint(core::Table::num(load, 2) + "/"
+                              + config::toString(sched),
+                          cfg);
+        }
+    }
+    const auto& results =
+        bench::runCampaign("ablation_schedulers", camp);
 
-            const core::ExperimentResult r = core::runExperiment(cfg);
-            table.addRow({core::Table::num(load, 2),
-                          config::toString(sched),
-                          core::Table::num(r.meanIntervalNormMs, 2),
-                          core::Table::num(r.stddevIntervalNormMs, 3),
-                          core::Table::num(r.beLatencyUs, 1)});
+    core::Table table({"load", "scheduler", "d (ms)", "sigma_d (ms)",
+                       "BE total (us)"});
+    std::size_t i = 0;
+    for (double load : loads) {
+        for (auto sched : scheds) {
+            const campaign::PointSummary& r = results[i++];
+            table.addRow(
+                {core::Table::num(load, 2), config::toString(sched),
+                 core::Table::num(r.mean("mean_interval_norm_ms"), 2),
+                 core::Table::num(r.mean("stddev_interval_norm_ms"),
+                                  3),
+                 core::Table::num(r.mean("be_latency_us"), 1)});
         }
     }
 

@@ -20,30 +20,52 @@ main()
                   "Wormhole vs virtual cut-through, Virtual Clock, "
                   "80:20");
 
-    core::Table table({"topology", "load", "switching", "d (ms)",
-                       "sigma_d (ms)", "BE total (us)"});
+    const config::TopologyKind topologies[] = {
+        config::TopologyKind::SingleSwitch,
+        config::TopologyKind::FatMesh,
+    };
+    const double loads[] = {0.80, 0.96};
+    const config::SwitchingKind switchings[] = {
+        config::SwitchingKind::Wormhole,
+        config::SwitchingKind::VirtualCutThrough,
+    };
 
-    for (auto topology : {config::TopologyKind::SingleSwitch,
-                          config::TopologyKind::FatMesh}) {
-        for (double load : {0.80, 0.96}) {
-            for (auto switching :
-                 {config::SwitchingKind::Wormhole,
-                  config::SwitchingKind::VirtualCutThrough}) {
+    campaign::Campaign camp(bench::campaignConfig());
+    for (auto topology : topologies) {
+        for (double load : loads) {
+            for (auto switching : switchings) {
                 core::ExperimentConfig cfg = bench::paperConfig();
                 cfg.network.topology = topology;
                 cfg.router.switching = switching;
                 cfg.traffic.inputLoad = load;
                 cfg.traffic.realTimeFraction = 0.8;
+                camp.addPoint(std::string(config::toString(topology))
+                                  + "/" + core::Table::num(load, 2)
+                                  + "/"
+                                  + config::toString(switching),
+                              cfg);
+            }
+        }
+    }
+    const auto& results =
+        bench::runCampaign("ablation_switching", camp);
 
-                const core::ExperimentResult r =
-                    core::runExperiment(cfg);
+    core::Table table({"topology", "load", "switching", "d (ms)",
+                       "sigma_d (ms)", "BE total (us)"});
+    std::size_t i = 0;
+    for (auto topology : topologies) {
+        for (double load : loads) {
+            for (auto switching : switchings) {
+                const campaign::PointSummary& r = results[i++];
                 table.addRow(
                     {config::toString(topology),
                      core::Table::num(load, 2),
                      config::toString(switching),
-                     core::Table::num(r.meanIntervalNormMs, 2),
-                     core::Table::num(r.stddevIntervalNormMs, 3),
-                     core::Table::num(r.beLatencyUs, 1)});
+                     core::Table::num(r.mean("mean_interval_norm_ms"),
+                                      2),
+                     core::Table::num(
+                         r.mean("stddev_interval_norm_ms"), 3),
+                     core::Table::num(r.mean("be_latency_us"), 1)});
             }
         }
     }

@@ -2,11 +2,18 @@
  * @file
  * Shared scaffolding for the figure/table benchmark binaries.
  *
- * Every bench prints the paper rows it reproduces. Counts are sized
- * so each binary finishes in tens of seconds; set MW_BENCH_FRAMES to
- * raise the measured-frame count (more samples, slower) and
- * MW_BENCH_SCALE to change the time-scale compression (1.0 = the
- * paper's full MPEG-2 workload).
+ * Every bench builds a campaign of labelled experiment points and
+ * runs it through the parallel campaign engine (src/campaign/), so
+ * wall-clock time scales with cores rather than point count while
+ * results stay bit-identical to a sequential run. Environment knobs:
+ *
+ *   MW_BENCH_FRAMES    measured frames per stream (default 6)
+ *   MW_BENCH_SCALE     time-scale compression (default 0.1)
+ *   MW_BENCH_JOBS      worker threads (default: hardware threads)
+ *   MW_BENCH_REPS      seed replications per point (default 1)
+ *   MW_BENCH_JSON_DIR  if set, write a BENCH_<name>.json campaign
+ *                      artifact (schema mediaworm-campaign-v1,
+ *                      timing section included) into this directory
  */
 
 #ifndef MEDIAWORM_BENCH_COMMON_HH
@@ -14,18 +21,27 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "core/mediaworm.hh"
 
 namespace bench {
 
+/** Integer environment knob with a default. */
+inline int
+envInt(const char* name, int fallback)
+{
+    if (const char* env = std::getenv(name))
+        return std::atoi(env);
+    return fallback;
+}
+
 /** Measured frames per stream (env-overridable). */
 inline int
 measuredFrames()
 {
-    if (const char* env = std::getenv("MW_BENCH_FRAMES"))
-        return std::atoi(env);
-    return 6;
+    return envInt("MW_BENCH_FRAMES", 6);
 }
 
 /** Time-scale compression (env-overridable). */
@@ -35,6 +51,17 @@ timeScale()
     if (const char* env = std::getenv("MW_BENCH_SCALE"))
         return std::atof(env);
     return 0.1;
+}
+
+/** Campaign execution settings from the environment. */
+inline mediaworm::campaign::CampaignConfig
+campaignConfig()
+{
+    mediaworm::campaign::CampaignConfig cfg;
+    cfg.jobs = envInt("MW_BENCH_JOBS", 0); // 0 = hardware threads
+    cfg.replications = envInt("MW_BENCH_REPS", 1);
+    cfg.showProgress = true;
+    return cfg;
 }
 
 /** Paper-default experiment configuration (Table 1). */
@@ -51,6 +78,40 @@ paperConfig()
     cfg.traffic.measuredFrames = measuredFrames();
     cfg.timeScale = timeScale();
     return cfg;
+}
+
+/**
+ * Runs @p campaign, writes the BENCH_<name>.json artifact when
+ * MW_BENCH_JSON_DIR is set, and prints campaign throughput.
+ *
+ * @return Point summaries in insertion order.
+ */
+inline const std::vector<mediaworm::campaign::PointSummary>&
+runCampaign(const char* name, mediaworm::campaign::Campaign& campaign)
+{
+    const auto& results = campaign.run();
+
+    if (const char* dir = std::getenv("MW_BENCH_JSON_DIR")) {
+        mediaworm::campaign::ArtifactOptions options;
+        options.name = name;
+        const std::string path =
+            std::string(dir) + "/BENCH_" + name + ".json";
+        if (mediaworm::campaign::writeArtifact(path, campaign,
+                                               options))
+            std::fprintf(stderr, "wrote %s\n", path.c_str());
+    }
+
+    const double wall = campaign.wallSeconds();
+    std::fprintf(stderr,
+                 "campaign: %zu points x %d reps on %d jobs in "
+                 "%.2fs (%.2f Mev/s)\n",
+                 campaign.size(), campaign.config().replications,
+                 campaign.config().effectiveJobs(), wall,
+                 wall > 0.0
+                     ? static_cast<double>(campaign.totalEvents())
+                         / wall / 1e6
+                     : 0.0);
+    return results;
 }
 
 /** Prints the bench banner. */

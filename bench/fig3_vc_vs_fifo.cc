@@ -23,9 +23,7 @@ main()
                   "Virtual Clock vs FIFO, 8x8 switch, 16 VCs, "
                   "VBR:BE = 80:20");
 
-    core::Table table({"load", "scheduler", "d (ms)", "sigma_d (ms)",
-                       "BE total (us)", "BE network (us)"});
-
+    campaign::Campaign camp(bench::campaignConfig());
     for (double load : {0.60, 0.70, 0.80, 0.90, 0.96, 1.00}) {
         for (auto sched : {config::SchedulerKind::VirtualClock,
                            config::SchedulerKind::Fifo}) {
@@ -33,14 +31,28 @@ main()
             cfg.router.scheduler = sched;
             cfg.traffic.inputLoad = load;
             cfg.traffic.realTimeFraction = 0.8;
+            camp.addPoint(core::Table::num(load, 2) + "/"
+                              + config::toString(sched),
+                          cfg);
+        }
+    }
+    const auto& results = bench::runCampaign("fig3_vc_vs_fifo", camp);
 
-            const core::ExperimentResult r = core::runExperiment(cfg);
-            table.addRow({core::Table::num(load, 2),
-                          config::toString(sched),
-                          core::Table::num(r.meanIntervalNormMs, 2),
-                          core::Table::num(r.stddevIntervalNormMs, 3),
-                          core::Table::num(r.beLatencyUs, 1),
-                          core::Table::num(r.beNetworkLatencyUs, 1)});
+    core::Table table({"load", "scheduler", "d (ms)", "sigma_d (ms)",
+                       "BE total (us)", "BE network (us)"});
+    std::size_t i = 0;
+    for (double load : {0.60, 0.70, 0.80, 0.90, 0.96, 1.00}) {
+        for (auto sched : {config::SchedulerKind::VirtualClock,
+                           config::SchedulerKind::Fifo}) {
+            const campaign::PointSummary& r = results[i++];
+            table.addRow(
+                {core::Table::num(load, 2), config::toString(sched),
+                 core::Table::num(r.mean("mean_interval_norm_ms"), 2),
+                 core::Table::num(r.mean("stddev_interval_norm_ms"),
+                                  3),
+                 core::Table::num(r.mean("be_latency_us"), 1),
+                 core::Table::num(r.mean("be_network_latency_us"),
+                                  1)});
         }
     }
 

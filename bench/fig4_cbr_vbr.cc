@@ -17,8 +17,7 @@ main()
     bench::banner("Figure 4",
                   "CBR vs VBR, real-time only (100:0), 16 VCs");
 
-    core::Table table({"load", "class", "d (ms)", "sigma_d (ms)"});
-
+    campaign::Campaign camp(bench::campaignConfig());
     for (double load : {0.60, 0.70, 0.80, 0.90, 0.96, 1.00}) {
         for (auto kind : {config::RealTimeKind::Cbr,
                           config::RealTimeKind::Vbr}) {
@@ -26,12 +25,24 @@ main()
             cfg.traffic.inputLoad = load;
             cfg.traffic.realTimeFraction = 1.0;
             cfg.traffic.realTimeKind = kind;
+            camp.addPoint(core::Table::num(load, 2) + "/"
+                              + config::toString(kind),
+                          cfg);
+        }
+    }
+    const auto& results = bench::runCampaign("fig4_cbr_vbr", camp);
 
-            const core::ExperimentResult r = core::runExperiment(cfg);
-            table.addRow({core::Table::num(load, 2),
-                          config::toString(kind),
-                          core::Table::num(r.meanIntervalNormMs, 2),
-                          core::Table::num(r.stddevIntervalNormMs, 3)});
+    core::Table table({"load", "class", "d (ms)", "sigma_d (ms)"});
+    std::size_t i = 0;
+    for (double load : {0.60, 0.70, 0.80, 0.90, 0.96, 1.00}) {
+        for (auto kind : {config::RealTimeKind::Cbr,
+                          config::RealTimeKind::Vbr}) {
+            const campaign::PointSummary& r = results[i++];
+            table.addRow(
+                {core::Table::num(load, 2), config::toString(kind),
+                 core::Table::num(r.mean("mean_interval_norm_ms"), 2),
+                 core::Table::num(r.mean("stddev_interval_norm_ms"),
+                                  3)});
         }
     }
 

@@ -16,22 +16,39 @@ main()
     bench::banner("Figure 5",
                   "d and sigma_d vs real-time share, 16 VCs");
 
-    core::Table table({"load", "mix (x:y)", "d (ms)", "sigma_d (ms)"});
-
     const double mixes[] = {0.2, 0.5, 0.8, 0.9, 1.0};
-    for (double load : {0.60, 0.70, 0.80, 0.90, 0.96}) {
+    const double loads[] = {0.60, 0.70, 0.80, 0.90, 0.96};
+
+    auto mixLabel = [](double rt) {
+        char mix[16];
+        std::snprintf(mix, sizeof(mix), "%.0f:%.0f", rt * 100,
+                      (1 - rt) * 100);
+        return std::string(mix);
+    };
+
+    campaign::Campaign camp(bench::campaignConfig());
+    for (double load : loads) {
         for (double rt : mixes) {
             core::ExperimentConfig cfg = bench::paperConfig();
             cfg.traffic.inputLoad = load;
             cfg.traffic.realTimeFraction = rt;
+            camp.addPoint(
+                core::Table::num(load, 2) + "/" + mixLabel(rt), cfg);
+        }
+    }
+    const auto& results =
+        bench::runCampaign("fig5_mixed_traffic", camp);
 
-            const core::ExperimentResult r = core::runExperiment(cfg);
-            char mix[16];
-            std::snprintf(mix, sizeof(mix), "%.0f:%.0f", rt * 100,
-                          (1 - rt) * 100);
-            table.addRow({core::Table::num(load, 2), mix,
-                          core::Table::num(r.meanIntervalNormMs, 2),
-                          core::Table::num(r.stddevIntervalNormMs, 3)});
+    core::Table table({"load", "mix (x:y)", "d (ms)", "sigma_d (ms)"});
+    std::size_t i = 0;
+    for (double load : loads) {
+        for (double rt : mixes) {
+            const campaign::PointSummary& r = results[i++];
+            table.addRow(
+                {core::Table::num(load, 2), mixLabel(rt),
+                 core::Table::num(r.mean("mean_interval_norm_ms"), 2),
+                 core::Table::num(r.mean("stddev_interval_norm_ms"),
+                                  3)});
         }
     }
 

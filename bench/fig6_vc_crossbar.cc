@@ -28,25 +28,38 @@ main()
         {4, config::CrossbarKind::Multiplexed},
         {4, config::CrossbarKind::Full},
     };
+    const double loads[] = {0.50, 0.60, 0.70, 0.80, 0.90, 0.96};
 
-    core::Table table({"load", "VCs", "crossbar", "d (ms)",
-                       "sigma_d (ms)"});
-
-    for (double load : {0.50, 0.60, 0.70, 0.80, 0.90, 0.96}) {
+    campaign::Campaign camp(bench::campaignConfig());
+    for (double load : loads) {
         for (const Point& point : points) {
             core::ExperimentConfig cfg = bench::paperConfig();
             cfg.router.numVcs = point.vcs;
             cfg.router.crossbar = point.crossbar;
             cfg.traffic.inputLoad = load;
             cfg.traffic.realTimeFraction = 1.0;
+            camp.addPoint(core::Table::num(load, 2) + "/"
+                              + std::to_string(point.vcs) + "vc/"
+                              + config::toString(point.crossbar),
+                          cfg);
+        }
+    }
+    const auto& results = bench::runCampaign("fig6_vc_crossbar", camp);
 
-            const core::ExperimentResult r = core::runExperiment(cfg);
-            table.addRow({core::Table::num(load, 2),
-                          core::Table::num(
-                              static_cast<std::int64_t>(point.vcs)),
-                          config::toString(point.crossbar),
-                          core::Table::num(r.meanIntervalNormMs, 2),
-                          core::Table::num(r.stddevIntervalNormMs, 3)});
+    core::Table table({"load", "VCs", "crossbar", "d (ms)",
+                       "sigma_d (ms)"});
+    std::size_t i = 0;
+    for (double load : loads) {
+        for (const Point& point : points) {
+            const campaign::PointSummary& r = results[i++];
+            table.addRow(
+                {core::Table::num(load, 2),
+                 core::Table::num(
+                     static_cast<std::int64_t>(point.vcs)),
+                 config::toString(point.crossbar),
+                 core::Table::num(r.mean("mean_interval_norm_ms"), 2),
+                 core::Table::num(r.mean("stddev_interval_norm_ms"),
+                                  3)});
         }
     }
 

@@ -32,22 +32,34 @@ main()
         std::ceil(frame_bytes / flit_bytes)) + 1;
 
     const int sizes[] = {8, 20, 40, 80, 160, whole_frame};
+    const double loads[] = {0.64, 0.80};
 
-    core::Table table({"msg flits", "load", "d (ms)", "sigma_d (ms)"});
-
+    campaign::Campaign camp(bench::campaignConfig());
     for (int size : sizes) {
-        for (double load : {0.64, 0.80}) {
+        for (double load : loads) {
             core::ExperimentConfig cfg = bench::paperConfig();
             cfg.traffic.inputLoad = load;
             cfg.traffic.realTimeFraction = 1.0;
             cfg.traffic.messageFlits = size;
+            camp.addPoint(std::to_string(size) + "fl/"
+                              + core::Table::num(load, 2),
+                          cfg);
+        }
+    }
+    const auto& results =
+        bench::runCampaign("fig7_message_size", camp);
 
-            const core::ExperimentResult r = core::runExperiment(cfg);
-            table.addRow({core::Table::num(
-                              static_cast<std::int64_t>(size)),
-                          core::Table::num(load, 2),
-                          core::Table::num(r.meanIntervalNormMs, 2),
-                          core::Table::num(r.stddevIntervalNormMs, 3)});
+    core::Table table({"msg flits", "load", "d (ms)", "sigma_d (ms)"});
+    std::size_t i = 0;
+    for (int size : sizes) {
+        for (double load : loads) {
+            const campaign::PointSummary& r = results[i++];
+            table.addRow(
+                {core::Table::num(static_cast<std::int64_t>(size)),
+                 core::Table::num(load, 2),
+                 core::Table::num(r.mean("mean_interval_norm_ms"), 2),
+                 core::Table::num(r.mean("stddev_interval_norm_ms"),
+                                  3)});
         }
     }
 

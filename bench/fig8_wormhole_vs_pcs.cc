@@ -7,7 +7,14 @@
  * manages ~0.7 at this low link bandwidth - but PCS achieves it by
  * dropping a large share of connection requests (Table 3), whereas
  * wormhole accepts every stream.
+ *
+ * The PCS points run through the campaign engine's generic addJob()
+ * path: an adapter maps PcsExperimentResult onto the shared
+ * ExperimentResult metric slots and stashes the PCS-specific
+ * connection accounting in a per-(point, replication) side table.
  */
+
+#include <memory>
 
 #include "bench_common.hh"
 #include "pcs/pcs_experiment.hh"
@@ -19,10 +26,20 @@ main()
     bench::banner("Figure 8",
                   "Wormhole vs PCS, 100 Mbps links, 24 VCs");
 
-    core::Table table({"load", "router", "d (ms)", "sigma_d (ms)",
-                       "streams", "dropped"});
+    const double loads[] = {0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90};
 
-    for (double load : {0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90}) {
+    campaign::Campaign camp(bench::campaignConfig());
+    const int reps = camp.config().replications;
+
+    // dropped[point pairs][replication]; each (point, replication)
+    // task writes its own pre-allocated slot, so no locking needed.
+    auto dropped = std::make_shared<
+        std::vector<std::vector<std::uint64_t>>>(
+        std::size(loads),
+        std::vector<std::uint64_t>(static_cast<std::size_t>(reps)));
+
+    for (std::size_t li = 0; li < std::size(loads); ++li) {
+        const double load = loads[li];
         {
             core::ExperimentConfig cfg = bench::paperConfig();
             cfg.router.linkBandwidthMbps = 100;
@@ -35,14 +52,8 @@ main()
             // admission.
             cfg.traffic.streamPlacement =
                 config::StreamPlacement::UniformRandom;
-
-            const core::ExperimentResult r = core::runExperiment(cfg);
-            table.addRow({core::Table::num(load, 2), "wormhole",
-                          core::Table::num(r.meanIntervalNormMs, 2),
-                          core::Table::num(r.stddevIntervalNormMs, 3),
-                          core::Table::num(static_cast<std::int64_t>(
-                              r.rtStreams)),
-                          "0"});
+            camp.addPoint(core::Table::num(load, 2) + "/wormhole",
+                          cfg);
         }
         {
             pcs::PcsExperimentConfig cfg;
@@ -51,16 +62,57 @@ main()
             cfg.traffic.measuredFrames = bench::measuredFrames();
             cfg.timeScale = bench::timeScale();
 
-            const pcs::PcsExperimentResult r =
-                pcs::runPcsExperiment(cfg);
-            table.addRow({core::Table::num(load, 2), "PCS",
-                          core::Table::num(r.meanIntervalNormMs, 2),
-                          core::Table::num(r.stddevIntervalNormMs, 3),
-                          core::Table::num(static_cast<std::int64_t>(
-                              r.established)),
-                          core::Table::num(static_cast<std::int64_t>(
-                              r.dropped))});
+            camp.addJob(
+                core::Table::num(load, 2) + "/PCS",
+                [cfg, li, dropped](std::uint64_t seed,
+                                   int replication) {
+                    pcs::PcsExperimentConfig run = cfg;
+                    run.seed = seed;
+                    const pcs::PcsExperimentResult p =
+                        pcs::runPcsExperiment(run);
+                    (*dropped)[li][static_cast<std::size_t>(
+                        replication)] = p.dropped;
+
+                    core::ExperimentResult r;
+                    r.meanIntervalMs = p.meanIntervalMs;
+                    r.stddevIntervalMs = p.stddevIntervalMs;
+                    r.meanIntervalNormMs = p.meanIntervalNormMs;
+                    r.stddevIntervalNormMs = p.stddevIntervalNormMs;
+                    r.intervalSamples = p.intervalSamples;
+                    r.framesDelivered = p.framesDelivered;
+                    r.eventsFired = p.eventsFired;
+                    r.truncated = p.truncated;
+                    r.rtStreams = static_cast<int>(p.established);
+                    return r;
+                },
+                cfg.seed);
         }
+    }
+    const auto& results =
+        bench::runCampaign("fig8_wormhole_vs_pcs", camp);
+
+    core::Table table({"load", "router", "d (ms)", "sigma_d (ms)",
+                       "streams", "dropped"});
+    std::size_t i = 0;
+    for (std::size_t li = 0; li < std::size(loads); ++li) {
+        const campaign::PointSummary& wh = results[i++];
+        table.addRow(
+            {core::Table::num(loads[li], 2), "wormhole",
+             core::Table::num(wh.mean("mean_interval_norm_ms"), 2),
+             core::Table::num(wh.mean("stddev_interval_norm_ms"), 3),
+             core::Table::num(
+                 static_cast<std::int64_t>(wh.first().rtStreams)),
+             "0"});
+
+        const campaign::PointSummary& pc = results[i++];
+        table.addRow(
+            {core::Table::num(loads[li], 2), "PCS",
+             core::Table::num(pc.mean("mean_interval_norm_ms"), 2),
+             core::Table::num(pc.mean("stddev_interval_norm_ms"), 3),
+             core::Table::num(
+                 static_cast<std::int64_t>(pc.first().rtStreams)),
+             core::Table::num(static_cast<std::int64_t>(
+                 (*dropped)[li][0]))});
     }
 
     std::printf("%s\n", table.toString().c_str());

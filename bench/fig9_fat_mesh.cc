@@ -18,11 +18,19 @@ main()
     using namespace mediaworm;
     bench::banner("Figure 9", "2x2 fat-mesh, d / sigma_d / BE latency");
 
-    core::Table table({"load", "mix (x:y)", "d (ms)", "sigma_d (ms)",
-                       "BE total (us)", "BE network (us)"});
+    const double loads[] = {0.70, 0.80, 0.90};
+    const double rts[] = {0.4, 0.6, 0.8};
 
-    for (double load : {0.70, 0.80, 0.90}) {
-        for (double rt : {0.4, 0.6, 0.8}) {
+    auto mixLabel = [](double rt) {
+        char mix[16];
+        std::snprintf(mix, sizeof(mix), "%.0f:%.0f", rt * 100,
+                      (1 - rt) * 100);
+        return std::string(mix);
+    };
+
+    campaign::Campaign camp(bench::campaignConfig());
+    for (double load : loads) {
+        for (double rt : rts) {
             core::ExperimentConfig cfg = bench::paperConfig();
             cfg.network.topology = config::TopologyKind::FatMesh;
             cfg.network.meshWidth = 2;
@@ -31,16 +39,26 @@ main()
             cfg.network.endpointsPerSwitch = 4;
             cfg.traffic.inputLoad = load;
             cfg.traffic.realTimeFraction = rt;
+            camp.addPoint(
+                core::Table::num(load, 2) + "/" + mixLabel(rt), cfg);
+        }
+    }
+    const auto& results = bench::runCampaign("fig9_fat_mesh", camp);
 
-            const core::ExperimentResult r = core::runExperiment(cfg);
-            char mix[16];
-            std::snprintf(mix, sizeof(mix), "%.0f:%.0f", rt * 100,
-                          (1 - rt) * 100);
-            table.addRow({core::Table::num(load, 2), mix,
-                          core::Table::num(r.meanIntervalNormMs, 2),
-                          core::Table::num(r.stddevIntervalNormMs, 3),
-                          core::Table::num(r.beLatencyUs, 1),
-                          core::Table::num(r.beNetworkLatencyUs, 1)});
+    core::Table table({"load", "mix (x:y)", "d (ms)", "sigma_d (ms)",
+                       "BE total (us)", "BE network (us)"});
+    std::size_t i = 0;
+    for (double load : loads) {
+        for (double rt : rts) {
+            const campaign::PointSummary& r = results[i++];
+            table.addRow(
+                {core::Table::num(load, 2), mixLabel(rt),
+                 core::Table::num(r.mean("mean_interval_norm_ms"), 2),
+                 core::Table::num(r.mean("stddev_interval_norm_ms"),
+                                  3),
+                 core::Table::num(r.mean("be_latency_us"), 1),
+                 core::Table::num(r.mean("be_network_latency_us"),
+                                  1)});
         }
     }
 

@@ -24,31 +24,48 @@ main()
     bench::banner("Table 2",
                   "Average best-effort latency vs mix and load");
 
+    const double rts[] = {0.2, 0.5, 0.8, 0.9};
+    const double loads[] = {0.60, 0.70, 0.80, 0.90, 0.96};
+
+    auto mixLabel = [](double rt) {
+        char mix[16];
+        std::snprintf(mix, sizeof(mix), "%.0f:%.0f", rt * 100,
+                      (1 - rt) * 100);
+        return std::string(mix);
+    };
+
+    campaign::Campaign camp(bench::campaignConfig());
+    for (double rt : rts) {
+        for (double load : loads) {
+            core::ExperimentConfig cfg = bench::paperConfig();
+            cfg.traffic.inputLoad = load;
+            cfg.traffic.realTimeFraction = rt;
+            camp.addPoint(
+                mixLabel(rt) + "/" + core::Table::num(load, 2), cfg);
+        }
+    }
+    const auto& results =
+        bench::runCampaign("table2_best_effort", camp);
+
     core::Table total({"mix (x:y)", "0.60", "0.70", "0.80", "0.90",
                        "0.96"});
     core::Table network({"mix (x:y)", "0.60", "0.70", "0.80", "0.90",
                          "0.96"});
-
-    for (double rt : {0.2, 0.5, 0.8, 0.9}) {
-        char mix[16];
-        std::snprintf(mix, sizeof(mix), "%.0f:%.0f", rt * 100,
-                      (1 - rt) * 100);
-        std::vector<std::string> total_row{mix};
-        std::vector<std::string> net_row{mix};
-        for (double load : {0.60, 0.70, 0.80, 0.90, 0.96}) {
-            core::ExperimentConfig cfg = bench::paperConfig();
-            cfg.traffic.inputLoad = load;
-            cfg.traffic.realTimeFraction = rt;
-
-            const core::ExperimentResult r = core::runExperiment(cfg);
+    std::size_t i = 0;
+    for (double rt : rts) {
+        std::vector<std::string> total_row{mixLabel(rt)};
+        std::vector<std::string> net_row{mixLabel(rt)};
+        for (double load : loads) {
+            (void)load;
+            const campaign::PointSummary& r = results[i++];
+            const double be = r.mean("be_latency_us");
             // Call a point saturated when host queues push total
             // latency beyond a millisecond (offered > sustainable).
-            total_row.push_back(r.beLatencyUs > 1000.0
+            total_row.push_back(be > 1000.0
                                     ? "Sat."
-                                    : core::Table::num(r.beLatencyUs,
-                                                       1));
-            net_row.push_back(
-                core::Table::num(r.beNetworkLatencyUs, 1));
+                                    : core::Table::num(be, 1));
+            net_row.push_back(core::Table::num(
+                r.mean("be_network_latency_us"), 1));
         }
         total.addRow(std::move(total_row));
         network.addRow(std::move(net_row));

@@ -19,7 +19,13 @@
  * paper's (unspecified) attempt arrival process; our
  * retry-until-established process reproduces the superlinear growth
  * of attempts with load.
+ *
+ * Runs through the campaign engine's generic addJob() path with a
+ * per-(point, replication) side table for the PCS connection
+ * accounting (see fig8 for the pattern).
  */
+
+#include <memory>
 
 #include "bench_common.hh"
 #include "pcs/pcs_experiment.hh"
@@ -30,22 +36,57 @@ main()
     using namespace mediaworm;
     bench::banner("Table 3", "PCS connection establishment accounting");
 
-    core::Table table({"load", "#conn. attempts", "#established",
-                       "#dropped"});
+    const double loads[] = {0.91, 0.87, 0.80, 0.74,
+                            0.67, 0.64, 0.42, 0.37};
 
-    for (double load :
-         {0.91, 0.87, 0.80, 0.74, 0.67, 0.64, 0.42, 0.37}) {
+    campaign::Campaign camp(bench::campaignConfig());
+    const int reps = camp.config().replications;
+
+    auto raw = std::make_shared<
+        std::vector<std::vector<pcs::PcsExperimentResult>>>(
+        std::size(loads),
+        std::vector<pcs::PcsExperimentResult>(
+            static_cast<std::size_t>(reps)));
+
+    for (std::size_t li = 0; li < std::size(loads); ++li) {
         pcs::PcsExperimentConfig cfg;
-        cfg.traffic.inputLoad = load;
+        cfg.traffic.inputLoad = loads[li];
         cfg.traffic.warmupFrames = 1;
         cfg.traffic.measuredFrames = 2; // setup stats need no traffic
         cfg.timeScale = bench::timeScale();
 
-        const pcs::PcsExperimentResult r = pcs::runPcsExperiment(cfg);
+        camp.addJob(
+            "load=" + core::Table::num(loads[li], 2),
+            [cfg, li, raw](std::uint64_t seed, int replication) {
+                pcs::PcsExperimentConfig run = cfg;
+                run.seed = seed;
+                const pcs::PcsExperimentResult p =
+                    pcs::runPcsExperiment(run);
+                (*raw)[li][static_cast<std::size_t>(replication)] = p;
+
+                core::ExperimentResult r;
+                r.meanIntervalNormMs = p.meanIntervalNormMs;
+                r.stddevIntervalNormMs = p.stddevIntervalNormMs;
+                r.intervalSamples = p.intervalSamples;
+                r.framesDelivered = p.framesDelivered;
+                r.eventsFired = p.eventsFired;
+                r.truncated = p.truncated;
+                r.rtStreams = static_cast<int>(p.established);
+                return r;
+            },
+            cfg.seed);
+    }
+    bench::runCampaign("table3_pcs_drops", camp);
+
+    core::Table table({"load", "#conn. attempts", "#established",
+                       "#dropped"});
+    for (std::size_t li = 0; li < std::size(loads); ++li) {
+        const pcs::PcsExperimentResult& r = (*raw)[li][0];
         table.addRow(
-            {core::Table::num(load, 2),
+            {core::Table::num(loads[li], 2),
              core::Table::num(static_cast<std::int64_t>(r.attempts)),
-             core::Table::num(static_cast<std::int64_t>(r.established)),
+             core::Table::num(
+                 static_cast<std::int64_t>(r.established)),
              core::Table::num(static_cast<std::int64_t>(r.dropped))});
     }
 

@@ -1,0 +1,52 @@
+#include "campaign/aggregate.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace mediaworm::campaign {
+
+double
+tCritical95(std::size_t df)
+{
+    // Two-sided 95% (upper 0.975 quantile), df = 1..30.
+    static constexpr double kTable[30] = {
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+        2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+        2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060,  2.056, 2.052, 2.048, 2.045, 2.042,
+    };
+    MW_ASSERT(df >= 1, "tCritical95: zero degrees of freedom");
+    if (df <= 30)
+        return kTable[df - 1];
+    return 1.960;
+}
+
+MetricSummary
+aggregate(const std::vector<double>& values)
+{
+    MetricSummary s;
+    s.n = values.size();
+    if (s.n == 0)
+        return s;
+
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    s.mean = sum / static_cast<double>(s.n);
+
+    if (s.n == 1)
+        return s;
+
+    double ss = 0.0;
+    for (double v : values) {
+        const double d = v - s.mean;
+        ss += d * d;
+    }
+    s.stddev = std::sqrt(ss / static_cast<double>(s.n - 1));
+    s.ci95 = tCritical95(s.n - 1) * s.stddev
+        / std::sqrt(static_cast<double>(s.n));
+    return s;
+}
+
+} // namespace mediaworm::campaign

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Cross-replication statistics: mean, sample standard deviation and
+ * 95% confidence intervals over the per-replication values of one
+ * metric.
+ *
+ * Confidence intervals use Student's t distribution (two-sided, 95%),
+ * the standard choice for the small replication counts (3-30)
+ * typical of simulation studies; beyond 30 degrees of freedom the
+ * normal critical value 1.960 is used.
+ */
+
+#ifndef MEDIAWORM_CAMPAIGN_AGGREGATE_HH
+#define MEDIAWORM_CAMPAIGN_AGGREGATE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace mediaworm::campaign {
+
+/** Aggregated statistics of one metric across replications. */
+struct MetricSummary
+{
+    double mean = 0.0;   ///< Sample mean.
+    double stddev = 0.0; ///< Sample standard deviation (n-1).
+    double ci95 = 0.0;   ///< Half-width of the 95% confidence interval.
+    std::size_t n = 0;   ///< Number of replications aggregated.
+
+    /** Lower edge of the confidence interval. */
+    double lo() const { return mean - ci95; }
+    /** Upper edge of the confidence interval. */
+    double hi() const { return mean + ci95; }
+};
+
+/**
+ * Two-sided 95% critical value of Student's t with @p df degrees of
+ * freedom (1.960 for df > 30; df < 1 is a caller bug).
+ */
+double tCritical95(std::size_t df);
+
+/**
+ * Aggregates @p values (one entry per replication).
+ *
+ * n == 1 yields stddev = ci95 = 0: a single replication is a point
+ * estimate with no error-bar information.
+ */
+MetricSummary aggregate(const std::vector<double>& values);
+
+} // namespace mediaworm::campaign
+
+#endif // MEDIAWORM_CAMPAIGN_AGGREGATE_HH

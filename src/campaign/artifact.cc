@@ -1,0 +1,132 @@
+#include "campaign/artifact.hh"
+
+#include <cstdio>
+
+#include "campaign/json.hh"
+#include "sim/logging.hh"
+
+namespace mediaworm::campaign {
+
+namespace {
+
+void
+writeSummary(JsonWriter& json, const MetricSummary& s)
+{
+    json.beginObject();
+    json.member("mean", s.mean);
+    json.member("stddev", s.stddev);
+    json.member("ci95", s.ci95);
+    json.member("n", static_cast<std::uint64_t>(s.n));
+    json.endObject();
+}
+
+void
+writeCounts(JsonWriter& json, const core::ExperimentResult& r)
+{
+    json.beginObject();
+    json.member("interval_samples", r.intervalSamples);
+    json.member("frames_delivered", r.framesDelivered);
+    json.member("be_messages", r.beMessages);
+    json.member("flits_delivered", r.flitsDelivered);
+    json.member("events_fired", r.eventsFired);
+    json.member("rt_streams", static_cast<std::int64_t>(r.rtStreams));
+    json.member("streams_per_node",
+                static_cast<std::int64_t>(r.streamsPerNode));
+    json.member("truncated", r.truncated);
+    json.endObject();
+}
+
+} // namespace
+
+std::string
+toJson(const Campaign& campaign, const ArtifactOptions& options)
+{
+    const auto& defs = metricDefs();
+    JsonWriter json;
+    json.beginObject();
+    json.member("schema", kArtifactSchema);
+    json.member("name", options.name);
+    json.member("root_seed", campaign.config().rootSeed);
+    json.member("replications", static_cast<std::int64_t>(
+                                    campaign.config().replications));
+
+    json.key("points");
+    json.beginArray();
+    for (const PointSummary& point : campaign.results()) {
+        json.beginObject();
+        json.member("label", point.label);
+        json.key("metrics");
+        json.beginObject();
+        for (std::size_t i = 0; i < defs.size(); ++i) {
+            if (!defs[i].deterministic)
+                continue;
+            json.key(defs[i].name);
+            writeSummary(json, point.metrics[i]);
+        }
+        json.endObject();
+        json.key("counts");
+        writeCounts(json, point.first());
+        json.endObject();
+    }
+    json.endArray();
+
+    if (options.includeTiming) {
+        json.key("timing");
+        json.beginObject();
+        json.member("jobs", static_cast<std::int64_t>(
+                                campaign.config().effectiveJobs()));
+        json.member("wall_seconds", campaign.wallSeconds());
+        const double wall = campaign.wallSeconds();
+        json.member("events_per_sec",
+                    wall > 0.0
+                        ? static_cast<double>(campaign.totalEvents())
+                            / wall
+                        : 0.0);
+        json.key("points");
+        json.beginArray();
+        for (const PointSummary& point : campaign.results()) {
+            json.beginObject();
+            json.member("label", point.label);
+            for (std::size_t i = 0; i < defs.size(); ++i) {
+                if (defs[i].deterministic)
+                    continue;
+                json.key(defs[i].name);
+                writeSummary(json, point.metrics[i]);
+            }
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+    }
+
+    json.endObject();
+    return json.str();
+}
+
+bool
+writeTextFile(const std::string& path, const std::string& text)
+{
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (!file) {
+        sim::warn("writeTextFile: cannot open '%s' for writing",
+                  path.c_str());
+        return false;
+    }
+    const std::size_t written =
+        std::fwrite(text.data(), 1, text.size(), file);
+    const bool ok = written == text.size()
+        && std::fputc('\n', file) != EOF;
+    std::fclose(file);
+    if (!ok)
+        sim::warn("writeTextFile: short write to '%s'", path.c_str());
+    return ok;
+}
+
+bool
+writeArtifact(const std::string& path, const Campaign& campaign,
+              const ArtifactOptions& options)
+{
+    return writeTextFile(path, toJson(campaign, options));
+}
+
+} // namespace mediaworm::campaign

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * JSON artifact writer: one machine-readable file per campaign.
+ *
+ * Schema "mediaworm-campaign-v1":
+ *
+ *   {
+ *     "schema": "mediaworm-campaign-v1",
+ *     "name": "<campaign name>",
+ *     "root_seed": <u64>,
+ *     "replications": <n>,
+ *     "points": [
+ *       {
+ *         "label": "<point label>",
+ *         "metrics": {
+ *           "<metric>": {"mean": x, "stddev": x, "ci95": x, "n": n},
+ *           ...deterministic metrics from campaign::metricDefs()...
+ *         },
+ *         "counts": { ...replication-0 integer counters... }
+ *       }, ...
+ *     ],
+ *     "timing": {            // only when options.includeTiming
+ *       "jobs": <n>, "wall_seconds": x, "events_per_sec": x,
+ *       "points": [{"label": ..., "wall_seconds": {...},
+ *                   "events_per_sec": {...}}, ...]
+ *     }
+ *   }
+ *
+ * Everything outside "timing" is a pure function of (configurations,
+ * root seed), so the artifact with includeTiming=false - and the
+ * document minus its "timing" member otherwise - is byte-identical
+ * across jobs=1 and jobs=N runs. The bench binaries emit this same
+ * schema (BENCH_*.json), timing included, so per-PR throughput
+ * trajectories can be extracted mechanically.
+ */
+
+#ifndef MEDIAWORM_CAMPAIGN_ARTIFACT_HH
+#define MEDIAWORM_CAMPAIGN_ARTIFACT_HH
+
+#include <string>
+
+#include "campaign/campaign.hh"
+
+namespace mediaworm::campaign {
+
+/** Knobs for toJson()/writeArtifact(). */
+struct ArtifactOptions
+{
+    /** Campaign name recorded in the artifact. */
+    std::string name = "campaign";
+
+    /** Emit the (non-deterministic) wall-clock timing section. */
+    bool includeTiming = true;
+};
+
+/** Current artifact schema identifier. */
+inline constexpr const char* kArtifactSchema =
+    "mediaworm-campaign-v1";
+
+/** Serialises a completed campaign (must have been run()). */
+std::string toJson(const Campaign& campaign,
+                   const ArtifactOptions& options = {});
+
+/**
+ * Writes @p text to @p path (plus trailing newline).
+ * @return False (with a warn) if the file cannot be written.
+ */
+bool writeTextFile(const std::string& path, const std::string& text);
+
+/** toJson() + writeTextFile() in one call. */
+bool writeArtifact(const std::string& path, const Campaign& campaign,
+                   const ArtifactOptions& options = {});
+
+} // namespace mediaworm::campaign
+
+#endif // MEDIAWORM_CAMPAIGN_ARTIFACT_HH

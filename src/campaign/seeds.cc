@@ -1,0 +1,35 @@
+#include "campaign/seeds.hh"
+
+namespace mediaworm::campaign {
+
+namespace {
+
+/** Golden-ratio increment used by the SplitMix64 stream. */
+constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+
+} // namespace
+
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+std::uint64_t
+deriveSeed(std::uint64_t root, std::uint64_t point,
+           std::uint64_t replication)
+{
+    // Chain one full mix per component. The additive constants keep
+    // the all-zero triple away from the SplitMix64 fixed point at 0.
+    std::uint64_t x = splitmix64(root + kGamma);
+    x = splitmix64(x + point + kGamma);
+    x = splitmix64(x + replication + kGamma);
+    return x;
+}
+
+} // namespace mediaworm::campaign

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Deterministic per-(point, replication) seed derivation.
+ *
+ * The campaign engine never hands the experiment a raw root seed:
+ * every run gets a seed derived from (root, point index, replication
+ * index) through SplitMix64 finalisation steps. Derivation depends
+ * only on those three inputs - never on scheduling order - so a
+ * campaign executed on one thread and on eight produces bit-identical
+ * per-run results and therefore bit-identical aggregates.
+ */
+
+#ifndef MEDIAWORM_CAMPAIGN_SEEDS_HH
+#define MEDIAWORM_CAMPAIGN_SEEDS_HH
+
+#include <cstdint>
+
+namespace mediaworm::campaign {
+
+/**
+ * SplitMix64 finalisation: bijectively mixes 64 bits (Steele, Lea &
+ * Flood). Bijectivity means distinct inputs keep distinct outputs.
+ */
+std::uint64_t splitmix64(std::uint64_t x);
+
+/**
+ * Derives the experiment seed for replication @p replication of
+ * point @p point under root seed @p root.
+ *
+ * Each input is separated by a full SplitMix64 mix with a
+ * golden-ratio increment, so (root, point, replication) triples that
+ * differ in any component give unrelated seeds, and sequential
+ * indices do not produce correlated RNG streams.
+ */
+std::uint64_t deriveSeed(std::uint64_t root, std::uint64_t point,
+                         std::uint64_t replication);
+
+} // namespace mediaworm::campaign
+
+#endif // MEDIAWORM_CAMPAIGN_SEEDS_HH

@@ -1,0 +1,78 @@
+#include "campaign/thread_pool.hh"
+
+#include "sim/logging.hh"
+
+namespace mediaworm::campaign {
+
+ThreadPool::ThreadPool(int threads)
+{
+    if (threads < 1)
+        sim::fatal("ThreadPool: need at least 1 thread, got %d",
+                   threads);
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push_back(std::move(task));
+        ++unfinished_;
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+int
+ThreadPool::hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] {
+                return stopping_ || !tasks_.empty();
+            });
+            if (tasks_.empty())
+                return; // stopping_ and nothing left to run
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --unfinished_;
+            if (unfinished_ == 0)
+                idle_.notify_all();
+        }
+    }
+}
+
+} // namespace mediaworm::campaign

@@ -134,6 +134,9 @@ runExperiment(const ExperimentConfig& cfg)
     const auto wall_end = std::chrono::steady_clock::now();
     result.wallSeconds =
         std::chrono::duration<double>(wall_end - wall_start).count();
+    result.eventsPerSec = result.wallSeconds > 0.0
+        ? static_cast<double>(result.eventsFired) / result.wallSeconds
+        : 0.0;
     return result;
 }
 

@@ -81,6 +81,10 @@ struct ExperimentResult
 
     double simulatedMs = 0.0; ///< Simulated time consumed.
     double wallSeconds = 0.0; ///< Host time consumed.
+    /** Kernel throughput, eventsFired / wallSeconds. Depends on the
+     *  host machine, not the seed - excluded from deterministic
+     *  campaign aggregates, reported under their timing section. */
+    double eventsPerSec = 0.0;
     bool truncated = false;   ///< Hit maxSimTime before draining.
 
     /** One-line human-readable summary. */

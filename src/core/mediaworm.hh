@@ -19,6 +19,12 @@
 #ifndef MEDIAWORM_CORE_MEDIAWORM_HH
 #define MEDIAWORM_CORE_MEDIAWORM_HH
 
+#include "campaign/aggregate.hh"
+#include "campaign/artifact.hh"
+#include "campaign/campaign.hh"
+#include "campaign/json.hh"
+#include "campaign/seeds.hh"
+#include "campaign/thread_pool.hh"
 #include "config/network_config.hh"
 #include "config/router_config.hh"
 #include "config/traffic_config.hh"

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "campaign/artifact.hh"
 #include "sim/logging.hh"
 
 namespace mediaworm::core {
@@ -32,13 +33,26 @@ Sweep::addLoadAxis(const std::vector<double>& loads, Modifier modify)
 const std::vector<Sweep::Row>&
 Sweep::run(const Progress& progress)
 {
-    rows_.clear();
-    rows_.reserve(points_.size());
+    campaign::CampaignConfig ccfg;
+    ccfg.jobs = jobs_;
+    ccfg.replications = replications_;
+    ccfg.rootSeed = base_.seed;
+    campaign_ = campaign::Campaign(ccfg);
+
     for (const Point& point : points_) {
         ExperimentConfig cfg = base_;
         if (point.modify)
             point.modify(cfg);
-        Row row{point.label, runExperiment(cfg)};
+        campaign_.addPoint(point.label, cfg);
+    }
+
+    const std::vector<campaign::PointSummary>& summaries =
+        campaign_.run();
+
+    rows_.clear();
+    rows_.reserve(summaries.size());
+    for (const campaign::PointSummary& summary : summaries) {
+        Row row{summary.label, summary.first(), summary};
         if (progress)
             progress(row.label, row.result);
         rows_.push_back(std::move(row));
@@ -49,17 +63,38 @@ Sweep::run(const Progress& progress)
 Table
 Sweep::toTable() const
 {
-    Table table({"point", "d (ms)", "sigma_d (ms)", "BE total (us)",
-                 "BE network (us)", "streams"});
+    const bool withCi = replications_ > 1;
+    std::vector<std::string> headers{"point", "d (ms)"};
+    if (withCi)
+        headers.push_back("d ci95");
+    for (const char* h : {"sigma_d (ms)", "BE total (us)",
+                          "BE network (us)", "streams", "wall (s)",
+                          "Mev/s"})
+        headers.push_back(h);
+
+    Table table(std::move(headers));
     for (const Row& row : rows_) {
-        table.addRow(
-            {row.label,
-             Table::num(row.result.meanIntervalNormMs, 2),
-             Table::num(row.result.stddevIntervalNormMs, 3),
-             Table::num(row.result.beLatencyUs, 1),
-             Table::num(row.result.beNetworkLatencyUs, 1),
-             Table::num(
-                 static_cast<std::int64_t>(row.result.rtStreams))});
+        const campaign::PointSummary& s = row.summary;
+        std::vector<std::string> cells{
+            row.label,
+            Table::num(s.mean("mean_interval_norm_ms"), 2)};
+        if (withCi) {
+            cells.push_back(
+                "+-"
+                + Table::num(s.metric("mean_interval_norm_ms").ci95,
+                             3));
+        }
+        cells.push_back(
+            Table::num(s.mean("stddev_interval_norm_ms"), 3));
+        cells.push_back(Table::num(s.mean("be_latency_us"), 1));
+        cells.push_back(
+            Table::num(s.mean("be_network_latency_us"), 1));
+        cells.push_back(Table::num(
+            static_cast<std::int64_t>(row.result.rtStreams)));
+        cells.push_back(Table::num(s.mean("wall_seconds"), 2));
+        cells.push_back(
+            Table::num(s.mean("events_per_sec") / 1e6, 2));
+        table.addRow(std::move(cells));
     }
     return table;
 }
@@ -68,6 +103,15 @@ std::string
 Sweep::toCsv() const
 {
     return toTable().toCsv();
+}
+
+std::string
+Sweep::toJson(const std::string& name, bool includeTiming) const
+{
+    campaign::ArtifactOptions options;
+    options.name = name;
+    options.includeTiming = includeTiming;
+    return campaign::toJson(campaign_, options);
 }
 
 } // namespace mediaworm::core

@@ -1,5 +1,6 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -7,7 +8,9 @@ namespace mediaworm::sim {
 
 namespace {
 
-LogLevel g_level = LogLevel::Info;
+// Atomic so concurrent experiment workers (campaign engine) can read
+// the threshold while another thread adjusts it, race-free.
+std::atomic<LogLevel> g_level{LogLevel::Info};
 
 void
 vprint(const char* tag, const char* fmt, std::va_list args)

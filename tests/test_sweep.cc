@@ -105,4 +105,53 @@ TEST(Sweep, RerunReplacesRows)
         << "sweeps must be deterministic";
 }
 
+TEST(Sweep, ParallelRowsMatchSequential)
+{
+    Sweep seq(tinyBase());
+    seq.addLoadAxis({0.3, 0.4, 0.5});
+    seq.run();
+
+    Sweep par(tinyBase());
+    par.addLoadAxis({0.3, 0.4, 0.5});
+    par.setJobs(4);
+    par.run();
+
+    ASSERT_EQ(par.rows().size(), seq.rows().size());
+    for (std::size_t i = 0; i < seq.rows().size(); ++i) {
+        EXPECT_EQ(par.rows()[i].label, seq.rows()[i].label);
+        EXPECT_EQ(par.rows()[i].result.eventsFired,
+                  seq.rows()[i].result.eventsFired);
+        EXPECT_EQ(par.rows()[i].result.meanIntervalNormMs,
+                  seq.rows()[i].result.meanIntervalNormMs);
+    }
+    EXPECT_EQ(par.toJson("sweep", false), seq.toJson("sweep", false))
+        << "aggregate artifact must not depend on the jobs count";
+}
+
+TEST(Sweep, ReplicationsAggregateAndRenderCi)
+{
+    Sweep sweep(tinyBase());
+    sweep.addLoadAxis({0.3});
+    sweep.setReplications(3);
+    sweep.run();
+
+    const auto& summary = sweep.rows()[0].summary;
+    EXPECT_EQ(summary.reps.size(), 3u);
+    EXPECT_EQ(summary.metric("mean_interval_norm_ms").n, 3u);
+
+    const std::string text = sweep.toTable().toString();
+    EXPECT_NE(text.find("d ci95"), std::string::npos) << text;
+}
+
+TEST(Sweep, TableSurfacesThroughputColumns)
+{
+    Sweep sweep(tinyBase());
+    sweep.addLoadAxis({0.3});
+    sweep.run();
+    const std::string text = sweep.toTable().toString();
+    EXPECT_NE(text.find("wall (s)"), std::string::npos) << text;
+    EXPECT_NE(text.find("Mev/s"), std::string::npos) << text;
+    EXPECT_GT(sweep.rows()[0].result.eventsPerSec, 0.0);
+}
+
 } // namespace

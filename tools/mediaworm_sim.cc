@@ -2,18 +2,30 @@
  * @file
  * mediaworm_sim - command-line front-end over the whole library.
  *
- * Runs one experiment point (wormhole or PCS) with every knob the
- * paper varies exposed as an option, and prints either a
- * human-readable report or a CSV row for scripting.
+ * Runs one experiment point (wormhole or PCS) - or a multi-point
+ * load sweep - with every knob the paper varies exposed as an
+ * option. Points x replications execute on the parallel campaign
+ * engine; output is a human-readable report, a CSV table or a JSON
+ * campaign artifact.
  *
  *   mediaworm_sim --load 0.9 --mix 0.8 --scheduler fifo
  *   mediaworm_sim --topology fat-mesh --load 0.8 --csv
  *   mediaworm_sim --pcs --load 0.87
+ *   mediaworm_sim --loads 0.6,0.8,0.9 --jobs 8 --replications 5 \
+ *       --json-out out.json
+ *
+ * The JSON artifact (schema mediaworm-campaign-v1) is by default a
+ * pure function of configuration + seed: byte-identical for any
+ * --jobs value. Pass --json-timing to append the wall-clock timing
+ * section (making the file host- and run-dependent).
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "campaign/artifact.hh"
 #include "config/options.hh"
 #include "core/mediaworm.hh"
 #include "pcs/pcs_experiment.hh"
@@ -53,6 +65,28 @@ runPcs(double load, int frames, double scale, long long seed, bool csv)
     return 0;
 }
 
+/** Parses a comma-separated load list; empty on error. */
+std::vector<double>
+parseLoads(const std::string& text)
+{
+    std::vector<double> loads;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t end = text.find(',', pos);
+        if (end == std::string::npos)
+            end = text.size();
+        const std::string item = text.substr(pos, end - pos);
+        char* rest = nullptr;
+        const double value = std::strtod(item.c_str(), &rest);
+        if (rest == item.c_str() || *rest != '\0' || value <= 0.0
+            || value > 1.5)
+            return {};
+        loads.push_back(value);
+        pos = end + 1;
+    }
+    return loads;
+}
+
 } // namespace
 
 int
@@ -72,6 +106,11 @@ main(int argc, char** argv)
     int topology = 0;   // single-switch
     int rt_kind = 0;    // vbr
     int placement = 0;  // balanced
+    int jobs = 1;
+    int replications = 1;
+    std::string loads_arg;
+    std::string json_out;
+    bool json_timing = false;
     bool pcs_mode = false;
     bool csv = false;
     bool dump_stats = false;
@@ -82,6 +121,9 @@ main(int argc, char** argv)
         "(HPCA 2000)");
     parser.addDouble("load", "offered input load (fraction of link)",
                      &load, 0.01, 1.5);
+    parser.addString("loads", "comma-separated load list (multi-point "
+                              "sweep; overrides --load)",
+                     &loads_arg);
     parser.addDouble("mix", "real-time share x/(x+y) of the load",
                      &mix, 0.0, 1.0);
     parser.addInt("vcs", "virtual channels per physical channel",
@@ -97,7 +139,18 @@ main(int argc, char** argv)
     parser.addDouble("scale", "time-scale compression (1 = paper's "
                               "full MPEG-2 workload)",
                      &scale, 0.001, 1.0);
-    parser.addInt("seed", "random seed", &seed, 0, 1 << 30);
+    parser.addInt("seed", "root random seed", &seed, 0, 1 << 30);
+    parser.addInt("jobs", "worker threads (0 = all hardware threads)",
+                  &jobs, 0, 256);
+    parser.addInt("replications",
+                  "seed replications per point (95% CIs)",
+                  &replications, 1, 1000);
+    parser.addString("json-out", "write a JSON campaign artifact "
+                                 "(schema mediaworm-campaign-v1)",
+                     &json_out);
+    parser.addFlag("json-timing", "include the wall-clock timing "
+                                  "section in the JSON artifact",
+                   &json_timing);
     parser.addChoice("scheduler", "multiplexer discipline",
                      {"fifo", "round-robin", "virtual-clock",
                       "weighted-rr"},
@@ -112,7 +165,7 @@ main(int argc, char** argv)
                      {"balanced", "uniform-random"}, &placement);
     parser.addFlag("pcs", "simulate the PCS baseline instead",
                    &pcs_mode);
-    parser.addFlag("csv", "emit one CSV row instead of a report",
+    parser.addFlag("csv", "emit CSV rows instead of a report",
                    &csv);
     parser.addFlag("stats", "dump the full component stat registry",
                    &dump_stats);
@@ -131,63 +184,106 @@ main(int argc, char** argv)
     if (pcs_mode)
         return runPcs(load, frames, scale, seed, csv);
 
-    core::ExperimentConfig cfg;
-    cfg.router.numVcs = vcs;
-    cfg.router.flitBufferDepth = buffers;
-    cfg.router.linkBandwidthMbps = link_mbps;
-    cfg.router.scheduler =
-        static_cast<config::SchedulerKind>(scheduler);
-    cfg.router.crossbar = static_cast<config::CrossbarKind>(crossbar);
-    cfg.network.topology = static_cast<config::TopologyKind>(topology);
-    cfg.traffic.inputLoad = load;
-    cfg.traffic.realTimeFraction = mix;
-    cfg.traffic.realTimeKind =
-        static_cast<config::RealTimeKind>(rt_kind);
-    cfg.traffic.streamPlacement =
-        static_cast<config::StreamPlacement>(placement);
-    cfg.traffic.messageFlits = message_flits;
-    cfg.traffic.warmupFrames = 2;
-    cfg.traffic.measuredFrames = frames;
-    cfg.timeScale = scale;
-    cfg.seed = static_cast<std::uint64_t>(seed);
+    std::vector<double> loads{load};
+    if (!loads_arg.empty()) {
+        loads = parseLoads(loads_arg);
+        if (loads.empty()) {
+            std::fprintf(stderr,
+                         "--loads: expected comma-separated values "
+                         "in (0, 1.5], got '%s'\n",
+                         loads_arg.c_str());
+            return 2;
+        }
+    }
 
-    const core::ExperimentResult r = core::runExperiment(cfg);
+    core::ExperimentConfig base;
+    base.router.numVcs = vcs;
+    base.router.flitBufferDepth = buffers;
+    base.router.linkBandwidthMbps = link_mbps;
+    base.router.scheduler =
+        static_cast<config::SchedulerKind>(scheduler);
+    base.router.crossbar = static_cast<config::CrossbarKind>(crossbar);
+    base.network.topology = static_cast<config::TopologyKind>(topology);
+    base.traffic.inputLoad = load;
+    base.traffic.realTimeFraction = mix;
+    base.traffic.realTimeKind =
+        static_cast<config::RealTimeKind>(rt_kind);
+    base.traffic.streamPlacement =
+        static_cast<config::StreamPlacement>(placement);
+    base.traffic.messageFlits = message_flits;
+    base.traffic.warmupFrames = 2;
+    base.traffic.measuredFrames = frames;
+    base.timeScale = scale;
+    base.seed = static_cast<std::uint64_t>(seed);
+
+    core::Sweep sweep(base);
+    sweep.setJobs(jobs);
+    sweep.setReplications(replications);
+    sweep.addLoadAxis(loads);
+    sweep.run();
+
+    if (!json_out.empty()) {
+        if (!campaign::writeTextFile(
+                json_out, sweep.toJson("mediaworm_sim", json_timing)))
+            return 1;
+        std::fprintf(stderr, "wrote %s\n", json_out.c_str());
+    }
 
     if (csv) {
-        std::printf("wormhole,%.3f,%.3f,%s,%s,%d,%.4f,%.4f,%.2f,%.2f\n",
-                    load, mix, config::toString(cfg.router.scheduler),
-                    config::toString(cfg.router.crossbar), vcs,
-                    r.meanIntervalNormMs, r.stddevIntervalNormMs,
-                    r.beLatencyUs, r.beNetworkLatencyUs);
+        std::printf("%s", sweep.toCsv().c_str());
         return 0;
     }
 
     std::printf("MediaWorm %s | %s\n",
-                cfg.router.describe().c_str(),
-                cfg.network.describe().c_str());
-    std::printf("Workload: %s\n\n", cfg.traffic.describe().c_str());
-    std::printf("Real-time: d = %.2f ms, sigma_d = %.3f ms "
-                "(%llu intervals, %d streams)\n",
-                r.meanIntervalNormMs, r.stddevIntervalNormMs,
-                static_cast<unsigned long long>(r.intervalSamples),
-                r.rtStreams);
-    std::printf("Best-effort: %.1f us total, %.1f us in-network "
-                "(%llu messages)\n",
-                r.beLatencyUs, r.beNetworkLatencyUs,
-                static_cast<unsigned long long>(r.beMessages));
-    std::printf("Simulated %.1f ms in %.2f s (%llu events)%s\n",
-                r.simulatedMs, r.wallSeconds,
-                static_cast<unsigned long long>(r.eventsFired),
-                r.truncated ? " [TRUNCATED]" : "");
+                base.router.describe().c_str(),
+                base.network.describe().c_str());
+    std::printf("Workload: %s\n", base.traffic.describe().c_str());
+    std::printf("Campaign: %zu point(s) x %d replication(s), "
+                "jobs=%d, root seed %d\n\n",
+                loads.size(), replications, jobs, seed);
+    std::printf("%s\n", sweep.toTable().toString().c_str());
 
-    if (dump_stats) {
-        // Re-run with a registry attached would double the cost;
-        // instead report the aggregate counters we already have.
-        std::printf("\nframes delivered: %llu\nflits delivered: "
-                    "%llu\n",
-                    static_cast<unsigned long long>(r.framesDelivered),
+    // Single-point classic report details.
+    if (loads.size() == 1) {
+        const core::Sweep::Row& row = sweep.rows()[0];
+        const core::ExperimentResult& r = row.result;
+        const campaign::PointSummary& s = row.summary;
+        std::printf("Real-time: d = %.2f ms, sigma_d = %.3f ms "
+                    "(%llu intervals, %d streams)\n",
+                    s.mean("mean_interval_norm_ms"),
+                    s.mean("stddev_interval_norm_ms"),
                     static_cast<unsigned long long>(
-                        r.flitsDelivered));
+                        r.intervalSamples),
+                    r.rtStreams);
+        if (replications > 1) {
+            const campaign::MetricSummary& d =
+                s.metric("mean_interval_norm_ms");
+            std::printf("  d 95%% CI: [%.3f, %.3f] ms over %zu "
+                        "replications\n",
+                        d.lo(), d.hi(), d.n);
+        }
+        std::printf("Best-effort: %.1f us total, %.1f us in-network "
+                    "(%llu messages)\n",
+                    s.mean("be_latency_us"),
+                    s.mean("be_network_latency_us"),
+                    static_cast<unsigned long long>(r.beMessages));
+        std::printf("Simulated %.1f ms in %.2f s (%llu events, "
+                    "%.2f Mev/s)%s\n",
+                    r.simulatedMs, r.wallSeconds,
+                    static_cast<unsigned long long>(r.eventsFired),
+                    r.eventsPerSec / 1e6,
+                    r.truncated ? " [TRUNCATED]" : "");
+
+        if (dump_stats) {
+            // Re-run with a registry attached would double the cost;
+            // instead report the aggregate counters we already have.
+            std::printf("\nframes delivered: %llu\nflits delivered: "
+                        "%llu\n",
+                        static_cast<unsigned long long>(
+                            r.framesDelivered),
+                        static_cast<unsigned long long>(
+                            r.flitsDelivered));
+        }
     }
     return 0;
 }
