@@ -37,6 +37,92 @@ BM_EventQueueScheduleFire(benchmark::State& state)
 }
 BENCHMARK(BM_EventQueueScheduleFire)->Arg(16)->Arg(256)->Arg(4096);
 
+/**
+ * The dominant real scheduling pattern: each fired event reschedules
+ * itself 1-4 cycles ahead, like the router's multiplexer service
+ * slots and link deliveries. Exercises the near-tier fast path.
+ */
+void
+BM_EventQueueNearFuture(benchmark::State& state)
+{
+    constexpr sim::Tick kCycle = 80000; // 400 Mbps, 32-bit flits
+    const int population = static_cast<int>(state.range(0));
+    sim::Simulator simulator(7);
+    std::uint64_t fired = 0;
+    std::vector<std::unique_ptr<sim::CallbackEvent>> events;
+    events.reserve(static_cast<std::size_t>(population));
+    for (int i = 0; i < population; ++i) {
+        auto event = std::make_unique<sim::CallbackEvent>([] {},
+                                                          "bench");
+        sim::CallbackEvent* raw = event.get();
+        raw->setCallback([&simulator, &fired, raw] {
+            ++fired;
+            const sim::Tick delta =
+                (1 + static_cast<sim::Tick>(
+                         simulator.rng().uniformInt(4)))
+                * kCycle;
+            simulator.schedule(*raw, simulator.now() + delta);
+        });
+        events.push_back(std::move(event));
+    }
+    sim::Tick horizon = 0;
+    for (auto _ : state) {
+        if (horizon == 0) {
+            for (auto& event : events)
+                simulator.schedule(*event, horizon + kCycle);
+        }
+        horizon += 100 * kCycle;
+        simulator.run(horizon);
+    }
+    for (auto& event : events)
+        simulator.deschedule(*event);
+    state.SetItemsProcessed(static_cast<std::int64_t>(fired));
+}
+BENCHMARK(BM_EventQueueNearFuture)->Arg(64)->Arg(1024);
+
+/** Link transfer: flits and (coalesced) credits through the pipes. */
+void
+BM_LinkFlitCreditTransfer(benchmark::State& state)
+{
+    class Sink final : public router::FlitReceiver,
+                       public router::CreditReceiver
+    {
+      public:
+        explicit Sink(router::Link& reverse) : reverse_(reverse) {}
+        void
+        receiveFlit(const router::Flit& flit, int vc) override
+        {
+            (void)flit;
+            reverse_.sendCredit(vc);
+        }
+        void creditReturned(int vc) override { credits_ += vc; }
+        std::uint64_t credits_ = 0;
+
+      private:
+        router::Link& reverse_;
+    };
+
+    sim::Simulator simulator(7);
+    const sim::Tick delay = 2 * 80000; // two cycles
+    router::Link link(simulator, delay, "bench");
+    Sink sink(link);
+    link.connectReceiver(&sink);
+    link.connectCreditReceiver(&sink);
+
+    router::Flit flit;
+    std::uint64_t sent = 0;
+    for (auto _ : state) {
+        for (int burst = 0; burst < 64; ++burst) {
+            link.sendFlit(flit, burst % 4);
+            ++sent;
+        }
+        simulator.run(simulator.now() + 10 * delay);
+    }
+    benchmark::DoNotOptimize(sink.credits_);
+    state.SetItemsProcessed(static_cast<std::int64_t>(sent));
+}
+BENCHMARK(BM_LinkFlitCreditTransfer);
+
 void
 BM_RngUniform(benchmark::State& state)
 {

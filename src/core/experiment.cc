@@ -1,5 +1,6 @@
 #include "core/experiment.hh"
 
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -155,6 +156,45 @@ ExperimentResult::describe() const
         static_cast<unsigned long long>(beMessages),
         truncated ? " TRUNCATED" : "");
     return buf;
+}
+
+namespace {
+
+/** Folds one 64-bit word into an FNV-1a state, byte by byte. */
+std::uint64_t
+fnv1a64(std::uint64_t h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+std::uint64_t
+ExperimentResult::deterministicHash() const
+{
+    std::uint64_t h = 14695981039346656037ULL;
+    h = fnv1a64(h, std::bit_cast<std::uint64_t>(meanIntervalMs));
+    h = fnv1a64(h, std::bit_cast<std::uint64_t>(stddevIntervalMs));
+    h = fnv1a64(h, std::bit_cast<std::uint64_t>(meanIntervalNormMs));
+    h = fnv1a64(h, std::bit_cast<std::uint64_t>(stddevIntervalNormMs));
+    h = fnv1a64(h, std::bit_cast<std::uint64_t>(beLatencyUs));
+    h = fnv1a64(h, std::bit_cast<std::uint64_t>(beNetworkLatencyUs));
+    h = fnv1a64(h, std::bit_cast<std::uint64_t>(beLatencyP99Us));
+    h = fnv1a64(h, std::bit_cast<std::uint64_t>(rtMessageLatencyUs));
+    h = fnv1a64(h, intervalSamples);
+    h = fnv1a64(h, framesDelivered);
+    h = fnv1a64(h, beMessages);
+    h = fnv1a64(h, flitsDelivered);
+    h = fnv1a64(h, eventsFired);
+    h = fnv1a64(h, static_cast<std::uint64_t>(rtStreams));
+    h = fnv1a64(h, static_cast<std::uint64_t>(streamsPerNode));
+    h = fnv1a64(h, std::bit_cast<std::uint64_t>(simulatedMs));
+    h = fnv1a64(h, truncated ? 1u : 0u);
+    return h;
 }
 
 } // namespace mediaworm::core

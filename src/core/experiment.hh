@@ -89,6 +89,17 @@ struct ExperimentResult
 
     /** One-line human-readable summary. */
     std::string describe() const;
+
+    /**
+     * FNV-1a 64 digest over the deterministic fields (the doubles'
+     * bit patterns, not rounded values), in declaration order.
+     * Machine-dependent fields (wallSeconds, eventsPerSec) are
+     * excluded, so for a fixed config and seed the digest is a
+     * stable fingerprint of the whole simulation: any behavioural
+     * change anywhere in the kernel, router, or traffic path moves
+     * it. Used by the determinism regression tests.
+     */
+    std::uint64_t deterministicHash() const;
 };
 
 /** Runs one experiment point to completion. */

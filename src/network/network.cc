@@ -77,6 +77,14 @@ Network::buildSingleSwitch()
     sw->setRouteFunction([](sim::NodeId dest) {
         return router::RouteCandidates::single(dest.value());
     });
+    // Static topology: precompute the table so headers route with an
+    // array load instead of a std::function call.
+    router::RouteTable table(
+        static_cast<std::size_t>(routerCfg_.numPorts));
+    for (int node = 0; node < routerCfg_.numPorts; ++node)
+        table[static_cast<std::size_t>(node)] =
+            router::RouteCandidates::single(node);
+    sw->setRouteTable(std::move(table));
 
     routers_.push_back(std::move(sw));
 }
@@ -163,8 +171,8 @@ Network::buildFatMesh()
         const auto& ports = dir_port[static_cast<std::size_t>(s)];
         const config::FatLinkPolicy policy = netCfg_.fatLinkPolicy;
         sim::Rng* rng = rng_;
-        routers_[static_cast<std::size_t>(s)]->setRouteFunction(
-            [=, this](sim::NodeId dest) {
+        auto route =
+            [=, this](sim::NodeId dest) -> router::RouteCandidates {
                 const int dest_switch = dest.value() / eps;
                 if (dest_switch == s) {
                     return router::RouteCandidates::single(
@@ -199,7 +207,24 @@ Network::buildFatMesh()
                             static_cast<std::uint64_t>(fat))));
                 }
                 sim::panic("unreachable fat-link policy");
-            });
+            };
+        routers_[static_cast<std::size_t>(s)]->setRouteFunction(route);
+
+        // XY routes are static per destination for the least-loaded
+        // and static policies (candidate sets do not depend on when
+        // the route is asked for), so precompute them. The random
+        // policy draws from the RNG per header and must stay
+        // functional.
+        if (policy != config::FatLinkPolicy::Random) {
+            const int num_nodes = num_switches * eps;
+            router::RouteTable table(
+                static_cast<std::size_t>(num_nodes));
+            for (int node = 0; node < num_nodes; ++node)
+                table[static_cast<std::size_t>(node)] =
+                    route(sim::NodeId(node));
+            routers_[static_cast<std::size_t>(s)]->setRouteTable(
+                std::move(table));
+        }
     }
 }
 

@@ -12,14 +12,16 @@ NetworkInterface::NetworkInterface(sim::Simulator& simulator,
       name_(std::move(name)), cycleTime_(cfg.cycleTime()),
       vcs_(static_cast<std::size_t>(cfg.numVcs)),
       scheduler_(router::makeScheduler(cfg.injectionScheduler)),
-      muxEvent_(
-          [this] {
-              muxBusy_ = false;
-              serveMux();
-          },
-          "NetworkInterface::mux")
+      muxEvent_(this, "NetworkInterface::mux")
 {
     scratch_.reserve(static_cast<std::size_t>(cfg.numVcs));
+}
+
+void
+NetworkInterface::muxFired()
+{
+    muxBusy_ = false;
+    serveMux();
 }
 
 void

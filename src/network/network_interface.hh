@@ -95,6 +95,8 @@ class NetworkInterface final : public traffic::Injector,
 
     void kickMux();
     void serveMux();
+    /** Mux service slot elapsed: serve the next flit. */
+    void muxFired();
 
     sim::Simulator& simulator_;
     sim::NodeId node_;
@@ -105,7 +107,7 @@ class NetworkInterface final : public traffic::Injector,
 
     std::vector<InjectionVc> vcs_;
     std::unique_ptr<router::Scheduler> scheduler_;
-    sim::CallbackEvent muxEvent_;
+    sim::MemberFuncEvent<&NetworkInterface::muxFired> muxEvent_;
     bool muxBusy_ = false;
     std::uint64_t nextArrivalSeq_ = 0;
     std::vector<router::Candidate> scratch_;

@@ -4,10 +4,18 @@
 
 namespace mediaworm::router {
 
+namespace {
+
+/** Initial pipe capacity; pipes are credit-bounded and small. */
+constexpr std::size_t kPipeCapacity = 32;
+
+} // namespace
+
 Link::Link(sim::Simulator& simulator, sim::Tick delay, std::string name)
     : simulator_(simulator), delay_(delay), name_(std::move(name)),
-      flitEvent_([this] { deliverFlits(); }, "Link::deliverFlits"),
-      creditEvent_([this] { deliverCredits(); }, "Link::deliverCredits")
+      flitPipe_(kPipeCapacity), creditPipe_(kPipeCapacity),
+      flitEvent_(this, "Link::deliverFlits"),
+      creditEvent_(this, "Link::deliverCredits")
 {
     MW_ASSERT(delay >= 0);
 }
@@ -38,7 +46,18 @@ void
 Link::sendCredit(int vc)
 {
     MW_ASSERT(creditReceiver_ != nullptr);
-    creditPipe_.push_back({vc, simulator_.now() + delay_});
+    const sim::Tick deliver_at = simulator_.now() + delay_;
+    // Coalesce with the newest entry when it matches; same-tick
+    // credits for one VC collapse into a count, and delivery order
+    // across VCs is untouched because only adjacent entries merge.
+    if (!creditPipe_.empty()) {
+        InFlightCredit& newest = creditPipe_.back();
+        if (newest.deliverAt == deliver_at && newest.vc == vc) {
+            ++newest.count;
+            return;
+        }
+    }
+    creditPipe_.push_back({vc, 1, deliver_at});
     if (!creditEvent_.scheduled())
         simulator_.schedule(creditEvent_, creditPipe_.front().deliverAt);
 }
@@ -64,7 +83,8 @@ Link::deliverCredits()
            && creditPipe_.front().deliverAt <= now) {
         InFlightCredit entry = creditPipe_.front();
         creditPipe_.pop_front();
-        creditReceiver_->creditReturned(entry.vc);
+        for (int i = 0; i < entry.count; ++i)
+            creditReceiver_->creditReturned(entry.vc);
     }
     if (!creditPipe_.empty())
         simulator_.schedule(creditEvent_, creditPipe_.front().deliverAt);

@@ -13,10 +13,10 @@
 #ifndef MEDIAWORM_ROUTER_LINK_HH
 #define MEDIAWORM_ROUTER_LINK_HH
 
-#include <deque>
 #include <string>
 
 #include "router/flit.hh"
+#include "router/ring.hh"
 #include "sim/event.hh"
 #include "sim/simulator.hh"
 #include "stats/rate_monitor.hh"
@@ -86,9 +86,11 @@ class Link
         sim::Tick deliverAt;
     };
 
+    /** Credits for one VC sharing a delivery tick, coalesced. */
     struct InFlightCredit
     {
         int vc;
+        int count;
         sim::Tick deliverAt;
     };
 
@@ -102,10 +104,10 @@ class Link
     FlitReceiver* receiver_ = nullptr;
     CreditReceiver* creditReceiver_ = nullptr;
 
-    std::deque<InFlightFlit> flitPipe_;
-    std::deque<InFlightCredit> creditPipe_;
-    sim::CallbackEvent flitEvent_;
-    sim::CallbackEvent creditEvent_;
+    Ring<InFlightFlit> flitPipe_;
+    Ring<InFlightCredit> creditPipe_;
+    sim::MemberFuncEvent<&Link::deliverFlits> flitEvent_;
+    sim::MemberFuncEvent<&Link::deliverCredits> creditEvent_;
 
     stats::RateMonitor flitRate_;
 };

@@ -34,34 +34,25 @@ WormholeRouter::WormholeRouter(sim::Simulator& simulator,
             InputVc& ivc = ip.vcs[static_cast<std::size_t>(v)];
             ivc.buffer = FlitBuffer(
                 static_cast<std::size_t>(cfg_.flitBufferDepth));
-            ivc.routeEvent.setCallback(
-                [this, p, v] { routeComputed(p, v); });
-            ivc.serveEvent.setCallback([this, p, v] {
-                InputVc& vc_ref =
-                    inputs_[static_cast<std::size_t>(p)]
-                        .vcs[static_cast<std::size_t>(v)];
-                const Flit flit = vc_ref.inFlight;
-                const int out_port = vc_ref.inFlightOutPort;
-                const int out_vc = vc_ref.inFlightOutVc;
-                vc_ref.serverBusy = false;
-                depositIntoOutputVc(out_port, out_vc, flit);
-                serveInputVc(p, v);
-            });
+            ivc.routeEvent.init(this, p, v);
+            ivc.serveEvent.init(this, p, v);
         }
         // Point-A scheduler only exists for multiplexed crossbars.
         if (cfg_.crossbar == config::CrossbarKind::Multiplexed) {
             ip.scheduler = makeScheduler(cfg_.scheduler);
         }
-        ip.muxEvent.setCallback([this, p] {
-            inputs_[static_cast<std::size_t>(p)].muxBusy = false;
-            serveInputMux(p);
-        });
+        ip.muxEvent.init(this, p);
 
         OutputPort& op = outputs_[static_cast<std::size_t>(p)];
         op.vcs.resize(static_cast<std::size_t>(m));
         for (OutputVc& ovc : op.vcs) {
             ovc.buffer = FlitBuffer(
                 static_cast<std::size_t>(cfg_.flitBufferDepth));
+            // Waiter lists are bounded by the input-VC count; size
+            // them once so the hot path never allocates.
+            ovc.allocWaiters =
+                Ring<InputVcKey>(static_cast<std::size_t>(n * m));
+            ovc.spaceWaiters.reserve(static_cast<std::size_t>(n * m));
         }
         // Point C uses the configured discipline for full crossbars
         // (where it is the only flit-level contention point) and
@@ -70,13 +61,11 @@ WormholeRouter::WormholeRouter(sim::Simulator& simulator,
             cfg_.crossbar == config::CrossbarKind::Full
                 ? cfg_.scheduler
                 : config::SchedulerKind::Fifo);
-        op.xbarEvent.setCallback([this, p] { xbarDeliver(p); });
-        op.muxEvent.setCallback([this, p] {
-            outputs_[static_cast<std::size_t>(p)].muxBusy = false;
-            serveOutputMux(p);
-        });
+        op.xbarEvent.init(this, p);
+        op.muxEvent.init(this, p);
     }
     scratchCandidates_.reserve(static_cast<std::size_t>(m));
+    scratchWaiters_.reserve(static_cast<std::size_t>(n * m));
 }
 
 void
@@ -105,6 +94,12 @@ void
 WormholeRouter::setRouteFunction(RouteFunction fn)
 {
     routeFn_ = std::move(fn);
+}
+
+void
+WormholeRouter::setRouteTable(RouteTable table)
+{
+    routeTable_ = std::move(table);
 }
 
 int
@@ -191,9 +186,15 @@ WormholeRouter::routeComputed(int port, int vc)
     MW_ASSERT(!ivc.buffer.empty());
     const Flit& header = ivc.buffer.front();
     MW_ASSERT(header.isHeader());
-    MW_ASSERT(routeFn_ != nullptr);
 
-    const RouteCandidates candidates = routeFn_(header.dest);
+    RouteCandidates candidates;
+    const auto dest = static_cast<std::size_t>(header.dest.value());
+    if (dest < routeTable_.size()) {
+        candidates = routeTable_[dest];
+    } else {
+        MW_ASSERT(routeFn_ != nullptr);
+        candidates = routeFn_(header.dest);
+    }
     MW_ASSERT(candidates.count >= 1);
 
     // Fat-channel selection: pick the least-loaded candidate port
@@ -359,6 +360,13 @@ WormholeRouter::serveInputMux(int port)
     simulator_.scheduleAfter(ip.muxEvent, cycle());
 }
 
+void
+WormholeRouter::inputMuxFired(int port)
+{
+    inputs_[static_cast<std::size_t>(port)].muxBusy = false;
+    serveInputMux(port);
+}
+
 // --- full crossbar: one private server per input VC -------------------------
 
 void
@@ -402,6 +410,19 @@ WormholeRouter::serveInputVc(int port, int vc)
         ip.link->sendCredit(vc);
     if (flit.isTail())
         finishInputMessage({port, vc});
+}
+
+void
+WormholeRouter::vcServeFired(int port, int vc)
+{
+    InputVc& ivc = inputs_[static_cast<std::size_t>(port)]
+                       .vcs[static_cast<std::size_t>(vc)];
+    const Flit flit = ivc.inFlight;
+    const int out_port = ivc.inFlightOutPort;
+    const int out_vc = ivc.inFlightOutVc;
+    ivc.serverBusy = false;
+    depositIntoOutputVc(out_port, out_vc, flit);
+    serveInputVc(port, vc);
 }
 
 // --- point B: crossbar output port ------------------------------------------
@@ -506,6 +527,13 @@ WormholeRouter::serveOutputMux(int port)
     simulator_.scheduleAfter(op.muxEvent, cycle());
 }
 
+void
+WormholeRouter::outputMuxFired(int port)
+{
+    outputs_[static_cast<std::size_t>(port)].muxBusy = false;
+    serveOutputMux(port);
+}
+
 // --- waiter bookkeeping -------------------------------------------------------
 
 void
@@ -524,20 +552,26 @@ WormholeRouter::wakeSpaceWaiters(OutputVc& ovc)
 {
     if (ovc.spaceWaiters.empty())
         return;
-    // Swap out first: kicked handlers may re-register.
-    std::vector<InputVcKey> waiters;
-    waiters.swap(ovc.spaceWaiters);
-    for (const InputVcKey& key : waiters) {
+    // Copy out first: kicked handlers may re-register. The member
+    // scratch (instead of a fresh vector) keeps both lists at their
+    // working-set capacity; wakes never nest because every path from
+    // a kick back to serveOutputMux crosses a scheduled event.
+    MW_ASSERT(scratchWaiters_.empty());
+    scratchWaiters_.assign(ovc.spaceWaiters.begin(),
+                           ovc.spaceWaiters.end());
+    ovc.spaceWaiters.clear();
+    for (const InputVcKey& key : scratchWaiters_) {
         InputVc& ivc = inputs_[static_cast<std::size_t>(key.port)]
                            .vcs[static_cast<std::size_t>(key.vc)];
         ivc.inSpaceWaitList = false;
     }
-    for (const InputVcKey& key : waiters) {
+    for (const InputVcKey& key : scratchWaiters_) {
         if (cfg_.crossbar == config::CrossbarKind::Multiplexed)
             kickInputMux(key.port);
         else
             kickInputVcServer(key.port, key.vc);
     }
+    scratchWaiters_.clear();
 }
 
 // --- diagnostics ----------------------------------------------------------------

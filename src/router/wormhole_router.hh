@@ -28,7 +28,6 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -38,6 +37,7 @@
 #include "router/flit.hh"
 #include "router/flit_buffer.hh"
 #include "router/link.hh"
+#include "router/ring.hh"
 #include "router/scheduler.hh"
 #include "router/virtual_clock.hh"
 #include "sim/event.hh"
@@ -71,6 +71,14 @@ struct RouteCandidates
 /** Maps a destination endpoint to candidate output ports. */
 using RouteFunction = std::function<RouteCandidates(sim::NodeId dest)>;
 
+/**
+ * Precomputed destination -> candidate-ports table, indexed by node
+ * id. The fast path for static topologies (single switch, XY-routed
+ * fat mesh): header routing becomes one array load instead of a
+ * std::function call per header flit.
+ */
+using RouteTable = std::vector<RouteCandidates>;
+
 /** An 8x8-class pipelined wormhole router with pluggable scheduling. */
 class WormholeRouter
 {
@@ -103,6 +111,15 @@ class WormholeRouter
 
     /** Installs the routing function. Must be set before traffic. */
     void setRouteFunction(RouteFunction fn);
+
+    /**
+     * Installs a precomputed route table covering every destination
+     * node id; headers then route with one array load. The
+     * functional form (setRouteFunction) remains the fallback for
+     * destinations outside the table and for load- or random-
+     * dependent policies that cannot be tabulated.
+     */
+    void setRouteTable(RouteTable table);
 
     /** Hardware configuration. */
     const config::RouterConfig& cfg() const { return cfg_; }
@@ -153,6 +170,82 @@ class WormholeRouter
         int vc;
     };
 
+    // --- pipeline actions -------------------------------------------------
+    // (Declared ahead of the port/VC structs so the typed events
+    // below can name them as template arguments.)
+    void flitArrived(int port, int vc, const Flit& flit);
+    void creditArrived(int port, int vc);
+    void startRouting(int port, int vc);
+    void routeComputed(int port, int vc);
+    void requestOutputVc(int port, int vc, int out_port, int out_vc);
+    /** Grants the VC to its oldest waiter if the allocation (and,
+     *  for cut-through, the downstream-space gate) permits. */
+    bool tryGrantNextWaiter(int out_port, int out_vc);
+    void grantOutputVc(InputVcKey key, int out_port, int out_vc);
+    void finishInputMessage(InputVcKey key);
+
+    // Point A (multiplexed crossbar).
+    void kickInputMux(int port);
+    void serveInputMux(int port);
+    /** Input-mux service slot elapsed: serve the next flit. */
+    void inputMuxFired(int port);
+
+    // Full crossbar: per-VC private server.
+    void kickInputVcServer(int port, int vc);
+    void serveInputVc(int port, int vc);
+    /** Per-VC crossbar server finished its in-flight flit. */
+    void vcServeFired(int port, int vc);
+
+    // Point B.
+    void xbarDeliver(int out_port);
+    void depositIntoOutputVc(int out_port, int out_vc,
+                             const Flit& flit);
+
+    // Point C.
+    void kickOutputMux(int port);
+    void serveOutputMux(int port);
+    /** Output-mux service slot elapsed: serve the next flit. */
+    void outputMuxFired(int port);
+
+    /**
+     * Intrusive typed event calling a (port) router method; a direct
+     * call on fire(), with no std::function erasure or allocation.
+     */
+    template <void (WormholeRouter::*Method)(int)>
+    struct PortEvent final : sim::Event
+    {
+        WormholeRouter* router = nullptr;
+        int port = 0;
+
+        void
+        init(WormholeRouter* r, int p)
+        {
+            router = r;
+            port = p;
+        }
+        void fire() override { (router->*Method)(port); }
+        const char* name() const override { return "RouterPortEvent"; }
+    };
+
+    /** As PortEvent, for (port, vc) router methods. */
+    template <void (WormholeRouter::*Method)(int, int)>
+    struct VcEvent final : sim::Event
+    {
+        WormholeRouter* router = nullptr;
+        int port = 0;
+        int vc = 0;
+
+        void
+        init(WormholeRouter* r, int p, int v)
+        {
+            router = r;
+            port = p;
+            vc = v;
+        }
+        void fire() override { (router->*Method)(port, vc); }
+        const char* name() const override { return "RouterVcEvent"; }
+    };
+
     /** Lifecycle of the message occupying an input VC. */
     enum class InputVcState : std::uint8_t {
         Idle,      ///< No message present.
@@ -169,9 +262,10 @@ class WormholeRouter
         int outVc = -1;
         VirtualClockState vclock; ///< Point-A stamping state.
         sim::Tick vtick = kBestEffortVtick; ///< Current message's rate.
-        sim::CallbackEvent routeEvent; ///< Fires when stages 2-3 finish.
+        /// Fires when stages 2-3 finish.
+        VcEvent<&WormholeRouter::routeComputed> routeEvent;
         // Full-crossbar mode: this VC's private crossbar input server.
-        sim::CallbackEvent serveEvent;
+        VcEvent<&WormholeRouter::vcServeFired> serveEvent;
         bool serverBusy = false;
         Flit inFlight;            ///< Flit traversing the crossbar.
         int inFlightOutPort = -1; ///< Destination of the in-flight flit.
@@ -186,7 +280,7 @@ class WormholeRouter
         Link* link = nullptr; ///< For returning credits upstream.
         // Point A: the crossbar input multiplexer (multiplexed mode).
         std::unique_ptr<Scheduler> scheduler;
-        sim::CallbackEvent muxEvent;
+        PortEvent<&WormholeRouter::inputMuxFired> muxEvent;
         bool muxBusy = false;
     };
 
@@ -196,7 +290,7 @@ class WormholeRouter
         int credits = 0;        ///< Downstream buffer slots available.
         int reservedSlots = 0;  ///< Claimed by flits in the crossbar.
         bool allocated = false; ///< Held by a message (wormhole).
-        std::deque<InputVcKey> allocWaiters;
+        Ring<InputVcKey> allocWaiters;
         std::vector<InputVcKey> spaceWaiters;
         VirtualClockState vclock; ///< Point-C stamping state.
     };
@@ -209,11 +303,11 @@ class WormholeRouter
         bool xbarBusy = false;
         Flit xbarFlit;
         int xbarFlitVc = -1;
-        sim::CallbackEvent xbarEvent;
+        PortEvent<&WormholeRouter::xbarDeliver> xbarEvent;
         std::uint64_t xbarWaiters = 0; ///< Bitmask of blocked muxes.
         // Point C: the VC output multiplexer driving the link.
         std::unique_ptr<Scheduler> scheduler;
-        sim::CallbackEvent muxEvent;
+        PortEvent<&WormholeRouter::outputMuxFired> muxEvent;
         bool muxBusy = false;
         std::uint64_t nextArrivalSeq = 0;
     };
@@ -262,35 +356,6 @@ class WormholeRouter
         int port_ = 0;
     };
 
-    // --- pipeline actions -------------------------------------------------
-    void flitArrived(int port, int vc, const Flit& flit);
-    void creditArrived(int port, int vc);
-    void startRouting(int port, int vc);
-    void routeComputed(int port, int vc);
-    void requestOutputVc(int port, int vc, int out_port, int out_vc);
-    /** Grants the VC to its oldest waiter if the allocation (and,
-     *  for cut-through, the downstream-space gate) permits. */
-    bool tryGrantNextWaiter(int out_port, int out_vc);
-    void grantOutputVc(InputVcKey key, int out_port, int out_vc);
-    void finishInputMessage(InputVcKey key);
-
-    // Point A (multiplexed crossbar).
-    void kickInputMux(int port);
-    void serveInputMux(int port);
-
-    // Full crossbar: per-VC private server.
-    void kickInputVcServer(int port, int vc);
-    void serveInputVc(int port, int vc);
-
-    // Point B.
-    void xbarDeliver(int out_port);
-    void depositIntoOutputVc(int out_port, int out_vc,
-                             const Flit& flit);
-
-    // Point C.
-    void kickOutputMux(int port);
-    void serveOutputMux(int port);
-
     void registerSpaceWaiter(OutputVc& ovc, InputVcKey key);
     void wakeSpaceWaiters(OutputVc& ovc);
     void dispatchFlit(InputVcKey key, InputVc& ivc);
@@ -303,6 +368,7 @@ class WormholeRouter
     sim::Tick cycleTime_;
 
     RouteFunction routeFn_;
+    RouteTable routeTable_; ///< Fast path; empty when not tabulable.
 
     // Fixed arrays: ports embed events and cannot be moved.
     std::unique_ptr<InputPort[]> inputs_;
@@ -312,6 +378,7 @@ class WormholeRouter
 
     std::uint64_t nextInputSeq_ = 0;
     std::vector<Candidate> scratchCandidates_;
+    std::vector<InputVcKey> scratchWaiters_; ///< wakeSpaceWaiters scratch.
 
     std::uint64_t flitsForwarded_ = 0;
     std::uint64_t headersRouted_ = 0;

@@ -4,9 +4,9 @@
  *
  * Events are intrusive: the queue stores their scheduled time, a
  * monotonically increasing sequence number (for deterministic FIFO
- * tie-breaking of same-tick events) and their heap index (for O(log n)
- * cancellation/rescheduling) inside the event object itself, so the
- * hot path performs no allocation.
+ * tie-breaking of same-tick events) and their queue position (heap
+ * index or near-tier list links, see event_queue.hh) inside the event
+ * object itself, so the hot path performs no allocation.
  */
 
 #ifndef MEDIAWORM_SIM_EVENT_HH
@@ -44,7 +44,7 @@ class Event
     virtual const char* name() const { return "Event"; }
 
     /** True if currently scheduled on a queue. */
-    bool scheduled() const { return heapIndex_ >= 0; }
+    bool scheduled() const { return heapIndex_ != kUnscheduled; }
 
     /** Scheduled firing time; meaningless unless scheduled(). */
     Tick when() const { return when_; }
@@ -52,12 +52,86 @@ class Event
   private:
     friend class EventQueue;
 
+    /** heapIndex_ sentinel: not on any queue. */
+    static constexpr std::int64_t kUnscheduled = -1;
+    /** heapIndex_ sentinel: linked into a near-tier bucket. */
+    static constexpr std::int64_t kInNearTier = -2;
+
     Tick when_ = kTickNever;
     std::uint64_t seq_ = 0;
-    std::int32_t heapIndex_ = -1;
+    /**
+     * Position marker. Non-negative values index the far-tier heap;
+     * 64 bits wide so the index can never overflow the representable
+     * range (the heap would exhaust memory first), unlike the
+     * previous 31-bit field which silently narrowed heap_.size().
+     */
+    std::int64_t heapIndex_ = kUnscheduled;
+    /** Near-tier bucket list links (meaningful only in the near tier). */
+    Event* nearPrev_ = nullptr;
+    Event* nearNext_ = nullptr;
 };
 
-/** Event adapter that invokes an arbitrary callable. */
+namespace detail {
+
+/** Extracts the class type from a pointer-to-member-function. */
+template <class M>
+struct MemberFnClass;
+
+template <class C>
+struct MemberFnClass<void (C::*)()>
+{
+    using type = C;
+};
+
+} // namespace detail
+
+/**
+ * Event bound at compile time to one member function of one object.
+ *
+ * fire() is a direct (devirtualized-template) call through a plain
+ * object pointer: no std::function type erasure, no allocation, no
+ * captured state beyond the object pointer. This is the hot-path
+ * replacement for CallbackEvent; use it whenever the action is "call
+ * this method on this object".
+ *
+ *   class Link {
+ *       void deliverFlits();
+ *       sim::MemberFuncEvent<&Link::deliverFlits> flitEvent_{this};
+ *   };
+ */
+template <auto Method>
+class MemberFuncEvent final : public Event
+{
+    using Class = typename detail::MemberFnClass<decltype(Method)>::type;
+
+  public:
+    /** Binds to @p object; @p name is used for tracing. */
+    explicit MemberFuncEvent(Class* object,
+                             const char* name = "MemberFuncEvent")
+        : object_(object), name_(name)
+    {
+    }
+
+    void
+    fire() override
+    {
+        (object_->*Method)();
+    }
+
+    const char* name() const override { return name_; }
+
+  private:
+    Class* object_;
+    const char* name_;
+};
+
+/**
+ * Event adapter that invokes an arbitrary callable.
+ *
+ * Flexible but pays std::function type erasure per fire(); reserve it
+ * for cold paths (one-shot timers, tests) and use MemberFuncEvent on
+ * hot paths.
+ */
 class CallbackEvent final : public Event
 {
   public:

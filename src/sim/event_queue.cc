@@ -4,10 +4,20 @@
 
 namespace mediaworm::sim {
 
+namespace {
+
+constexpr std::size_t kBucketMask = EventQueue::kNumBuckets - 1;
+static_assert((EventQueue::kNumBuckets & kBucketMask) == 0,
+              "bucket count must be a power of two");
+
+} // namespace
+
 Event::~Event()
 {
     MW_ASSERT(!scheduled());
 }
+
+EventQueue::EventQueue() : buckets_(kNumBuckets) {}
 
 bool
 EventQueue::before(const Event& a, const Event& b) const
@@ -17,11 +27,111 @@ EventQueue::before(const Event& a, const Event& b) const
     return a.seq_ < b.seq_;
 }
 
+// --- near tier --------------------------------------------------------------
+
+bool
+EventQueue::tryScheduleNear(Event& event, std::int64_t bucket_number)
+{
+    // An empty near tier can re-anchor its window anywhere.
+    if (nearCount_ == 0)
+        cursorBucket_ = bucket_number;
+    else if (bucket_number < cursorBucket_
+             || bucket_number
+                 >= cursorBucket_
+                     + static_cast<std::int64_t>(kNumBuckets)) {
+        return false;
+    }
+
+    Bucket& bucket =
+        buckets_[static_cast<std::size_t>(bucket_number) & kBucketMask];
+
+    // Sorted insert from the tail. The new event carries the largest
+    // seq, so its slot is right after the last event with when_ <=
+    // event.when_; schedules arrive in loosely increasing time order,
+    // making the tail check the dominant case.
+    Event* at = bucket.tail;
+    int scanned = 0;
+    while (at != nullptr && at->when_ > event.when_) {
+        if (++scanned > kMaxInsertScan)
+            return false; // Awkward insert; the heap takes it.
+        at = at->nearPrev_;
+    }
+
+    event.nearPrev_ = at;
+    if (at != nullptr) {
+        event.nearNext_ = at->nearNext_;
+        at->nearNext_ = &event;
+    } else {
+        event.nearNext_ = bucket.head;
+        bucket.head = &event;
+    }
+    if (event.nearNext_ != nullptr)
+        event.nearNext_->nearPrev_ = &event;
+    else
+        bucket.tail = &event;
+
+    event.heapIndex_ = Event::kInNearTier;
+    ++nearCount_;
+    return true;
+}
+
+void
+EventQueue::unlinkNear(Event& event)
+{
+    Bucket& bucket = buckets_[static_cast<std::size_t>(
+                                  event.when_ >> kBucketShift)
+                              & kBucketMask];
+    if (event.nearPrev_ != nullptr)
+        event.nearPrev_->nearNext_ = event.nearNext_;
+    else
+        bucket.head = event.nearNext_;
+    if (event.nearNext_ != nullptr)
+        event.nearNext_->nearPrev_ = event.nearPrev_;
+    else
+        bucket.tail = event.nearPrev_;
+    event.nearPrev_ = nullptr;
+    event.nearNext_ = nullptr;
+    event.heapIndex_ = Event::kUnscheduled;
+    --nearCount_;
+}
+
+Event*
+EventQueue::nearFront() const
+{
+    if (nearCount_ == 0)
+        return nullptr;
+    // All near events live within kNumBuckets of the cursor, so this
+    // terminates; the cursor only ever moves forward, so the scan
+    // cost amortizes to one bucket visit per bucket of elapsed time.
+    while (buckets_[static_cast<std::size_t>(cursorBucket_)
+                    & kBucketMask]
+               .head
+           == nullptr) {
+        ++cursorBucket_;
+    }
+    return buckets_[static_cast<std::size_t>(cursorBucket_)
+                    & kBucketMask]
+        .head;
+}
+
+Event*
+EventQueue::earliest() const
+{
+    Event* near = nearFront();
+    if (near == nullptr)
+        return heap_.empty() ? nullptr : heap_.front();
+    if (heap_.empty() || before(*near, *heap_.front()))
+        return near;
+    return heap_.front();
+}
+
+// --- far tier ---------------------------------------------------------------
+
 void
 EventQueue::place(Event* event, std::size_t index)
 {
     heap_[index] = event;
-    event->heapIndex_ = static_cast<std::int32_t>(index);
+    event->heapIndex_ = static_cast<std::int64_t>(index);
 }
 
 void
@@ -58,25 +168,19 @@ EventQueue::siftDown(std::size_t index)
 }
 
 void
-EventQueue::schedule(Event& event, Tick when)
+EventQueue::scheduleFar(Event& event)
 {
-    MW_ASSERT(!event.scheduled());
-    MW_ASSERT(when >= 0);
-    event.when_ = when;
-    event.seq_ = nextSeq_++;
     heap_.push_back(&event);
-    event.heapIndex_ = static_cast<std::int32_t>(heap_.size() - 1);
+    event.heapIndex_ = static_cast<std::int64_t>(heap_.size() - 1);
     siftUp(heap_.size() - 1);
 }
 
 void
-EventQueue::deschedule(Event& event)
+EventQueue::descheduleFar(Event& event)
 {
-    if (!event.scheduled())
-        return;
     const auto index = static_cast<std::size_t>(event.heapIndex_);
     MW_ASSERT(index < heap_.size() && heap_[index] == &event);
-    event.heapIndex_ = -1;
+    event.heapIndex_ = Event::kUnscheduled;
     Event* last = heap_.back();
     heap_.pop_back();
     if (last == &event)
@@ -85,6 +189,30 @@ EventQueue::deschedule(Event& event)
     // The replacement can need to move either direction.
     siftUp(index);
     siftDown(static_cast<std::size_t>(last->heapIndex_));
+}
+
+// --- public API -------------------------------------------------------------
+
+void
+EventQueue::schedule(Event& event, Tick when)
+{
+    MW_ASSERT(!event.scheduled());
+    MW_ASSERT(when >= 0);
+    event.when_ = when;
+    event.seq_ = nextSeq_++;
+    if (!tryScheduleNear(event, when >> kBucketShift))
+        scheduleFar(event);
+}
+
+void
+EventQueue::deschedule(Event& event)
+{
+    if (!event.scheduled())
+        return;
+    if (event.heapIndex_ == Event::kInNearTier)
+        unlinkNear(event);
+    else
+        descheduleFar(event);
 }
 
 void
@@ -97,23 +225,40 @@ EventQueue::reschedule(Event& event, Tick when)
 Tick
 EventQueue::nextTime() const
 {
-    return heap_.empty() ? kTickNever : heap_.front()->when_;
+    const Event* event = earliest();
+    return event == nullptr ? kTickNever : event->when_;
 }
 
 Event&
 EventQueue::pop()
 {
-    MW_ASSERT(!heap_.empty());
-    Event& event = *heap_.front();
-    deschedule(event);
-    return event;
+    Event* event = earliest();
+    MW_ASSERT(event != nullptr);
+    if (event->heapIndex_ == Event::kInNearTier)
+        unlinkNear(*event);
+    else
+        descheduleFar(*event);
+    return *event;
 }
 
 void
 EventQueue::clear()
 {
+    for (Bucket& bucket : buckets_) {
+        Event* event = bucket.head;
+        while (event != nullptr) {
+            Event* next = event->nearNext_;
+            event->nearPrev_ = nullptr;
+            event->nearNext_ = nullptr;
+            event->heapIndex_ = Event::kUnscheduled;
+            event = next;
+        }
+        bucket.head = nullptr;
+        bucket.tail = nullptr;
+    }
+    nearCount_ = 0;
     for (Event* event : heap_)
-        event->heapIndex_ = -1;
+        event->heapIndex_ = Event::kUnscheduled;
     heap_.clear();
 }
 

@@ -15,7 +15,7 @@ BestEffortSource::BestEffortSource(sim::Simulator& simulator,
       messageFlits_(message_flits), interval_(interval),
       stopTime_(stop_time), vcFirst_(vc_first), vcCount_(vc_count),
       injector_(injector), rng_(rng),
-      event_([this] { injectNext(); }, "BestEffortSource")
+      event_(this, "BestEffortSource")
 {
     MW_ASSERT(interval > 0);
     MW_ASSERT(vc_count >= 1);

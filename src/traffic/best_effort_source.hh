@@ -64,7 +64,7 @@ class BestEffortSource
     Injector& injector_;
     sim::Rng rng_;
     sim::MessageSeq nextSeq_ = 0;
-    sim::CallbackEvent event_;
+    sim::MemberFuncEvent<&BestEffortSource::injectNext> event_;
 };
 
 } // namespace mediaworm::traffic

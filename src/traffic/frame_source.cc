@@ -30,7 +30,7 @@ FrameSource::FrameSource(sim::Simulator& simulator, const Stream& stream,
       messageFlits_(cfg.messageFlits),
       totalFrames_(cfg.warmupFrames + cfg.measuredFrames),
       anchorTail_(cfg.anchorFrameTail),
-      event_([this] { injectNextMessage(); }, "FrameSource")
+      event_(this, "FrameSource")
 {
     MW_ASSERT(flit_size_bits % 8 == 0);
     // The header flit carries routing/Vtick information, not payload

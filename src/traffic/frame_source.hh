@@ -88,7 +88,7 @@ class FrameSource
     sim::Tick messageGap_ = 0;
     sim::MessageSeq nextSeq_ = 0;
 
-    sim::CallbackEvent event_;
+    sim::MemberFuncEvent<&FrameSource::injectNextMessage> event_;
 };
 
 } // namespace mediaworm::traffic

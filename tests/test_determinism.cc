@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Determinism regression tests.
+ *
+ * Two layers of protection:
+ *
+ *  1. Run-twice equality: the same config and seed must produce a
+ *     bit-identical ExperimentResult within one process. Catches
+ *     accidental dependence on global state, addresses, or wall
+ *     time.
+ *
+ *  2. Golden digests: the deterministicHash() of three fixed
+ *     configurations is checked against values captured from the
+ *     seed implementation (binary-heap event queue, std::deque data
+ *     path). Any behavioural change to the kernel, router, flow
+ *     control, scheduling, or traffic generation moves these
+ *     digests. Performance work (the two-tier event queue, typed
+ *     events, ring buffers, credit coalescing, route tables) must
+ *     NOT move them - that is the point of the test.
+ *
+ * If a deliberate behavioural change (a bug fix, a model change)
+ * moves a digest, re-capture it: build Release, run this test, and
+ * paste the three printed "digest=0x..." values below. Never update
+ * a golden for a change that is supposed to be purely mechanical.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+
+namespace {
+
+using namespace mediaworm;
+using namespace mediaworm::core;
+
+/** G1: 8-port single switch, Virtual Clock, 0.9 load, 80% RT. */
+ExperimentConfig
+goldenConfig1()
+{
+    ExperimentConfig cfg;
+    cfg.router.numPorts = 8;
+    cfg.router.numVcs = 16;
+    cfg.router.flitBufferDepth = 20;
+    cfg.router.scheduler = config::SchedulerKind::VirtualClock;
+    cfg.traffic.inputLoad = 0.9;
+    cfg.traffic.realTimeFraction = 0.8;
+    cfg.traffic.warmupFrames = 1;
+    cfg.traffic.measuredFrames = 2;
+    cfg.timeScale = 0.05;
+    cfg.seed = 42;
+    return cfg;
+}
+
+/** G2: as G1 but FIFO scheduling at saturation load. */
+ExperimentConfig
+goldenConfig2()
+{
+    ExperimentConfig cfg = goldenConfig1();
+    cfg.router.scheduler = config::SchedulerKind::Fifo;
+    cfg.traffic.inputLoad = 0.96;
+    return cfg;
+}
+
+/** G3: 2x2 fat mesh (fat factor 2, 4 endpoints per switch). */
+ExperimentConfig
+goldenConfig3()
+{
+    ExperimentConfig cfg = goldenConfig1();
+    cfg.network.topology = config::TopologyKind::FatMesh;
+    cfg.network.meshWidth = 2;
+    cfg.network.meshHeight = 2;
+    cfg.network.fatFactor = 2;
+    cfg.network.endpointsPerSwitch = 4;
+    cfg.traffic.inputLoad = 0.7;
+    cfg.traffic.realTimeFraction = 0.6;
+    cfg.seed = 7;
+    return cfg;
+}
+
+/** Golden digests captured from the seed implementation. */
+constexpr std::uint64_t kGolden1 = 0xd3092a91216dc9f6ULL;
+constexpr std::uint64_t kGolden2 = 0x9299f21755332d28ULL;
+constexpr std::uint64_t kGolden3 = 0x35db11176fb625fdULL;
+
+void
+expectIdentical(const ExperimentResult& a, const ExperimentResult& b)
+{
+    EXPECT_EQ(a.meanIntervalMs, b.meanIntervalMs);
+    EXPECT_EQ(a.stddevIntervalMs, b.stddevIntervalMs);
+    EXPECT_EQ(a.meanIntervalNormMs, b.meanIntervalNormMs);
+    EXPECT_EQ(a.stddevIntervalNormMs, b.stddevIntervalNormMs);
+    EXPECT_EQ(a.beLatencyUs, b.beLatencyUs);
+    EXPECT_EQ(a.beNetworkLatencyUs, b.beNetworkLatencyUs);
+    EXPECT_EQ(a.beLatencyP99Us, b.beLatencyP99Us);
+    EXPECT_EQ(a.rtMessageLatencyUs, b.rtMessageLatencyUs);
+    EXPECT_EQ(a.intervalSamples, b.intervalSamples);
+    EXPECT_EQ(a.framesDelivered, b.framesDelivered);
+    EXPECT_EQ(a.beMessages, b.beMessages);
+    EXPECT_EQ(a.flitsDelivered, b.flitsDelivered);
+    EXPECT_EQ(a.eventsFired, b.eventsFired);
+    EXPECT_EQ(a.rtStreams, b.rtStreams);
+    EXPECT_EQ(a.streamsPerNode, b.streamsPerNode);
+    EXPECT_EQ(a.simulatedMs, b.simulatedMs);
+    EXPECT_EQ(a.truncated, b.truncated);
+    EXPECT_EQ(a.deterministicHash(), b.deterministicHash());
+}
+
+TEST(Determinism, RunTwiceIsBitIdentical)
+{
+    const ExperimentResult a = runExperiment(goldenConfig1());
+    const ExperimentResult b = runExperiment(goldenConfig1());
+    expectIdentical(a, b);
+}
+
+TEST(Determinism, FatMeshRunTwiceIsBitIdentical)
+{
+    const ExperimentResult a = runExperiment(goldenConfig3());
+    const ExperimentResult b = runExperiment(goldenConfig3());
+    expectIdentical(a, b);
+}
+
+TEST(Determinism, HashCoversResultFields)
+{
+    ExperimentResult a;
+    ExperimentResult b;
+    EXPECT_EQ(a.deterministicHash(), b.deterministicHash());
+    b.eventsFired = 1;
+    EXPECT_NE(a.deterministicHash(), b.deterministicHash());
+    b = a;
+    b.meanIntervalMs = 33.0;
+    EXPECT_NE(a.deterministicHash(), b.deterministicHash());
+    // Machine-dependent fields must not contribute.
+    b = a;
+    b.wallSeconds = 123.0;
+    b.eventsPerSec = 4.5e6;
+    EXPECT_EQ(a.deterministicHash(), b.deterministicHash());
+}
+
+TEST(Determinism, MatchesGoldenSingleSwitchVirtualClock)
+{
+    const ExperimentResult r = runExperiment(goldenConfig1());
+    RecordProperty("digest", r.deterministicHash());
+    std::printf("G1 digest=0x%016llx\n",
+                static_cast<unsigned long long>(r.deterministicHash()));
+    EXPECT_EQ(r.deterministicHash(), kGolden1);
+}
+
+TEST(Determinism, MatchesGoldenSingleSwitchFifo)
+{
+    const ExperimentResult r = runExperiment(goldenConfig2());
+    std::printf("G2 digest=0x%016llx\n",
+                static_cast<unsigned long long>(r.deterministicHash()));
+    EXPECT_EQ(r.deterministicHash(), kGolden2);
+}
+
+TEST(Determinism, MatchesGoldenFatMesh)
+{
+    const ExperimentResult r = runExperiment(goldenConfig3());
+    std::printf("G3 digest=0x%016llx\n",
+                static_cast<unsigned long long>(r.deterministicHash()));
+    EXPECT_EQ(r.deterministicHash(), kGolden3);
+}
+
+} // namespace

@@ -1,6 +1,8 @@
 /**
  * @file
- * Unit and property tests for the indexed binary-heap event queue.
+ * Unit and property tests for the two-tier event queue (near-future
+ * calendar buckets + far-future binary heap). Ordering must never
+ * depend on which tier holds an event.
  */
 
 #include <algorithm>
@@ -151,6 +153,170 @@ TEST(EventQueue, RescheduleUnscheduledSchedules)
     queue.deschedule(a); // events must not be destroyed scheduled
 }
 
+// --- two-tier specifics -----------------------------------------------------
+
+/** One tick past the near-tier horizon as seen from an empty queue
+ *  anchored at tick 0. */
+constexpr Tick kBeyondHorizon =
+    static_cast<Tick>(EventQueue::kNumBuckets)
+    << EventQueue::kBucketShift;
+
+TEST(EventQueueTiers, FarFutureGoesToHeapAndStillOrders)
+{
+    EventQueue queue;
+    RecordingEvent anchor;
+    RecordingEvent far1;
+    RecordingEvent far2;
+    RecordingEvent near1;
+
+    queue.schedule(anchor, 0); // anchors the near window at bucket 0
+    queue.schedule(far1, kBeyondHorizon + 500);
+    queue.schedule(far2, kBeyondHorizon + 100);
+    queue.schedule(near1, 42);
+
+    EXPECT_EQ(queue.nearSize(), 2u);
+    EXPECT_EQ(queue.farSize(), 2u);
+    EXPECT_EQ(queue.size(), 4u);
+    EXPECT_EQ(queue.nextTime(), 0);
+
+    EXPECT_EQ(&queue.pop(), &anchor);
+    EXPECT_EQ(&queue.pop(), &near1);
+    EXPECT_EQ(&queue.pop(), &far2);
+    EXPECT_EQ(&queue.pop(), &far1);
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueTiers, EmptyNearTierReanchorsItsWindow)
+{
+    EventQueue queue;
+    RecordingEvent a;
+    RecordingEvent b;
+
+    queue.schedule(a, 0);
+    EXPECT_EQ(&queue.pop(), &a);
+
+    // With the near tier drained, a time far beyond the old window
+    // must land in the near tier again, not leak to the heap.
+    queue.schedule(b, 100 * kBeyondHorizon);
+    EXPECT_EQ(queue.nearSize(), 1u);
+    EXPECT_EQ(queue.farSize(), 0u);
+    EXPECT_EQ(&queue.pop(), &b);
+}
+
+TEST(EventQueueTiers, SameTickFifoAcrossTiers)
+{
+    EventQueue queue;
+    RecordingEvent anchor;
+    RecordingEvent first;
+    RecordingEvent second;
+    const Tick when = kBeyondHorizon + 7;
+
+    // 'first' is scheduled while the near window sits at bucket 0, so
+    // it overflows to the heap; 'second' lands in the near tier after
+    // the window re-anchors. Same tick, different tiers: FIFO by
+    // scheduling order must still hold.
+    queue.schedule(anchor, 0);
+    queue.schedule(first, when);
+    EXPECT_EQ(queue.farSize(), 1u);
+    EXPECT_EQ(&queue.pop(), &anchor);
+    queue.schedule(second, when);
+    EXPECT_EQ(queue.nearSize(), 1u);
+    EXPECT_EQ(queue.farSize(), 1u);
+
+    EXPECT_EQ(&queue.pop(), &first);
+    EXPECT_EQ(&queue.pop(), &second);
+}
+
+TEST(EventQueueTiers, DescheduleWorksInBothTiers)
+{
+    EventQueue queue;
+    RecordingEvent near_mid;
+    RecordingEvent near_head;
+    RecordingEvent near_tail;
+    RecordingEvent far_mid;
+    RecordingEvent far_keep;
+
+    queue.schedule(near_head, 10);
+    queue.schedule(near_mid, 20);
+    queue.schedule(near_tail, 30);
+    queue.schedule(far_mid, kBeyondHorizon + 10);
+    queue.schedule(far_keep, kBeyondHorizon + 20);
+
+    queue.deschedule(near_mid); // middle of a bucket chain
+    queue.deschedule(far_mid);  // heap interior
+    EXPECT_FALSE(near_mid.scheduled());
+    EXPECT_FALSE(far_mid.scheduled());
+    EXPECT_EQ(queue.size(), 3u);
+
+    EXPECT_EQ(&queue.pop(), &near_head);
+    EXPECT_EQ(&queue.pop(), &near_tail);
+    EXPECT_EQ(&queue.pop(), &far_keep);
+}
+
+TEST(EventQueueTiers, RescheduleCrossesTiers)
+{
+    EventQueue queue;
+    RecordingEvent anchor;
+    RecordingEvent mover;
+
+    queue.schedule(anchor, 0);
+    queue.schedule(mover, 5); // near
+    EXPECT_EQ(queue.nearSize(), 2u);
+
+    queue.reschedule(mover, kBeyondHorizon + 5); // near -> far
+    EXPECT_EQ(queue.nearSize(), 1u);
+    EXPECT_EQ(queue.farSize(), 1u);
+
+    queue.reschedule(mover, 5); // far -> near
+    EXPECT_EQ(queue.nearSize(), 2u);
+    EXPECT_EQ(queue.farSize(), 0u);
+
+    EXPECT_EQ(&queue.pop(), &anchor);
+    EXPECT_EQ(&queue.pop(), &mover);
+}
+
+TEST(EventQueueTiers, BoundedInsertScanOverflowsToHeap)
+{
+    EventQueue queue;
+    // Deep descending insert into one bucket: every insert scans from
+    // the bucket tail, so past the scan bound the events must spill
+    // to the heap - and the global order must be unaffected.
+    std::vector<std::unique_ptr<RecordingEvent>> events;
+    constexpr int kCount = 64;
+    for (int i = 0; i < kCount; ++i) {
+        events.push_back(std::make_unique<RecordingEvent>());
+        queue.schedule(*events.back(), kCount - i);
+    }
+    EXPECT_GT(queue.farSize(), 0u);
+    EXPECT_EQ(queue.size(), static_cast<std::size_t>(kCount));
+
+    Tick last = -1;
+    for (int i = 0; i < kCount; ++i) {
+        Event& popped = queue.pop();
+        EXPECT_GT(popped.when(), last);
+        last = popped.when();
+    }
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueTiers, ClearResetsBothTiers)
+{
+    EventQueue queue;
+    RecordingEvent a;
+    RecordingEvent b;
+    queue.schedule(a, 1);
+    queue.schedule(b, kBeyondHorizon + 1);
+    queue.clear();
+    EXPECT_TRUE(queue.empty());
+    EXPECT_FALSE(a.scheduled());
+    EXPECT_FALSE(b.scheduled());
+    // The queue must be fully reusable after clear().
+    queue.schedule(a, 3);
+    queue.schedule(b, 2);
+    EXPECT_EQ(&queue.pop(), &b);
+    EXPECT_EQ(&queue.pop(), &a);
+}
+
 /**
  * Property: against a reference model (multimap keyed by time with
  * insertion counters), random interleavings of schedule, deschedule
@@ -194,6 +360,73 @@ TEST(EventQueueProperty, MatchesReferenceModelUnderRandomOps)
                           events[static_cast<std::size_t>(
                                      expected->second)]
                               .get());
+                reference.erase(expected);
+            }
+            ASSERT_EQ(queue.size(), reference.size());
+            if (!queue.empty()) {
+                ASSERT_EQ(queue.nextTime(),
+                          reference.begin()->first.first);
+            }
+        }
+        while (!queue.empty()) {
+            Event& popped = queue.pop();
+            const auto expected = reference.begin();
+            EXPECT_EQ(&popped, events[static_cast<std::size_t>(
+                                          expected->second)]
+                                   .get());
+            reference.erase(expected);
+        }
+    }
+}
+
+/**
+ * Property: as above, but with a bimodal time distribution (near the
+ * window / far beyond it) so random interleavings constantly cross
+ * the tier boundary and exercise the heap fallback.
+ */
+TEST(EventQueueProperty, MatchesReferenceModelAcrossTiers)
+{
+    Rng rng(0xbead);
+    for (int round = 0; round < 10; ++round) {
+        EventQueue queue;
+        constexpr int kEvents = 96;
+        std::vector<std::unique_ptr<RecordingEvent>> events;
+        for (int i = 0; i < kEvents; ++i)
+            events.push_back(std::make_unique<RecordingEvent>());
+
+        std::map<std::pair<Tick, std::uint64_t>, int> reference;
+        std::vector<std::uint64_t> seq_of(kEvents, 0);
+        std::uint64_t next_seq = 0;
+        Tick low = 0;
+
+        for (int op = 0; op < 1500; ++op) {
+            const int i = static_cast<int>(rng.uniformInt(kEvents));
+            auto& event = *events[static_cast<std::size_t>(i)];
+            const int action = static_cast<int>(rng.uniformInt(3));
+            if (action == 0 && !event.scheduled()) {
+                Tick when =
+                    low + static_cast<Tick>(rng.uniformInt(5000));
+                if (rng.uniformInt(4) == 0)
+                    when += 3 * kBeyondHorizon; // far beyond any window
+                queue.schedule(event, when);
+                seq_of[static_cast<std::size_t>(i)] = next_seq;
+                reference[{when, next_seq++}] = i;
+            } else if (action == 1 && event.scheduled()) {
+                queue.deschedule(event);
+                reference.erase(
+                    {event.when(),
+                     seq_of[static_cast<std::size_t>(i)]});
+            } else if (action == 2 && !queue.empty()) {
+                Event& popped = queue.pop();
+                ASSERT_FALSE(reference.empty());
+                const auto expected = reference.begin();
+                EXPECT_EQ(&popped,
+                          events[static_cast<std::size_t>(
+                                     expected->second)]
+                              .get());
+                // Simulated time marches forward: later schedules
+                // never precede what has already been served.
+                low = std::max(low, popped.when());
                 reference.erase(expected);
             }
             ASSERT_EQ(queue.size(), reference.size());

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Runs the kernel micro benchmarks and records the results as one
+# labeled entry in BENCH_kernel.json, the repo's kernel-performance
+# trend file (see EXPERIMENTS.md for how to read it).
+#
+# usage: tools/bench_kernel.sh <build-dir> <label> [min-time]
+#
+#   build-dir  A configured build tree containing bench/micro_kernel.
+#              Use a Release build for numbers worth recording.
+#   label      Name for this measurement ("seed-heap", "pr2-two-tier",
+#              "ci-<sha>", ...). Re-using a label replaces the entry.
+#   min-time   --benchmark_min_time seconds per benchmark (default 2).
+#
+# The headline number is BM_EndToEndExperiment's events/s counter:
+# whole-simulator throughput on a fixed small experiment. The other
+# benchmarks localize regressions (queue, RNG, scheduler, link).
+
+set -euo pipefail
+
+build_dir=${1:?usage: tools/bench_kernel.sh <build-dir> <label> [min-time]}
+label=${2:?usage: tools/bench_kernel.sh <build-dir> <label> [min-time]}
+min_time=${3:-2}
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+bench="$build_dir/bench/micro_kernel"
+out_json="$repo_root/BENCH_kernel.json"
+
+if [ ! -x "$bench" ]; then
+    echo "error: $bench not found; build the tree first" >&2
+    exit 1
+fi
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+"$bench" --benchmark_format=json \
+         --benchmark_min_time="$min_time" > "$raw"
+
+python3 - "$raw" "$out_json" "$label" <<'EOF'
+import json
+import sys
+
+raw_path, out_path, label = sys.argv[1], sys.argv[2], sys.argv[3]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+benchmarks = {}
+events_per_sec = None
+for b in raw.get("benchmarks", []):
+    entry = {"real_time_ns": b["real_time"] * {
+        "ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}[b["time_unit"]]}
+    if "items_per_second" in b:
+        entry["items_per_second"] = b["items_per_second"]
+    if "events/s" in b:
+        entry["events_per_second"] = b["events/s"]
+    benchmarks[b["name"]] = entry
+    if b["name"] == "BM_EndToEndExperiment":
+        events_per_sec = b.get("events/s")
+
+try:
+    with open(out_path) as f:
+        doc = json.load(f)
+except FileNotFoundError:
+    doc = {"schema": "mediaworm-bench-kernel-v1",
+           "headline": "BM_EndToEndExperiment events_per_second",
+           "entries": []}
+
+doc["entries"] = [e for e in doc["entries"] if e["label"] != label]
+doc["entries"].append({
+    "label": label,
+    "events_per_second": events_per_sec,
+    "benchmarks": benchmarks,
+})
+
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+
+print(f"{label}: {events_per_sec:.0f} events/s -> {out_path}")
+EOF
