@@ -65,8 +65,10 @@ RouterConfig::validate() const
     using sim::fatal;
     if (numPorts < 1 || numPorts > 64)
         fatal("RouterConfig: numPorts %d out of range [1,64]", numPorts);
-    if (numVcs < 1 || numVcs > 256)
-        fatal("RouterConfig: numVcs %d out of range [1,256]", numVcs);
+    // 64 is the width of the arbitration eligibility bitmasks
+    // (router/arbiter.hh); the paper's sweeps top out at 24 VCs.
+    if (numVcs < 1 || numVcs > 64)
+        fatal("RouterConfig: numVcs %d out of range [1,64]", numVcs);
     if (flitBufferDepth < 1)
         fatal("RouterConfig: flitBufferDepth %d must be >= 1",
               flitBufferDepth);

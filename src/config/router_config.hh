@@ -61,8 +61,8 @@ const char* toString(SwitchingKind kind);
  */
 struct RouterConfig
 {
-    int numPorts = 8;          ///< Physical channels (n).
-    int numVcs = 16;           ///< Virtual channels per PC (m).
+    int numPorts = 8;          ///< Physical channels (n), at most 64.
+    int numVcs = 16;           ///< Virtual channels per PC (m), at most 64.
     int flitBufferDepth = 20;  ///< Flit buffer capacity per VC.
     int flitSizeBits = 32;     ///< Flit width.
     int linkBandwidthMbps = 400; ///< PC bandwidth.

@@ -11,10 +11,9 @@ NetworkInterface::NetworkInterface(sim::Simulator& simulator,
     : simulator_(simulator), node_(node), cfg_(cfg), metrics_(metrics),
       name_(std::move(name)), cycleTime_(cfg.cycleTime()),
       vcs_(static_cast<std::size_t>(cfg.numVcs)),
-      scheduler_(router::makeScheduler(cfg.injectionScheduler)),
       muxEvent_(this, "NetworkInterface::mux")
 {
-    scratch_.reserve(static_cast<std::size_t>(cfg.numVcs));
+    arb_.init(cfg.injectionScheduler, cfg.numVcs);
 }
 
 void
@@ -92,6 +91,7 @@ NetworkInterface::injectMessage(const traffic::MessageDesc& message)
         flit.arrivalSeq = nextArrivalSeq_++;
         vc.queue.push(flit);
     }
+    refreshEligibility(message.vcLane);
     kickMux();
 }
 
@@ -121,6 +121,7 @@ void
 NetworkInterface::creditReturned(int vc)
 {
     ++vcs_[static_cast<std::size_t>(vc)].credits;
+    refreshEligibility(vc);
     kickMux();
 }
 
@@ -134,6 +135,25 @@ NetworkInterface::backlogFlits() const
 }
 
 void
+NetworkInterface::refreshEligibility(int vc_index)
+{
+    InjectionVc& vc = vcs_[static_cast<std::size_t>(vc_index)];
+    bool ready = !vc.queue.empty() && vc.credits > 0;
+    if (ready
+        && cfg_.switching == config::SwitchingKind::VirtualCutThrough) {
+        // Virtual cut-through gates message launch on the router
+        // input buffer holding the whole message.
+        const router::Flit& head = vc.queue.front();
+        if (head.isHeader() && vc.credits < head.messageFlits)
+            ready = false;
+    }
+    if (ready)
+        arb_.setEligible(vc_index, vc.queue.front());
+    else
+        arb_.clearEligible(vc_index);
+}
+
+void
 NetworkInterface::kickMux()
 {
     if (!muxBusy_)
@@ -143,33 +163,19 @@ NetworkInterface::kickMux()
 void
 NetworkInterface::serveMux()
 {
-    MW_ASSERT(!muxBusy_);
-    MW_ASSERT(injectionLink_ != nullptr);
+    MW_DEBUG_ASSERT(!muxBusy_);
+    MW_DEBUG_ASSERT(injectionLink_ != nullptr);
 
-    scratch_.clear();
-    for (int v = 0; v < cfg_.numVcs; ++v) {
-        InjectionVc& vc = vcs_[static_cast<std::size_t>(v)];
-        if (vc.queue.empty() || vc.credits <= 0)
-            continue;
-        const router::Flit& head = vc.queue.front();
-        // Virtual cut-through gates message launch on the router
-        // input buffer holding the whole message.
-        if (cfg_.switching == config::SwitchingKind::VirtualCutThrough
-            && head.isHeader() && vc.credits < head.messageFlits) {
-            continue;
-        }
-        scratch_.push_back({v, head.stamp, head.arrivalSeq, head.vtick});
-    }
-    if (scratch_.empty())
+    if (!arb_.anyEligible())
         return;
 
-    const std::size_t winner = scheduler_->pick(scratch_);
-    const int v = scratch_[winner].slot;
+    const int v = arb_.pick();
     InjectionVc& vc = vcs_[static_cast<std::size_t>(v)];
 
-    router::Flit flit = vc.queue.pop();
+    // Stamp the launch time in place and send straight from the
+    // queue head; the link copies the flit, so no stack copy.
+    router::Flit& flit = vc.queue.front();
     flit.networkEnterTime = simulator_.now();
-    --vc.credits;
     injectionLink_->sendFlit(flit, v);
     ++flitsInjected_;
     if (tracer_ != nullptr && tracer_->accepts(flit.stream)) {
@@ -178,6 +184,9 @@ NetworkInterface::serveMux()
                          flit.message, flit.index, node_.value(), -1,
                          v});
     }
+    vc.queue.dropFront();
+    --vc.credits;
+    refreshEligibility(v);
 
     muxBusy_ = true;
     simulator_.scheduleAfter(muxEvent_, cycleTime_);

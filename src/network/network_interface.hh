@@ -23,10 +23,10 @@
 
 #include "config/router_config.hh"
 #include "network/metrics.hh"
+#include "router/arbiter.hh"
 #include "router/flit.hh"
 #include "router/flit_buffer.hh"
 #include "router/link.hh"
-#include "router/scheduler.hh"
 #include "router/virtual_clock.hh"
 #include "sim/event.hh"
 #include "sim/simulator.hh"
@@ -98,6 +98,14 @@ class NetworkInterface final : public traffic::Injector,
     /** Mux service slot elapsed: serve the next flit. */
     void muxFired();
 
+    /**
+     * Re-derives VC @p vc 's eligibility bit: a queued head flit, a
+     * credit, and (for virtual cut-through headers) enough credits to
+     * launch the whole message. Called on enqueue, credit return and
+     * after every send - the only events that move the predicate.
+     */
+    void refreshEligibility(int vc);
+
     sim::Simulator& simulator_;
     sim::NodeId node_;
     config::RouterConfig cfg_;
@@ -106,11 +114,10 @@ class NetworkInterface final : public traffic::Injector,
     sim::Tick cycleTime_;
 
     std::vector<InjectionVc> vcs_;
-    std::unique_ptr<router::Scheduler> scheduler_;
+    router::MuxArbiter arb_; ///< Injection-mux eligibility + kernels.
     sim::MemberFuncEvent<&NetworkInterface::muxFired> muxEvent_;
     bool muxBusy_ = false;
     std::uint64_t nextArrivalSeq_ = 0;
-    std::vector<router::Candidate> scratch_;
 
     router::Link* injectionLink_ = nullptr;
     int routerBufferDepth_ = 0;

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Incremental multiplexer arbitration (DESIGN.md section 9).
+ *
+ * A MuxArbiter replaces the rebuild-and-scan pattern around the
+ * virtual Scheduler classes on the per-flit hot path: instead of
+ * collecting a std::vector<Candidate> by scanning every VC and then
+ * paying a virtual pick() that scans it again, each multiplexer keeps
+ *
+ *  - a 64-bit *eligibility bitmask* with one bit per VC slot, set and
+ *    cleared at the events that change eligibility (head enqueue/pop,
+ *    credit return, VC grant/release), and
+ *  - a cached *head record* (stamp, fifoSeq, vtick) per slot,
+ *    refreshed whenever the slot's head flit changes,
+ *
+ * and the winner is computed by a kernel templated on
+ * config::SchedulerKind that iterates the set bits with ctz. The kind
+ * is fixed at construction; pick() dispatches through a four-way
+ * switch on it, which the compiler turns into direct, inlinable calls
+ * - no virtual dispatch and no per-round allocation.
+ *
+ * Winner selection is bit-identical to the legacy Scheduler classes
+ * (kept in scheduler.hh as the reference implementation): the legacy
+ * code builds its candidate vector by scanning slots in ascending
+ * order, and a ctz loop enumerates set bits in exactly that order, so
+ * every tie-break - FIFO's strictly-smaller arrival seq, Virtual
+ * Clock's (stamp, fifoSeq) lexicographic order, round-robin's
+ * smallest-slot-above rotation, WRR's first-largest-deficit - resolves
+ * identically. tests/test_arbiter.cc fuzzes this equivalence.
+ */
+
+#ifndef MEDIAWORM_ROUTER_ARBITER_HH
+#define MEDIAWORM_ROUTER_ARBITER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "config/router_config.hh"
+#include "router/flit.hh"
+#include "router/scheduler.hh"
+#include "sim/logging.hh"
+#include "sim/time.hh"
+
+namespace mediaworm::router {
+
+/** Cached scheduling fields of a slot's head flit. */
+struct HeadRecord
+{
+    sim::Tick stamp = 0;       ///< Virtual Clock timestamp.
+    std::uint64_t fifoSeq = 0; ///< Arrival order at this mux.
+    sim::Tick vtick = kBestEffortVtick; ///< Rate request.
+};
+
+/**
+ * Per-multiplexer arbitration state: eligibility bitmask, cached head
+ * records and the rotation/deficit state of the stateful disciplines.
+ */
+class MuxArbiter
+{
+  public:
+    MuxArbiter() = default;
+
+    /**
+     * Fixes the discipline and slot count. @p num_slots must be at
+     * most 64 (one bitmask bit per VC; RouterConfig::validate
+     * enforces the same bound on numVcs).
+     */
+    void
+    init(config::SchedulerKind kind, int num_slots)
+    {
+        MW_ASSERT(num_slots >= 1 && num_slots <= 64);
+        kind_ = kind;
+        heads_.assign(static_cast<std::size_t>(num_slots),
+                      HeadRecord{});
+        if (kind_ == config::SchedulerKind::WeightedRoundRobin)
+            deficit_.assign(static_cast<std::size_t>(num_slots), 0);
+        mask_ = 0;
+        lastSlot_ = -1;
+    }
+
+    /** The discipline this arbiter dispatches to. */
+    config::SchedulerKind kind() const { return kind_; }
+
+    /** True when at least one slot is eligible. */
+    bool anyEligible() const { return mask_ != 0; }
+
+    /** The current eligibility bitmask (bit v = slot v). */
+    std::uint64_t mask() const { return mask_; }
+
+    /** True when @p slot 's bit is set. */
+    bool
+    eligible(int slot) const
+    {
+        return (mask_ >> static_cast<unsigned>(slot)) & 1u;
+    }
+
+    /** Cached head record of @p slot (valid while eligible). */
+    const HeadRecord&
+    head(int slot) const
+    {
+        return heads_[static_cast<std::size_t>(slot)];
+    }
+
+    /**
+     * Marks @p slot eligible and caches its head fields. Also the
+     * way to refresh the cache when an eligible slot's head changes
+     * (pop exposing the next flit).
+     */
+    void
+    setEligible(int slot, sim::Tick stamp, std::uint64_t fifo_seq,
+                sim::Tick vtick)
+    {
+        MW_DEBUG_ASSERT(slot >= 0
+                        && static_cast<std::size_t>(slot)
+                               < heads_.size());
+        heads_[static_cast<std::size_t>(slot)] = {stamp, fifo_seq,
+                                                  vtick};
+        mask_ |= std::uint64_t{1} << static_cast<unsigned>(slot);
+    }
+
+    /** Convenience overload reading the fields from a head flit. */
+    void
+    setEligible(int slot, const Flit& head)
+    {
+        setEligible(slot, head.stamp, head.arrivalSeq, head.vtick);
+    }
+
+    /** Clears @p slot 's eligibility bit (idempotent). */
+    void
+    clearEligible(int slot)
+    {
+        MW_DEBUG_ASSERT(slot >= 0
+                        && static_cast<std::size_t>(slot)
+                               < heads_.size());
+        mask_ &= ~(std::uint64_t{1} << static_cast<unsigned>(slot));
+    }
+
+    /**
+     * Picks the winning slot among all eligible slots and updates the
+     * discipline's rotation/deficit state. The mask must be
+     * non-empty.
+     */
+    int pick() { return pickMasked(mask_); }
+
+    /**
+     * As pick(), but restricted to @p m, a subset of the eligibility
+     * mask. Used by the crossbar input multiplexer, whose
+     * space/crossbar gates prune the eligible set at serve time.
+     */
+    int
+    pickMasked(std::uint64_t m)
+    {
+        MW_DEBUG_ASSERT(m != 0 && (m & ~mask_) == 0);
+        switch (kind_) {
+          case config::SchedulerKind::Fifo:
+            return kernel<config::SchedulerKind::Fifo>(m);
+          case config::SchedulerKind::RoundRobin:
+            return kernel<config::SchedulerKind::RoundRobin>(m);
+          case config::SchedulerKind::VirtualClock:
+            return kernel<config::SchedulerKind::VirtualClock>(m);
+          case config::SchedulerKind::WeightedRoundRobin:
+            return kernel<config::SchedulerKind::WeightedRoundRobin>(
+                m);
+        }
+        sim::panic("MuxArbiter: unknown scheduler kind");
+    }
+
+  private:
+    static int
+    lowestBit(std::uint64_t m)
+    {
+        return __builtin_ctzll(m);
+    }
+
+    /**
+     * The arbitration kernel for discipline @p Kind: one pass over
+     * the set bits of @p m in ascending slot order. Mirrors the
+     * corresponding Scheduler::pick() exactly; see the file comment
+     * for why the iteration order makes the two bit-identical.
+     */
+    template <config::SchedulerKind Kind>
+    int
+    kernel(std::uint64_t m)
+    {
+        if constexpr (Kind == config::SchedulerKind::RoundRobin) {
+            // Smallest slot strictly above the previous winner,
+            // wrapping to the smallest eligible slot.
+            const std::uint64_t above =
+                lastSlot_ >= 63
+                    ? 0
+                    : m & (~std::uint64_t{0}
+                           << static_cast<unsigned>(lastSlot_ + 1));
+            const int slot = lowestBit(above != 0 ? above : m);
+            lastSlot_ = slot;
+            return slot;
+        } else if constexpr (Kind == config::SchedulerKind::Fifo) {
+            int best = lowestBit(m);
+            m &= m - 1;
+            while (m != 0) {
+                const int slot = lowestBit(m);
+                m &= m - 1;
+                if (head(slot).fifoSeq < head(best).fifoSeq)
+                    best = slot;
+            }
+            return best;
+        } else if constexpr (Kind
+                             == config::SchedulerKind::VirtualClock) {
+            int best = lowestBit(m);
+            m &= m - 1;
+            while (m != 0) {
+                const int slot = lowestBit(m);
+                m &= m - 1;
+                const HeadRecord& c = head(slot);
+                const HeadRecord& b = head(best);
+                if (c.stamp < b.stamp
+                    || (c.stamp == b.stamp && c.fifoSeq < b.fifoSeq))
+                    best = slot;
+            }
+            return best;
+        } else {
+            static_assert(
+                Kind == config::SchedulerKind::WeightedRoundRobin);
+            // Deficit round robin in Q32.32 fixed point (see
+            // wrrWeight in scheduler.hh). Two rounds at most: the
+            // replenish pass credits the fastest eligible slot with
+            // exactly one quantum.
+            for (int round = 0; round < 2; ++round) {
+                std::uint64_t scan = m;
+                std::uint64_t best_deficit = 0;
+                int best = -1;
+                while (scan != 0) {
+                    const int slot = lowestBit(scan);
+                    scan &= scan - 1;
+                    const std::uint64_t d =
+                        deficit_[static_cast<std::size_t>(slot)];
+                    if (d >= kWrrQuantum
+                        && (best == -1 || d > best_deficit)) {
+                        best_deficit = d;
+                        best = slot;
+                    }
+                }
+                if (best != -1) {
+                    deficit_[static_cast<std::size_t>(best)] -=
+                        kWrrQuantum;
+                    lastSlot_ = best;
+                    return best;
+                }
+                sim::Tick min_vtick = 0;
+                scan = m;
+                while (scan != 0) {
+                    const int slot = lowestBit(scan);
+                    scan &= scan - 1;
+                    const sim::Tick v = head(slot).vtick;
+                    if (min_vtick == 0 || v < min_vtick)
+                        min_vtick = v;
+                }
+                scan = m;
+                while (scan != 0) {
+                    const int slot = lowestBit(scan);
+                    scan &= scan - 1;
+                    deficit_[static_cast<std::size_t>(slot)] +=
+                        wrrWeight(min_vtick, head(slot).vtick);
+                }
+            }
+            sim::panic("MuxArbiter: no WRR slot became eligible");
+        }
+    }
+
+    std::uint64_t mask_ = 0;
+    config::SchedulerKind kind_ = config::SchedulerKind::Fifo;
+    int lastSlot_ = -1; ///< Rotation pointer (RoundRobin, WRR).
+    std::vector<HeadRecord> heads_;
+    std::vector<std::uint64_t> deficit_; ///< WRR only; Q32.32.
+};
+
+} // namespace mediaworm::router
+
+#endif // MEDIAWORM_ROUTER_ARBITER_HH

@@ -54,14 +54,20 @@ class FlitBuffer
     void
     push(const Flit& flit)
     {
-        MW_ASSERT(!full());
+        MW_DEBUG_ASSERT(!full());
         if (capacity_ == 0) {
             // Unbounded: plain growable ring via vector doubling.
             if (size_ == ring_.size()) {
                 grow();
             }
         }
-        ring_[(head_ + size_) % ring_.size()] = flit;
+        // head_ < ring size and size_ <= ring size, so one
+        // conditional subtract wraps; avoids a per-push integer
+        // division (ring sizes are not powers of two in general).
+        std::size_t tail = head_ + size_;
+        if (tail >= ring_.size())
+            tail -= ring_.size();
+        ring_[tail] = flit;
         ++size_;
     }
 
@@ -69,7 +75,7 @@ class FlitBuffer
     const Flit&
     front() const
     {
-        MW_ASSERT(size_ > 0);
+        MW_DEBUG_ASSERT(size_ > 0);
         return ring_[head_];
     }
 
@@ -77,7 +83,7 @@ class FlitBuffer
     Flit&
     front()
     {
-        MW_ASSERT(size_ > 0);
+        MW_DEBUG_ASSERT(size_ > 0);
         return ring_[head_];
     }
 
@@ -85,11 +91,22 @@ class FlitBuffer
     Flit
     pop()
     {
-        MW_ASSERT(size_ > 0);
+        MW_DEBUG_ASSERT(size_ > 0);
         Flit flit = ring_[head_];
-        head_ = (head_ + 1) % ring_.size();
-        --size_;
+        dropFront();
         return flit;
+    }
+
+    /** Removes the oldest flit without copying it out; pair with
+     *  front() when the caller has already consumed the head. */
+    void
+    dropFront()
+    {
+        MW_DEBUG_ASSERT(size_ > 0);
+        ++head_;
+        if (head_ == ring_.size())
+            head_ = 0;
+        --size_;
     }
 
     /** Drops all flits. */

@@ -64,33 +64,36 @@ std::size_t
 WeightedRoundRobinScheduler::pick(const std::vector<Candidate>& candidates)
 {
     MW_ASSERT(!candidates.empty());
-    // Track per-slot deficits; the quantum added each round is the
-    // slot's requested rate normalised so one flit costs 1.0.
+    // Track per-slot deficits in Q32.32 fixed point; the quantum
+    // added each round is the slot's requested rate normalised so one
+    // flit costs kWrrQuantum. Integer accounting replenishes exactly,
+    // with no floating-point drift over long runs.
     int max_slot = 0;
     for (const auto& c : candidates)
         max_slot = std::max(max_slot, c.slot);
     if (deficit_.size() <= static_cast<std::size_t>(max_slot))
-        deficit_.resize(static_cast<std::size_t>(max_slot) + 1, 0.0);
+        deficit_.resize(static_cast<std::size_t>(max_slot) + 1, 0);
 
     // Find the eligible slot with the largest deficit; if none can
     // afford a flit, replenish all eligible slots proportionally to
-    // their requested rate (weight = minVtick / vtick, so the
-    // fastest slot gains exactly 1.0 and the loop always terminates
-    // on the second pass).
+    // their requested rate (weight = wrrWeight(minVtick, vtick), so
+    // the fastest slot gains exactly kWrrQuantum and the loop always
+    // terminates on the second pass).
     for (int round = 0; round < 2; ++round) {
-        double best_deficit = 0.0;
+        std::uint64_t best_deficit = 0;
         int best_index = -1;
         for (std::size_t i = 0; i < candidates.size(); ++i) {
-            const double d =
+            const std::uint64_t d =
                 deficit_[static_cast<std::size_t>(candidates[i].slot)];
-            if (d >= 1.0 && (best_index == -1 || d > best_deficit)) {
+            if (d >= kWrrQuantum
+                && (best_index == -1 || d > best_deficit)) {
                 best_deficit = d;
                 best_index = static_cast<int>(i);
             }
         }
         if (best_index != -1) {
             deficit_[static_cast<std::size_t>(
-                candidates[best_index].slot)] -= 1.0;
+                candidates[best_index].slot)] -= kWrrQuantum;
             lastSlot_ = candidates[best_index].slot;
             return static_cast<std::size_t>(best_index);
         }
@@ -99,8 +102,7 @@ WeightedRoundRobinScheduler::pick(const std::vector<Candidate>& candidates)
             min_vtick = std::min(min_vtick, c.vtick);
         for (const auto& c : candidates) {
             deficit_[static_cast<std::size_t>(c.slot)] +=
-                static_cast<double>(min_vtick)
-                / static_cast<double>(c.vtick);
+                wrrWeight(min_vtick, c.vtick);
         }
     }
     sim::panic("WeightedRoundRobinScheduler: no slot became eligible");

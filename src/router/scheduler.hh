@@ -30,6 +30,34 @@ struct Candidate
     sim::Tick vtick;       ///< Rate request (for weighted disciplines).
 };
 
+/**
+ * Weighted round robin's one-flit service quantum in Q32.32 fixed
+ * point. Deficits are integers so repeated replenishment accumulates
+ * exactly - the old double-based accounting drifted when rate ratios
+ * had no finite binary expansion (1/3, 1/10, ...), skewing long-run
+ * service shares.
+ */
+constexpr std::uint64_t kWrrQuantum = std::uint64_t{1} << 32;
+
+/**
+ * Replenishment weight of a slot requesting one flit per @p vtick
+ * when the fastest competing slot requests one per @p min_vtick:
+ * floor(min_vtick / vtick) in Q32.32. The fastest slot gets exactly
+ * kWrrQuantum, pinning the guarantee that one replenish pass always
+ * makes some slot eligible. Shared by the legacy
+ * WeightedRoundRobinScheduler and the MuxArbiter kernel so the two
+ * stay bit-identical.
+ */
+inline std::uint64_t
+wrrWeight(sim::Tick min_vtick, sim::Tick vtick)
+{
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(
+             static_cast<std::uint64_t>(min_vtick))
+         << 32)
+        / static_cast<std::uint64_t>(vtick));
+}
+
 /** Strategy interface: pick one candidate to serve. */
 class Scheduler
 {
@@ -88,7 +116,7 @@ class WeightedRoundRobinScheduler final : public Scheduler
     const char* name() const override { return "weighted-rr"; }
 
   private:
-    std::vector<double> deficit_;
+    std::vector<std::uint64_t> deficit_; ///< Q32.32 fixed point.
     int lastSlot_ = -1;
 };
 

@@ -33,7 +33,7 @@ class VirtualClockState
      * Resets auxVC so the new message starts from the wall clock.
      */
     void
-    beginMessage(sim::Tick vtick)
+    beginMessage(sim::Tick vtick) noexcept
     {
         vtick_ = vtick;
         auxVc_ = 0;
@@ -41,7 +41,7 @@ class VirtualClockState
 
     /** Clears state when the tail leaves (paper: info discarded). */
     void
-    endMessage()
+    endMessage() noexcept
     {
         vtick_ = kBestEffortVtick;
         auxVc_ = 0;
@@ -50,10 +50,13 @@ class VirtualClockState
     /**
      * Advances the clock for one flit arriving at @p now and returns
      * the timestamp to stamp the flit with. Saturates for best-effort
-     * traffic whose Vtick is "infinite".
+     * traffic whose Vtick is "infinite". The returned stamp is what
+     * the scheduling points cache in their per-VC head records
+     * (router/arbiter.hh), so it is computed exactly once per flit
+     * per point.
      */
     sim::Tick
-    tick(sim::Tick now)
+    tick(sim::Tick now) noexcept
     {
         auxVc_ = std::max(now, auxVc_);
         if (auxVc_ > kBestEffortVtick - vtick_)
@@ -64,10 +67,10 @@ class VirtualClockState
     }
 
     /** Current auxVC value. */
-    sim::Tick auxVc() const { return auxVc_; }
+    sim::Tick auxVc() const noexcept { return auxVc_; }
 
     /** Current Vtick value. */
-    sim::Tick vtick() const { return vtick_; }
+    sim::Tick vtick() const noexcept { return vtick_; }
 
   private:
     sim::Tick auxVc_ = 0;

@@ -27,23 +27,23 @@ WormholeRouter::WormholeRouter(sim::Simulator& simulator,
         receivers_[static_cast<std::size_t>(p)].init(this, p);
         creditReceivers_[static_cast<std::size_t>(p)].init(this, p);
 
-        InputPort& ip = inputs_[static_cast<std::size_t>(p)];
+        InputPort& ip = inputAt(p);
         ip.vcs = std::make_unique<InputVc[]>(
             static_cast<std::size_t>(m));
         for (int v = 0; v < m; ++v) {
-            InputVc& ivc = ip.vcs[static_cast<std::size_t>(v)];
+            InputVc& ivc = vcAt(ip, v);
             ivc.buffer = FlitBuffer(
                 static_cast<std::size_t>(cfg_.flitBufferDepth));
             ivc.routeEvent.init(this, p, v);
             ivc.serveEvent.init(this, p, v);
         }
-        // Point-A scheduler only exists for multiplexed crossbars.
-        if (cfg_.crossbar == config::CrossbarKind::Multiplexed) {
-            ip.scheduler = makeScheduler(cfg_.scheduler);
-        }
+        // The point-A arbiter only serves multiplexed crossbars, but
+        // is initialised unconditionally so its mask state is always
+        // well defined.
+        ip.arb.init(cfg_.scheduler, m);
         ip.muxEvent.init(this, p);
 
-        OutputPort& op = outputs_[static_cast<std::size_t>(p)];
+        OutputPort& op = outputAt(p);
         op.vcs.resize(static_cast<std::size_t>(m));
         for (OutputVc& ovc : op.vcs) {
             ovc.buffer = FlitBuffer(
@@ -57,14 +57,13 @@ WormholeRouter::WormholeRouter(sim::Simulator& simulator,
         // Point C uses the configured discipline for full crossbars
         // (where it is the only flit-level contention point) and
         // FIFO otherwise, matching Section 3.3's placement argument.
-        op.scheduler = makeScheduler(
-            cfg_.crossbar == config::CrossbarKind::Full
-                ? cfg_.scheduler
-                : config::SchedulerKind::Fifo);
+        op.arb.init(cfg_.crossbar == config::CrossbarKind::Full
+                        ? cfg_.scheduler
+                        : config::SchedulerKind::Fifo,
+                    m);
         op.xbarEvent.init(this, p);
         op.muxEvent.init(this, p);
     }
-    scratchCandidates_.reserve(static_cast<std::size_t>(m));
     scratchWaiters_.reserve(static_cast<std::size_t>(n * m));
 }
 
@@ -105,7 +104,7 @@ WormholeRouter::setRouteTable(RouteTable table)
 int
 WormholeRouter::outputLoad(int port) const
 {
-    const OutputPort& op = outputs_[static_cast<std::size_t>(port)];
+    const OutputPort& op = outputAt(port);
     int load = op.xbarBusy ? 1 : 0;
     for (const OutputVc& ovc : op.vcs) {
         load += static_cast<int>(ovc.buffer.size()) + ovc.reservedSlots;
@@ -120,8 +119,8 @@ WormholeRouter::outputLoad(int port) const
 void
 WormholeRouter::flitArrived(int port, int vc, const Flit& flit)
 {
-    InputVc& ivc = inputs_[static_cast<std::size_t>(port)]
-                       .vcs[static_cast<std::size_t>(vc)];
+    InputPort& ip = inputAt(port);
+    InputVc& ivc = vcAt(ip, vc);
     MW_ASSERT(!ivc.buffer.full());
 
     Flit stamped = flit;
@@ -145,19 +144,21 @@ WormholeRouter::flitArrived(int port, int vc, const Flit& flit)
         MW_ASSERT(stamped.isHeader());
         startRouting(port, vc);
     } else if (ivc.state == InputVcState::Active) {
-        if (cfg_.crossbar == config::CrossbarKind::Multiplexed)
+        if (cfg_.crossbar == config::CrossbarKind::Multiplexed) {
+            refreshInputEligibility(ip, vc);
             kickInputMux(port);
-        else
+        } else {
             kickInputVcServer(port, vc);
+        }
     }
 }
 
 void
 WormholeRouter::creditArrived(int port, int vc)
 {
-    OutputVc& ovc = outputs_[static_cast<std::size_t>(port)]
-                        .vcs[static_cast<std::size_t>(vc)];
-    ++ovc.credits;
+    OutputPort& op = outputAt(port);
+    ++vcAt(op, vc).credits;
+    refreshOutputEligibility(op, vc);
     if (cfg_.switching == config::SwitchingKind::VirtualCutThrough)
         tryGrantNextWaiter(port, vc);
     kickOutputMux(port);
@@ -168,8 +169,7 @@ WormholeRouter::creditArrived(int port, int vc)
 void
 WormholeRouter::startRouting(int port, int vc)
 {
-    InputVc& ivc = inputs_[static_cast<std::size_t>(port)]
-                       .vcs[static_cast<std::size_t>(vc)];
+    InputVc& ivc = vcAt(inputAt(port), vc);
     MW_ASSERT(!ivc.buffer.empty() && ivc.buffer.front().isHeader());
     ivc.state = InputVcState::Routing;
     simulator_.scheduleAfter(
@@ -180,8 +180,7 @@ WormholeRouter::startRouting(int port, int vc)
 void
 WormholeRouter::routeComputed(int port, int vc)
 {
-    InputVc& ivc = inputs_[static_cast<std::size_t>(port)]
-                       .vcs[static_cast<std::size_t>(vc)];
+    InputVc& ivc = vcAt(inputAt(port), vc);
     MW_ASSERT(ivc.state == InputVcState::Routing);
     MW_ASSERT(!ivc.buffer.empty());
     const Flit& header = ivc.buffer.front();
@@ -220,10 +219,8 @@ void
 WormholeRouter::requestOutputVc(int port, int vc, int out_port,
                                 int out_vc)
 {
-    InputVc& ivc = inputs_[static_cast<std::size_t>(port)]
-                       .vcs[static_cast<std::size_t>(vc)];
-    OutputVc& ovc = outputs_[static_cast<std::size_t>(out_port)]
-                        .vcs[static_cast<std::size_t>(out_vc)];
+    InputVc& ivc = vcAt(inputAt(port), vc);
+    OutputVc& ovc = vcAt(outputAt(out_port), out_vc);
     ivc.outPort = out_port;
     ivc.outVc = out_vc;
     ivc.state = InputVcState::WaitingVc;
@@ -235,8 +232,7 @@ WormholeRouter::requestOutputVc(int port, int vc, int out_port,
 bool
 WormholeRouter::tryGrantNextWaiter(int out_port, int out_vc)
 {
-    OutputVc& ovc = outputs_[static_cast<std::size_t>(out_port)]
-                        .vcs[static_cast<std::size_t>(out_vc)];
+    OutputVc& ovc = vcAt(outputAt(out_port), out_vc);
     if (ovc.allocated || ovc.allocWaiters.empty())
         return false;
 
@@ -245,9 +241,7 @@ WormholeRouter::tryGrantNextWaiter(int out_port, int out_vc)
         // Cut-through gate: the next hop must be able to buffer the
         // whole message, so a blocked message parks here instead of
         // stretching across the link. Re-checked on credit returns.
-        const InputVc& ivc =
-            inputs_[static_cast<std::size_t>(key.port)]
-                .vcs[static_cast<std::size_t>(key.vc)];
+        const InputVc& ivc = vcAt(inputAt(key.port), key.vc);
         MW_ASSERT(!ivc.buffer.empty()
                   && ivc.buffer.front().isHeader());
         const int message_flits = ivc.buffer.front().messageFlits;
@@ -268,23 +262,28 @@ WormholeRouter::tryGrantNextWaiter(int out_port, int out_vc)
 void
 WormholeRouter::grantOutputVc(InputVcKey key, int out_port, int out_vc)
 {
-    InputVc& ivc = inputs_[static_cast<std::size_t>(key.port)]
-                       .vcs[static_cast<std::size_t>(key.vc)];
+    InputPort& ip = inputAt(key.port);
+    InputVc& ivc = vcAt(ip, key.vc);
     MW_ASSERT(ivc.outPort == out_port && ivc.outVc == out_vc);
     ivc.state = InputVcState::Active;
-    if (cfg_.crossbar == config::CrossbarKind::Multiplexed)
+    ivc.outPortPtr = &outputAt(out_port);
+    ivc.outVcPtr = &vcAt(*ivc.outPortPtr, out_vc);
+    if (cfg_.crossbar == config::CrossbarKind::Multiplexed) {
+        refreshInputEligibility(ip, key.vc);
         kickInputMux(key.port);
-    else
+    } else {
         kickInputVcServer(key.port, key.vc);
+    }
 }
 
 void
 WormholeRouter::finishInputMessage(InputVcKey key)
 {
-    InputVc& ivc = inputs_[static_cast<std::size_t>(key.port)]
-                       .vcs[static_cast<std::size_t>(key.vc)];
+    InputVc& ivc = vcAt(inputAt(key.port), key.vc);
     ivc.outPort = -1;
     ivc.outVc = -1;
+    ivc.outPortPtr = nullptr;
+    ivc.outVcPtr = nullptr;
     if (!ivc.buffer.empty()) {
         // The next message's header is already queued behind the tail.
         startRouting(key.port, key.vc);
@@ -298,25 +297,30 @@ WormholeRouter::finishInputMessage(InputVcKey key)
 void
 WormholeRouter::kickInputMux(int port)
 {
-    if (!inputs_[static_cast<std::size_t>(port)].muxBusy)
+    if (!inputAt(port).muxBusy)
         serveInputMux(port);
 }
 
 void
 WormholeRouter::serveInputMux(int port)
 {
-    InputPort& ip = inputs_[static_cast<std::size_t>(port)];
-    MW_ASSERT(!ip.muxBusy);
-    MW_ASSERT(cfg_.crossbar == config::CrossbarKind::Multiplexed);
+    InputPort& ip = inputAt(port);
+    MW_DEBUG_ASSERT(!ip.muxBusy);
+    MW_DEBUG_ASSERT(cfg_.crossbar == config::CrossbarKind::Multiplexed);
 
-    scratchCandidates_.clear();
-    for (int v = 0; v < cfg_.numVcs; ++v) {
-        InputVc& ivc = ip.vcs[static_cast<std::size_t>(v)];
-        if (ivc.state != InputVcState::Active || ivc.buffer.empty())
-            continue;
-        OutputPort& op =
-            outputs_[static_cast<std::size_t>(ivc.outPort)];
-        OutputVc& ovc = op.vcs[static_cast<std::size_t>(ivc.outVc)];
+    // The arbiter mask holds every Active VC with a buffered head
+    // flit; the crossbar and downstream-space gates are evaluated
+    // here (they depend on other ports' state), pruning the mask and
+    // parking blocked VCs on the matching wait list. Bits are walked
+    // in ascending VC order, exactly like the scan this replaces.
+    std::uint64_t pending = ip.arb.mask();
+    std::uint64_t serveable = 0;
+    while (pending != 0) {
+        const int v = __builtin_ctzll(pending);
+        pending &= pending - 1;
+        InputVc& ivc = vcAt(ip, v);
+        OutputPort& op = *ivc.outPortPtr;
+        OutputVc& ovc = *ivc.outVcPtr;
         if (ovc.buffer.space()
             <= static_cast<std::size_t>(ovc.reservedSlots)) {
             registerSpaceWaiter(ovc, {port, v});
@@ -327,34 +331,37 @@ WormholeRouter::serveInputMux(int port)
                 << static_cast<unsigned>(port);
             continue;
         }
-        const Flit& head = ivc.buffer.front();
-        scratchCandidates_.push_back(
-            {v, head.stamp, head.arrivalSeq, head.vtick});
+        serveable |= std::uint64_t{1} << static_cast<unsigned>(v);
     }
-    if (scratchCandidates_.empty())
+    if (serveable == 0)
         return;
 
-    const std::size_t winner = ip.scheduler->pick(scratchCandidates_);
-    const int v = scratchCandidates_[winner].slot;
-    InputVc& ivc = ip.vcs[static_cast<std::size_t>(v)];
+    const int v = ip.arb.pickMasked(serveable);
+    InputVc& ivc = vcAt(ip, v);
 
     // Dispatch the head flit into the crossbar (point B server).
-    Flit flit = ivc.buffer.pop();
-    OutputPort& op = outputs_[static_cast<std::size_t>(ivc.outPort)];
-    OutputVc& ovc = op.vcs[static_cast<std::size_t>(ivc.outVc)];
+    // The flit is copied straight from the buffer head into the
+    // crossbar register; no intermediate stack copy.
+    OutputPort& op = *ivc.outPortPtr;
+    OutputVc& ovc = *ivc.outVcPtr;
     ++ovc.reservedSlots;
-    MW_ASSERT(!op.xbarBusy);
+    MW_DEBUG_ASSERT(!op.xbarBusy);
     op.xbarBusy = true;
-    op.xbarFlit = flit;
+    op.xbarFlit = ivc.buffer.front();
     op.xbarFlitVc = ivc.outVc;
+    ivc.buffer.dropFront();
+    const bool is_tail = op.xbarFlit.isTail();
     simulator_.scheduleAfter(
         op.xbarEvent,
         static_cast<sim::Tick>(cfg_.crossbarCycles) * cycle());
 
     if (ip.link)
         ip.link->sendCredit(v);
-    if (flit.isTail())
+    if (is_tail)
         finishInputMessage({port, v});
+    // The pop (and, for tails, the VC release) changed this slot's
+    // head; re-derive its bit once the dust settles.
+    refreshInputEligibility(ip, v);
 
     ip.muxBusy = true;
     simulator_.scheduleAfter(ip.muxEvent, cycle());
@@ -363,7 +370,7 @@ WormholeRouter::serveInputMux(int port)
 void
 WormholeRouter::inputMuxFired(int port)
 {
-    inputs_[static_cast<std::size_t>(port)].muxBusy = false;
+    inputAt(port).muxBusy = false;
     serveInputMux(port);
 }
 
@@ -372,32 +379,27 @@ WormholeRouter::inputMuxFired(int port)
 void
 WormholeRouter::kickInputVcServer(int port, int vc)
 {
-    if (!inputs_[static_cast<std::size_t>(port)]
-             .vcs[static_cast<std::size_t>(vc)]
-             .serverBusy) {
+    if (!vcAt(inputAt(port), vc).serverBusy)
         serveInputVc(port, vc);
-    }
 }
 
 void
 WormholeRouter::serveInputVc(int port, int vc)
 {
-    InputVc& ivc = inputs_[static_cast<std::size_t>(port)]
-                       .vcs[static_cast<std::size_t>(vc)];
-    MW_ASSERT(!ivc.serverBusy);
+    InputVc& ivc = vcAt(inputAt(port), vc);
+    MW_DEBUG_ASSERT(!ivc.serverBusy);
     if (ivc.state != InputVcState::Active || ivc.buffer.empty())
         return;
-    OutputVc& ovc = outputs_[static_cast<std::size_t>(ivc.outPort)]
-                        .vcs[static_cast<std::size_t>(ivc.outVc)];
+    OutputVc& ovc = *ivc.outVcPtr;
     if (ovc.buffer.space()
         <= static_cast<std::size_t>(ovc.reservedSlots)) {
         registerSpaceWaiter(ovc, {port, vc});
         return;
     }
 
-    Flit flit = ivc.buffer.pop();
     ++ovc.reservedSlots;
-    ivc.inFlight = flit;
+    ivc.inFlight = ivc.buffer.front();
+    ivc.buffer.dropFront();
     ivc.inFlightOutPort = ivc.outPort;
     ivc.inFlightOutVc = ivc.outVc;
     ivc.serverBusy = true;
@@ -405,23 +407,21 @@ WormholeRouter::serveInputVc(int port, int vc)
         ivc.serveEvent,
         static_cast<sim::Tick>(cfg_.crossbarCycles) * cycle());
 
-    InputPort& ip = inputs_[static_cast<std::size_t>(port)];
+    InputPort& ip = inputAt(port);
     if (ip.link)
         ip.link->sendCredit(vc);
-    if (flit.isTail())
+    if (ivc.inFlight.isTail())
         finishInputMessage({port, vc});
 }
 
 void
 WormholeRouter::vcServeFired(int port, int vc)
 {
-    InputVc& ivc = inputs_[static_cast<std::size_t>(port)]
-                       .vcs[static_cast<std::size_t>(vc)];
-    const Flit flit = ivc.inFlight;
+    InputVc& ivc = vcAt(inputAt(port), vc);
     const int out_port = ivc.inFlightOutPort;
     const int out_vc = ivc.inFlightOutVc;
     ivc.serverBusy = false;
-    depositIntoOutputVc(out_port, out_vc, flit);
+    depositIntoOutputVc(out_port, out_vc, ivc.inFlight);
     serveInputVc(port, vc);
 }
 
@@ -430,13 +430,15 @@ WormholeRouter::vcServeFired(int port, int vc)
 void
 WormholeRouter::xbarDeliver(int out_port)
 {
-    OutputPort& op = outputs_[static_cast<std::size_t>(out_port)];
-    MW_ASSERT(op.xbarBusy);
-    const Flit flit = op.xbarFlit;
+    OutputPort& op = outputAt(out_port);
+    MW_DEBUG_ASSERT(op.xbarBusy);
     const int out_vc = op.xbarFlitVc;
     op.xbarBusy = false;
     op.xbarFlitVc = -1;
-    depositIntoOutputVc(out_port, out_vc, flit);
+    // The crossbar register is dead once deposited (the deposit
+    // copies it into the output buffer before any nested serve can
+    // reload it), so hand it over by reference.
+    depositIntoOutputVc(out_port, out_vc, op.xbarFlit);
 
     // Wake input multiplexers blocked on this crossbar output.
     std::uint64_t waiters = op.xbarWaiters;
@@ -450,22 +452,23 @@ WormholeRouter::xbarDeliver(int out_port)
 
 void
 WormholeRouter::depositIntoOutputVc(int out_port, int out_vc,
-                                    const Flit& flit)
+                                    Flit& flit)
 {
-    OutputPort& op = outputs_[static_cast<std::size_t>(out_port)];
-    OutputVc& ovc = op.vcs[static_cast<std::size_t>(out_vc)];
-    MW_ASSERT(ovc.reservedSlots > 0);
+    OutputPort& op = outputAt(out_port);
+    OutputVc& ovc = vcAt(op, out_vc);
+    MW_DEBUG_ASSERT(ovc.reservedSlots > 0);
     --ovc.reservedSlots;
 
     // Point-C stamping: relevant when the configured discipline runs
-    // at the VC output multiplexer (full crossbars).
-    Flit stamped = flit;
-    if (stamped.isHeader())
-        ovc.vclock.beginMessage(stamped.vtick);
-    stamped.stamp = ovc.vclock.tick(simulator_.now());
-    stamped.arrivalSeq = op.nextArrivalSeq++;
-    MW_ASSERT(!ovc.buffer.full());
-    ovc.buffer.push(stamped);
+    // at the VC output multiplexer (full crossbars). Stamped in
+    // place — the caller's flit is dead after the push below.
+    if (flit.isHeader())
+        ovc.vclock.beginMessage(flit.vtick);
+    flit.stamp = ovc.vclock.tick(simulator_.now());
+    flit.arrivalSeq = op.nextArrivalSeq++;
+    MW_DEBUG_ASSERT(!ovc.buffer.full());
+    ovc.buffer.push(flit);
+    refreshOutputEligibility(op, out_vc);
     kickOutputMux(out_port);
 }
 
@@ -474,35 +477,31 @@ WormholeRouter::depositIntoOutputVc(int out_port, int out_vc,
 void
 WormholeRouter::kickOutputMux(int port)
 {
-    if (!outputs_[static_cast<std::size_t>(port)].muxBusy)
+    if (!outputAt(port).muxBusy)
         serveOutputMux(port);
 }
 
 void
 WormholeRouter::serveOutputMux(int port)
 {
-    OutputPort& op = outputs_[static_cast<std::size_t>(port)];
-    MW_ASSERT(!op.muxBusy);
-    MW_ASSERT(op.link != nullptr);
+    OutputPort& op = outputAt(port);
+    MW_DEBUG_ASSERT(!op.muxBusy);
+    MW_DEBUG_ASSERT(op.link != nullptr);
 
-    scratchCandidates_.clear();
-    for (int v = 0; v < cfg_.numVcs; ++v) {
-        OutputVc& ovc = op.vcs[static_cast<std::size_t>(v)];
-        if (ovc.buffer.empty() || ovc.credits <= 0)
-            continue;
-        const Flit& head = ovc.buffer.front();
-        scratchCandidates_.push_back(
-            {v, head.stamp, head.arrivalSeq, head.vtick});
-    }
-    if (scratchCandidates_.empty())
+    // Point-C eligibility (buffered flit + credit) is maintained
+    // incrementally at deposit/credit/send time, so an idle kick is
+    // one mask test instead of a VC scan.
+    if (!op.arb.anyEligible())
         return;
 
-    const std::size_t winner = op.scheduler->pick(scratchCandidates_);
-    const int v = scratchCandidates_[winner].slot;
-    OutputVc& ovc = op.vcs[static_cast<std::size_t>(v)];
+    const int v = op.arb.pick();
+    OutputVc& ovc = vcAt(op, v);
 
-    const Flit flit = ovc.buffer.pop();
-    --ovc.credits;
+    // The link copies the flit into its in-flight queue (delivery is
+    // a later event), so it can be sent straight from the buffer head
+    // and dropped — no stack copy of the ~96-byte Flit.
+    const Flit& flit = ovc.buffer.front();
+    const bool is_tail = flit.isTail();
     op.link->sendFlit(flit, v);
     ++flitsForwarded_;
     if (tracer_ != nullptr && tracer_->accepts(flit.stream)) {
@@ -511,9 +510,12 @@ WormholeRouter::serveOutputMux(int port)
                          flit.message, flit.index, traceLocation_,
                          port, v});
     }
+    ovc.buffer.dropFront();
+    --ovc.credits;
+    refreshOutputEligibility(op, v);
     wakeSpaceWaiters(ovc);
 
-    if (flit.isTail()) {
+    if (is_tail) {
         // Tail left stage 5: discard the Vtick state and hand the VC
         // to the next waiting message (stage-3 arbitration order;
         // virtual cut-through additionally gates on downstream
@@ -530,7 +532,7 @@ WormholeRouter::serveOutputMux(int port)
 void
 WormholeRouter::outputMuxFired(int port)
 {
-    outputs_[static_cast<std::size_t>(port)].muxBusy = false;
+    outputAt(port).muxBusy = false;
     serveOutputMux(port);
 }
 
@@ -539,8 +541,7 @@ WormholeRouter::outputMuxFired(int port)
 void
 WormholeRouter::registerSpaceWaiter(OutputVc& ovc, InputVcKey key)
 {
-    InputVc& ivc = inputs_[static_cast<std::size_t>(key.port)]
-                       .vcs[static_cast<std::size_t>(key.vc)];
+    InputVc& ivc = vcAt(inputAt(key.port), key.vc);
     if (ivc.inSpaceWaitList)
         return;
     ivc.inSpaceWaitList = true;
@@ -560,11 +561,8 @@ WormholeRouter::wakeSpaceWaiters(OutputVc& ovc)
     scratchWaiters_.assign(ovc.spaceWaiters.begin(),
                            ovc.spaceWaiters.end());
     ovc.spaceWaiters.clear();
-    for (const InputVcKey& key : scratchWaiters_) {
-        InputVc& ivc = inputs_[static_cast<std::size_t>(key.port)]
-                           .vcs[static_cast<std::size_t>(key.vc)];
-        ivc.inSpaceWaitList = false;
-    }
+    for (const InputVcKey& key : scratchWaiters_)
+        vcAt(inputAt(key.port), key.vc).inSpaceWaitList = false;
     for (const InputVcKey& key : scratchWaiters_) {
         if (cfg_.crossbar == config::CrossbarKind::Multiplexed)
             kickInputMux(key.port);
@@ -604,19 +602,41 @@ void
 WormholeRouter::checkInvariants() const
 {
     for (int p = 0; p < cfg_.numPorts; ++p) {
-        const InputPort& ip = inputs_[static_cast<std::size_t>(p)];
+        const InputPort& ip = inputAt(p);
         for (int v = 0; v < cfg_.numVcs; ++v) {
-            const InputVc& ivc = ip.vcs[static_cast<std::size_t>(v)];
+            const InputVc& ivc = vcAt(ip, v);
             MW_ASSERT(ivc.buffer.size()
                       <= static_cast<std::size_t>(
                           cfg_.flitBufferDepth));
-            if (ivc.state == InputVcState::Active)
+            if (ivc.state == InputVcState::Active) {
                 MW_ASSERT(ivc.outPort >= 0 && ivc.outVc >= 0);
+                // The cached grant pointers must track the ids.
+                MW_ASSERT(ivc.outPortPtr == &outputAt(ivc.outPort));
+                MW_ASSERT(ivc.outVcPtr
+                          == &vcAt(*ivc.outPortPtr, ivc.outVc));
+            }
             if (ivc.state == InputVcState::Idle)
                 MW_ASSERT(ivc.buffer.empty());
+            if (cfg_.crossbar == config::CrossbarKind::Multiplexed) {
+                // Eligibility-mask invariant: bit v mirrors (Active
+                // && non-empty), and the cached head record matches
+                // the head flit (DESIGN.md section 9).
+                const bool ready =
+                    ivc.state == InputVcState::Active
+                    && !ivc.buffer.empty();
+                MW_ASSERT(ip.arb.eligible(v) == ready);
+                if (ready) {
+                    const Flit& head = ivc.buffer.front();
+                    MW_ASSERT(ip.arb.head(v).stamp == head.stamp);
+                    MW_ASSERT(ip.arb.head(v).fifoSeq
+                              == head.arrivalSeq);
+                    MW_ASSERT(ip.arb.head(v).vtick == head.vtick);
+                }
+            }
         }
-        const OutputPort& op = outputs_[static_cast<std::size_t>(p)];
-        for (const OutputVc& ovc : op.vcs) {
+        const OutputPort& op = outputAt(p);
+        for (int v = 0; v < cfg_.numVcs; ++v) {
+            const OutputVc& ovc = vcAt(op, v);
             MW_ASSERT(ovc.reservedSlots >= 0);
             MW_ASSERT(ovc.buffer.size()
                           + static_cast<std::size_t>(ovc.reservedSlots)
@@ -628,6 +648,14 @@ WormholeRouter::checkInvariants() const
                 if (cfg_.switching == config::SwitchingKind::Wormhole)
                     MW_ASSERT(ovc.allocWaiters.empty());
                 MW_ASSERT(ovc.buffer.empty());
+            }
+            const bool ready = !ovc.buffer.empty() && ovc.credits > 0;
+            MW_ASSERT(op.arb.eligible(v) == ready);
+            if (ready) {
+                const Flit& head = ovc.buffer.front();
+                MW_ASSERT(op.arb.head(v).stamp == head.stamp);
+                MW_ASSERT(op.arb.head(v).fifoSeq == head.arrivalSeq);
+                MW_ASSERT(op.arb.head(v).vtick == head.vtick);
             }
         }
     }

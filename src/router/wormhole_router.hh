@@ -34,11 +34,11 @@
 #include <vector>
 
 #include "config/router_config.hh"
+#include "router/arbiter.hh"
 #include "router/flit.hh"
 #include "router/flit_buffer.hh"
 #include "router/link.hh"
 #include "router/ring.hh"
-#include "router/scheduler.hh"
 #include "router/virtual_clock.hh"
 #include "sim/event.hh"
 #include "sim/simulator.hh"
@@ -170,6 +170,9 @@ class WormholeRouter
         int vc;
     };
 
+    struct OutputVc;
+    struct OutputPort;
+
     // --- pipeline actions -------------------------------------------------
     // (Declared ahead of the port/VC structs so the typed events
     // below can name them as template arguments.)
@@ -198,8 +201,9 @@ class WormholeRouter
 
     // Point B.
     void xbarDeliver(int out_port);
-    void depositIntoOutputVc(int out_port, int out_vc,
-                             const Flit& flit);
+    /** Stamps @p flit in place and copies it into the output VC
+     *  buffer; the caller's flit is consumed. */
+    void depositIntoOutputVc(int out_port, int out_vc, Flit& flit);
 
     // Point C.
     void kickOutputMux(int port);
@@ -260,6 +264,12 @@ class WormholeRouter
         InputVcState state = InputVcState::Idle;
         int outPort = -1;
         int outVc = -1;
+        // Direct pointers to the granted output port/VC, valid while
+        // state == Active (ports and their VC vectors never move
+        // after construction). The input-mux gate loop runs once per
+        // ready VC per mux round; these save the index arithmetic.
+        OutputPort* outPortPtr = nullptr;
+        OutputVc* outVcPtr = nullptr;
         VirtualClockState vclock; ///< Point-A stamping state.
         sim::Tick vtick = kBestEffortVtick; ///< Current message's rate.
         /// Fires when stages 2-3 finish.
@@ -279,7 +289,9 @@ class WormholeRouter
         std::unique_ptr<InputVc[]> vcs;
         Link* link = nullptr; ///< For returning credits upstream.
         // Point A: the crossbar input multiplexer (multiplexed mode).
-        std::unique_ptr<Scheduler> scheduler;
+        // Eligibility bit v = VC v is Active with a buffered head
+        // flit; the serve-time space/crossbar gates prune further.
+        MuxArbiter arb;
         PortEvent<&WormholeRouter::inputMuxFired> muxEvent;
         bool muxBusy = false;
     };
@@ -306,7 +318,8 @@ class WormholeRouter
         PortEvent<&WormholeRouter::xbarDeliver> xbarEvent;
         std::uint64_t xbarWaiters = 0; ///< Bitmask of blocked muxes.
         // Point C: the VC output multiplexer driving the link.
-        std::unique_ptr<Scheduler> scheduler;
+        // Eligibility bit v = VC v has a buffered flit and a credit.
+        MuxArbiter arb;
         PortEvent<&WormholeRouter::outputMuxFired> muxEvent;
         bool muxBusy = false;
         std::uint64_t nextArrivalSeq = 0;
@@ -358,7 +371,76 @@ class WormholeRouter
 
     void registerSpaceWaiter(OutputVc& ovc, InputVcKey key);
     void wakeSpaceWaiters(OutputVc& ovc);
-    void dispatchFlit(InputVcKey key, InputVc& ivc);
+
+    // --- eligibility-mask maintenance (DESIGN.md section 9) ---------------
+    // Re-evaluates one slot's bit from current state; called at every
+    // event that can change that state, so the serve loops never
+    // rescan all VCs.
+
+    /** Input bit v = (state == Active && buffer non-empty). */
+    void
+    refreshInputEligibility(InputPort& ip, int vc)
+    {
+        const InputVc& ivc = vcAt(ip, vc);
+        if (ivc.state == InputVcState::Active && !ivc.buffer.empty())
+            ip.arb.setEligible(vc, ivc.buffer.front());
+        else
+            ip.arb.clearEligible(vc);
+    }
+
+    /** Output bit v = (buffer non-empty && credits > 0). */
+    void
+    refreshOutputEligibility(OutputPort& op, int vc)
+    {
+        const OutputVc& ovc = vcAt(op, vc);
+        if (!ovc.buffer.empty() && ovc.credits > 0)
+            op.arb.setEligible(vc, ovc.buffer.front());
+        else
+            op.arb.clearEligible(vc);
+    }
+
+    // --- indexing helpers (keep signed port/vc ids out of the
+    // unsigned-cast business everywhere else) ------------------------------
+    InputPort&
+    inputAt(int port)
+    {
+        return inputs_[static_cast<std::size_t>(port)];
+    }
+    const InputPort&
+    inputAt(int port) const
+    {
+        return inputs_[static_cast<std::size_t>(port)];
+    }
+    OutputPort&
+    outputAt(int port)
+    {
+        return outputs_[static_cast<std::size_t>(port)];
+    }
+    const OutputPort&
+    outputAt(int port) const
+    {
+        return outputs_[static_cast<std::size_t>(port)];
+    }
+    static InputVc&
+    vcAt(InputPort& ip, int vc)
+    {
+        return ip.vcs[static_cast<std::size_t>(vc)];
+    }
+    static const InputVc&
+    vcAt(const InputPort& ip, int vc)
+    {
+        return ip.vcs[static_cast<std::size_t>(vc)];
+    }
+    static OutputVc&
+    vcAt(OutputPort& op, int vc)
+    {
+        return op.vcs[static_cast<std::size_t>(vc)];
+    }
+    static const OutputVc&
+    vcAt(const OutputPort& op, int vc)
+    {
+        return op.vcs[static_cast<std::size_t>(vc)];
+    }
 
     sim::Tick cycle() const { return cycleTime_; }
 
@@ -377,7 +459,6 @@ class WormholeRouter
     std::unique_ptr<PortCreditReceiver[]> creditReceivers_;
 
     std::uint64_t nextInputSeq_ = 0;
-    std::vector<Candidate> scratchCandidates_;
     std::vector<InputVcKey> scratchWaiters_; ///< wakeSpaceWaiters scratch.
 
     std::uint64_t flitsForwarded_ = 0;

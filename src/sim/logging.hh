@@ -61,6 +61,21 @@ void debug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
         }                                                               \
     } while (0)
 
+/**
+ * Invariant check on a per-flit hot path (buffer accesses, arbiter
+ * kernels). Same contract as MW_ASSERT in debug builds, compiled out
+ * under NDEBUG so Release builds pay nothing; the CI Release job runs
+ * the full test suite with these disabled to catch code that relies
+ * on an assert's side effects.
+ */
+#ifdef NDEBUG
+#define MW_DEBUG_ASSERT(cond, ...) \
+    do {                           \
+    } while (0)
+#else
+#define MW_DEBUG_ASSERT(cond, ...) MW_ASSERT(cond)
+#endif
+
 } // namespace mediaworm::sim
 
 #endif // MEDIAWORM_SIM_LOGGING_HH

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Differential fuzz of the MuxArbiter kernels against the legacy
+ * Scheduler classes, plus targeted tests of the incremental-state
+ * API and the fixed-point WRR deficit accounting.
+ *
+ * The MuxArbiter (router/arbiter.hh) must select the same winner as
+ * the virtual Scheduler it replaced for every discipline and every
+ * reachable mux state, including across rounds for the stateful
+ * disciplines (round robin's rotation pointer, WRR's deficits). The
+ * fuzzer drives both implementations with one randomized stream of
+ * arbitration rounds per discipline and requires identical winners
+ * on every round.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "config/router_config.hh"
+#include "router/arbiter.hh"
+#include "router/flit.hh"
+#include "router/scheduler.hh"
+#include "sim/random.hh"
+
+namespace {
+
+using namespace mediaworm::router;
+using mediaworm::config::SchedulerKind;
+using mediaworm::sim::Rng;
+using mediaworm::sim::Tick;
+using mediaworm::sim::microseconds;
+
+// --- incremental-state API ----------------------------------------------------
+
+TEST(MuxArbiter, MaskTracksSetAndClear)
+{
+    MuxArbiter arb;
+    arb.init(SchedulerKind::Fifo, 8);
+    EXPECT_FALSE(arb.anyEligible());
+
+    arb.setEligible(3, /*stamp=*/10, /*fifo_seq=*/1, microseconds(8));
+    arb.setEligible(5, /*stamp=*/20, /*fifo_seq=*/2, microseconds(8));
+    EXPECT_TRUE(arb.anyEligible());
+    EXPECT_EQ(arb.mask(), (std::uint64_t{1} << 3) | (std::uint64_t{1} << 5));
+    EXPECT_TRUE(arb.eligible(3));
+    EXPECT_FALSE(arb.eligible(4));
+
+    arb.clearEligible(3);
+    arb.clearEligible(3); // idempotent
+    EXPECT_EQ(arb.mask(), std::uint64_t{1} << 5);
+}
+
+TEST(MuxArbiter, SetEligibleRefreshesHeadRecord)
+{
+    MuxArbiter arb;
+    arb.init(SchedulerKind::VirtualClock, 4);
+    arb.setEligible(2, 100, 7, microseconds(4));
+    EXPECT_EQ(arb.head(2).stamp, 100);
+    EXPECT_EQ(arb.head(2).fifoSeq, 7u);
+
+    // A pop exposing the next flit re-caches via the same call.
+    arb.setEligible(2, 250, 9, microseconds(4));
+    EXPECT_EQ(arb.head(2).stamp, 250);
+    EXPECT_EQ(arb.head(2).fifoSeq, 9u);
+}
+
+TEST(MuxArbiter, PickMaskedRestrictsToSubset)
+{
+    MuxArbiter arb;
+    arb.init(SchedulerKind::VirtualClock, 8);
+    arb.setEligible(1, /*stamp=*/10, 1, microseconds(8)); // global best
+    arb.setEligible(6, /*stamp=*/99, 2, microseconds(8));
+    // Gating away slot 1 (as the input mux's space/crossbar gates do)
+    // must hand the round to the best of what remains.
+    EXPECT_EQ(arb.pickMasked(std::uint64_t{1} << 6), 6);
+    EXPECT_EQ(arb.pick(), 1);
+}
+
+// --- differential fuzz vs the legacy schedulers -------------------------------
+
+/**
+ * One randomized mux: a fixed slot population whose heads change
+ * between rounds, feeding both implementations identically.
+ */
+class DifferentialFuzz : public ::testing::TestWithParam<SchedulerKind>
+{
+};
+
+TEST_P(DifferentialFuzz, WinnersMatchLegacySchedulers)
+{
+    const SchedulerKind kind = GetParam();
+    constexpr int kRounds = 120000;
+    constexpr int kNumSlots = 16;
+
+    Rng rng(0x715eed5eed5eedULL
+            + static_cast<std::uint64_t>(kind) * 0x9e37ULL);
+
+    MuxArbiter arb;
+    arb.init(kind, kNumSlots);
+    auto legacy = makeScheduler(kind);
+
+    // Persistent per-slot head state, mutated incrementally the way a
+    // real mux does: winners pop (new head or empty), idle slots
+    // occasionally gain a flit. The legacy candidate vector is
+    // rebuilt from the same state by an ascending-slot scan, exactly
+    // like the code the arbiter replaced.
+    struct SlotState
+    {
+        bool eligible = false;
+        Tick stamp = 0;
+        std::uint64_t fifoSeq = 0;
+        Tick vtick = kBestEffortVtick;
+    };
+    std::vector<SlotState> slots(kNumSlots);
+    std::uint64_t next_seq = 0;
+    Tick now = 0;
+
+    // Vticks drawn from the paper's operating range plus best-effort
+    // "infinity", so WRR weights exercise both exact and truncated
+    // fixed-point ratios.
+    const Tick vticks[] = {microseconds(3), microseconds(4),
+                           microseconds(8), microseconds(10),
+                           microseconds(33), kBestEffortVtick};
+
+    auto arrive = [&](int s) {
+        SlotState& st = slots[static_cast<std::size_t>(s)];
+        st.eligible = true;
+        st.stamp = now + static_cast<Tick>(rng.uniformInt(2000));
+        st.fifoSeq = next_seq++;
+        st.vtick = vticks[rng.uniformInt(std::size(vticks))];
+        arb.setEligible(s, st.stamp, st.fifoSeq, st.vtick);
+    };
+
+    int rounds_run = 0;
+    for (int round = 0; round < kRounds; ++round) {
+        now += static_cast<Tick>(rng.uniformInt(100));
+
+        // Mutate: each slot may flip eligibility or re-stamp its head
+        // (a fresh arrival behind an empty slot, or an upstream
+        // re-route changing the head).
+        for (int s = 0; s < kNumSlots; ++s) {
+            const double roll = rng.uniform01();
+            if (roll < 0.25) {
+                arrive(s);
+            } else if (roll < 0.32) {
+                slots[static_cast<std::size_t>(s)].eligible = false;
+                arb.clearEligible(s);
+            }
+        }
+
+        std::vector<Candidate> candidates;
+        for (int s = 0; s < kNumSlots; ++s) {
+            const SlotState& st = slots[static_cast<std::size_t>(s)];
+            if (st.eligible)
+                candidates.push_back(
+                    {s, st.stamp, st.fifoSeq, st.vtick});
+        }
+        if (candidates.empty())
+            continue;
+        ++rounds_run;
+
+        const std::size_t legacy_index = legacy->pick(candidates);
+        const int legacy_slot = candidates[legacy_index].slot;
+        const int kernel_slot = arb.pick();
+        ASSERT_EQ(kernel_slot, legacy_slot)
+            << "divergence at round " << round << " for "
+            << mediaworm::config::toString(kind);
+
+        // The winner's head flit leaves; usually another queued flit
+        // becomes the head with a later stamp/seq.
+        SlotState& won = slots[static_cast<std::size_t>(legacy_slot)];
+        if (rng.bernoulli(0.7)) {
+            won.stamp = now + static_cast<Tick>(rng.uniformInt(2000));
+            won.fifoSeq = next_seq++;
+            arb.setEligible(legacy_slot, won.stamp, won.fifoSeq,
+                            won.vtick);
+        } else {
+            won.eligible = false;
+            arb.clearEligible(legacy_slot);
+        }
+    }
+    // The mutation rates keep the mux busy; make sure the loop
+    // actually exercised arbitration and did not vacuously pass.
+    EXPECT_GT(rounds_run, kRounds / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, DifferentialFuzz,
+    ::testing::Values(SchedulerKind::Fifo, SchedulerKind::RoundRobin,
+                      SchedulerKind::VirtualClock,
+                      SchedulerKind::WeightedRoundRobin),
+    [](const ::testing::TestParamInfo<SchedulerKind>& info) {
+        switch (info.param) {
+          case SchedulerKind::Fifo:
+            return "Fifo";
+          case SchedulerKind::RoundRobin:
+            return "RoundRobin";
+          case SchedulerKind::VirtualClock:
+            return "VirtualClock";
+          case SchedulerKind::WeightedRoundRobin:
+            return "WeightedRoundRobin";
+        }
+        return "Unknown";
+    });
+
+// --- WRR fixed-point fairness -------------------------------------------------
+
+/**
+ * Long-run service shares must follow the requested rates (1/Vtick)
+ * even when the rate ratio has no finite binary expansion. With the
+ * old double-based deficits a 1:3 ratio accumulated rounding error
+ * every replenish pass; the Q32.32 integer accounting pins the
+ * shares exactly.
+ */
+TEST(WrrFairness, ServiceSharesTrackRatesWithoutDrift)
+{
+    MuxArbiter arb;
+    arb.init(SchedulerKind::WeightedRoundRobin, 2);
+
+    // Slot 0 requests one flit per 3 us, slot 1 one per 9 us: a 3:1
+    // service ratio whose weight (1/3) is inexact in binary.
+    arb.setEligible(0, 0, 0, microseconds(3));
+    arb.setEligible(1, 0, 1, microseconds(9));
+
+    constexpr int kServes = 400000;
+    std::map<int, int> served;
+    for (int i = 0; i < kServes; ++i)
+        ++served[arb.pick()];
+
+    // Exactly 3:1 up to the +-1 flit granularity of the rotation.
+    const double share0 =
+        static_cast<double>(served[0]) / static_cast<double>(kServes);
+    EXPECT_NEAR(share0, 0.75, 0.001);
+    EXPECT_EQ(served[0] + served[1], kServes);
+}
+
+/** The legacy scheduler shares the fixed-point accounting. */
+TEST(WrrFairness, LegacySchedulerMatchesFixedPointShares)
+{
+    WeightedRoundRobinScheduler wrr;
+    const std::vector<Candidate> candidates = {
+        {0, 0, 0, microseconds(3)},
+        {1, 0, 1, microseconds(9)},
+    };
+
+    constexpr int kServes = 400000;
+    int served0 = 0;
+    for (int i = 0; i < kServes; ++i) {
+        if (candidates[wrr.pick(candidates)].slot == 0)
+            ++served0;
+    }
+    const double share0 =
+        static_cast<double>(served0) / static_cast<double>(kServes);
+    EXPECT_NEAR(share0, 0.75, 0.001);
+}
+
+/**
+ * Replenishment is exact: after any number of rounds the deficits of
+ * a 1:2 population stay on the lattice {0, quantum/2, quantum, ...}
+ * so the faster slot never "saves up" more than one extra serve.
+ * Observable consequence: the serve pattern is perfectly periodic.
+ */
+TEST(WrrFairness, ServePatternIsPeriodic)
+{
+    MuxArbiter arb;
+    arb.init(SchedulerKind::WeightedRoundRobin, 2);
+    arb.setEligible(0, 0, 0, microseconds(4));
+    arb.setEligible(1, 0, 1, microseconds(8));
+
+    std::vector<int> first(6);
+    for (int& winner : first)
+        winner = arb.pick();
+    // Every later window of 6 serves must repeat the first exactly;
+    // drift would eventually insert an extra serve somewhere.
+    for (int window = 0; window < 50000; ++window) {
+        for (int i = 0; i < 6; ++i)
+            ASSERT_EQ(arb.pick(), first[static_cast<std::size_t>(i)])
+                << "pattern broke in window " << window;
+    }
+}
+
+} // namespace

@@ -5,15 +5,17 @@
 #
 # usage: tools/bench_kernel.sh <build-dir> <label> [min-time]
 #
-#   build-dir  A configured build tree containing bench/micro_kernel.
-#              Use a Release build for numbers worth recording.
+#   build-dir  A configured build tree containing bench/micro_kernel
+#              (and bench/micro_arbiter, whose rows are merged into
+#              the same entry). Use a Release build for numbers worth
+#              recording.
 #   label      Name for this measurement ("seed-heap", "pr2-two-tier",
 #              "ci-<sha>", ...). Re-using a label replaces the entry.
 #   min-time   --benchmark_min_time seconds per benchmark (default 2).
 #
 # The headline number is BM_EndToEndExperiment's events/s counter:
 # whole-simulator throughput on a fixed small experiment. The other
-# benchmarks localize regressions (queue, RNG, scheduler, link).
+# benchmarks localize regressions (queue, RNG, arbitration, link).
 
 set -euo pipefail
 
@@ -23,6 +25,7 @@ min_time=${3:-2}
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
 bench="$build_dir/bench/micro_kernel"
+arbiter_bench="$build_dir/bench/micro_arbiter"
 out_json="$repo_root/BENCH_kernel.json"
 
 if [ ! -x "$bench" ]; then
@@ -31,31 +34,41 @@ if [ ! -x "$bench" ]; then
 fi
 
 raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT
+arbiter_raw=$(mktemp)
+trap 'rm -f "$raw" "$arbiter_raw"' EXIT
 
 "$bench" --benchmark_format=json \
          --benchmark_min_time="$min_time" > "$raw"
 
-python3 - "$raw" "$out_json" "$label" <<'EOF'
+if [ -x "$arbiter_bench" ]; then
+    "$arbiter_bench" --benchmark_format=json \
+                     --benchmark_min_time="$min_time" > "$arbiter_raw"
+else
+    echo "warning: $arbiter_bench not found; skipping arbiter rows" >&2
+    echo '{"benchmarks": []}' > "$arbiter_raw"
+fi
+
+python3 - "$raw" "$arbiter_raw" "$out_json" "$label" <<'EOF'
 import json
 import sys
 
-raw_path, out_path, label = sys.argv[1], sys.argv[2], sys.argv[3]
-with open(raw_path) as f:
-    raw = json.load(f)
+raw_path, arbiter_path, out_path, label = sys.argv[1:5]
 
 benchmarks = {}
 events_per_sec = None
-for b in raw.get("benchmarks", []):
-    entry = {"real_time_ns": b["real_time"] * {
-        "ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}[b["time_unit"]]}
-    if "items_per_second" in b:
-        entry["items_per_second"] = b["items_per_second"]
-    if "events/s" in b:
-        entry["events_per_second"] = b["events/s"]
-    benchmarks[b["name"]] = entry
-    if b["name"] == "BM_EndToEndExperiment":
-        events_per_sec = b.get("events/s")
+for path in (raw_path, arbiter_path):
+    with open(path) as f:
+        raw = json.load(f)
+    for b in raw.get("benchmarks", []):
+        entry = {"real_time_ns": b["real_time"] * {
+            "ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}[b["time_unit"]]}
+        if "items_per_second" in b:
+            entry["items_per_second"] = b["items_per_second"]
+        if "events/s" in b:
+            entry["events_per_second"] = b["events/s"]
+        benchmarks[b["name"]] = entry
+        if b["name"] == "BM_EndToEndExperiment":
+            events_per_sec = b.get("events/s")
 
 try:
     with open(out_path) as f:

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Gate on the kernel-benchmark trend file.
+
+Compares the headline events/s of one BENCH_kernel.json entry (the
+measurement just taken, e.g. by tools/bench_kernel.sh in CI) against a
+baseline entry and exits non-zero when it regressed by more than the
+threshold.
+
+usage: check_bench_regression.py <json> <current-label>
+           [--baseline LABEL] [--threshold FRACTION]
+
+The baseline defaults to the last entry recorded before the current
+label (the tracked number committed by the most recent perf PR). The
+default threshold of 0.30 is deliberately loose: shared CI runners
+are noisy, and the gate exists to catch structural regressions (an
+accidental re-virtualization, a quadratic rescan) that cost far more
+than run-to-run jitter, not to police single-digit drift - use the
+committed BENCH_kernel.json entries for that (see EXPERIMENTS.md).
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail on kernel benchmark regressions.")
+    parser.add_argument("json_path", help="BENCH_kernel.json path")
+    parser.add_argument("current", help="label of the new entry")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline label (default: last entry "
+                             "before the current one)")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="maximum tolerated fractional drop "
+                             "(default 0.30)")
+    args = parser.parse_args()
+
+    with open(args.json_path) as f:
+        doc = json.load(f)
+    entries = doc.get("entries", [])
+    by_label = {e["label"]: e for e in entries}
+
+    if args.current not in by_label:
+        print(f"error: no entry labeled '{args.current}'",
+              file=sys.stderr)
+        return 2
+    current = by_label[args.current]
+
+    if args.baseline is not None:
+        if args.baseline not in by_label:
+            print(f"error: no baseline entry '{args.baseline}'",
+                  file=sys.stderr)
+            return 2
+        baseline = by_label[args.baseline]
+    else:
+        previous = [e for e in entries if e["label"] != args.current]
+        if not previous:
+            print("no baseline entry to compare against; passing")
+            return 0
+        baseline = previous[-1]
+
+    cur = current.get("events_per_second")
+    base = baseline.get("events_per_second")
+    if not cur or not base:
+        print("error: entries lack the headline events_per_second",
+              file=sys.stderr)
+        return 2
+
+    ratio = cur / base
+    print(f"{args.current}: {cur:.3e} events/s vs "
+          f"{baseline['label']}: {base:.3e} events/s "
+          f"({ratio:.2f}x, threshold {1 - args.threshold:.2f}x)")
+    if ratio < 1.0 - args.threshold:
+        print(f"FAIL: more than {args.threshold:.0%} below baseline",
+              file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
