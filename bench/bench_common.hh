@@ -12,7 +12,7 @@
  *   MW_BENCH_JOBS      worker threads (default: hardware threads)
  *   MW_BENCH_REPS      seed replications per point (default 1)
  *   MW_BENCH_JSON_DIR  if set, write a BENCH_<name>.json campaign
- *                      artifact (schema mediaworm-campaign-v1,
+ *                      artifact (schema mediaworm-campaign-v2,
  *                      timing section included) into this directory
  */
 

@@ -191,6 +191,37 @@ BM_EndToEndExperiment(benchmark::State& state)
 }
 BENCHMARK(BM_EndToEndExperiment)->Unit(benchmark::kMillisecond);
 
+/**
+ * The same experiment with per-stream telemetry collecting, so the
+ * observation overhead is a tracked number. Compare its events/s
+ * against BM_EndToEndExperiment in the same entry: the gap is the
+ * telemetry tax (expected low single-digit percent), and the
+ * telemetry-off row itself is gated against the committed baseline
+ * (tools/check_bench_regression.py --threshold 0.05 in CI) so the
+ * hooks can never silently slow the disabled path.
+ */
+void
+BM_EndToEndExperimentTelemetry(benchmark::State& state)
+{
+    for (auto _ : state) {
+        core::ExperimentConfig cfg;
+        cfg.traffic.inputLoad = 0.6;
+        cfg.traffic.warmupFrames = 1;
+        cfg.traffic.measuredFrames = 2;
+        cfg.timeScale = 0.05;
+        cfg.obs.telemetry.enabled = true;
+        const core::ExperimentResult result =
+            core::runExperiment(cfg);
+        benchmark::DoNotOptimize(result.eventsFired);
+        benchmark::DoNotOptimize(result.observations);
+        state.counters["events/s"] = benchmark::Counter(
+            static_cast<double>(result.eventsFired),
+            benchmark::Counter::kIsIterationInvariantRate);
+    }
+}
+BENCHMARK(BM_EndToEndExperimentTelemetry)
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 BENCHMARK_MAIN();

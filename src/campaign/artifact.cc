@@ -3,7 +3,9 @@
 #include <cstdio>
 
 #include "campaign/json.hh"
+#include "obs/telemetry.hh"
 #include "sim/logging.hh"
+#include "sim/time.hh"
 
 namespace mediaworm::campaign {
 
@@ -33,6 +35,57 @@ writeCounts(JsonWriter& json, const core::ExperimentResult& r)
     json.member("streams_per_node",
                 static_cast<std::int64_t>(r.streamsPerNode));
     json.member("truncated", r.truncated);
+    json.endObject();
+}
+
+/**
+ * Per-stream telemetry of replication 0 (deterministic - it is the
+ * same simulation whatever the jobs count). All times land on the
+ * paper's unscaled-ms axis via the report's timeScale.
+ */
+void
+writeTelemetry(JsonWriter& json, const obs::TelemetryReport& t)
+{
+    const double scale = t.timeScale > 0.0 ? t.timeScale : 1.0;
+    json.beginObject();
+    json.member("window_ms", sim::toMilliseconds(t.window));
+    json.member("time_scale", t.timeScale);
+    json.member("worst_stream",
+                static_cast<std::int64_t>(
+                    t.worstStream.valid() ? t.worstStream.value()
+                                          : -1));
+    json.member("worst_sigma_d_norm_ms", t.worstStddevMs / scale);
+    json.key("streams");
+    json.beginArray();
+    for (const obs::StreamSeries& series : t.streams) {
+        json.beginObject();
+        json.member("stream", static_cast<std::int64_t>(
+                                  series.stream.value()));
+        json.member("frames", series.frames);
+        json.member("intervals", series.intervalCount);
+        json.member("d_norm_ms", series.meanIntervalMs / scale);
+        json.member("sigma_d_norm_ms",
+                    series.stddevIntervalMs / scale);
+        json.key("series");
+        json.beginArray();
+        for (const obs::TelemetrySample& sample : series.samples) {
+            json.beginObject();
+            json.member("t_norm_ms",
+                        sim::toMilliseconds(sample.windowStart)
+                            / scale);
+            json.member("frames", sample.frames);
+            json.member("flits", sample.flits);
+            json.member("intervals", sample.intervalCount);
+            json.member("d_norm_ms", sample.meanIntervalMs / scale);
+            json.member("sigma_d_norm_ms",
+                        sample.stddevIntervalMs / scale);
+            json.member("mbps", sample.mbps);
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
     json.endObject();
 }
 
@@ -66,6 +119,11 @@ toJson(const Campaign& campaign, const ArtifactOptions& options)
         json.endObject();
         json.key("counts");
         writeCounts(json, point.first());
+        const auto& obs0 = point.first().observations;
+        if (obs0 != nullptr && obs0->hasTelemetry) {
+            json.key("telemetry");
+            writeTelemetry(json, obs0->telemetry);
+        }
         json.endObject();
     }
     json.endArray();

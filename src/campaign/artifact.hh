@@ -2,10 +2,10 @@
  * @file
  * JSON artifact writer: one machine-readable file per campaign.
  *
- * Schema "mediaworm-campaign-v1":
+ * Schema "mediaworm-campaign-v2":
  *
  *   {
- *     "schema": "mediaworm-campaign-v1",
+ *     "schema": "mediaworm-campaign-v2",
  *     "name": "<campaign name>",
  *     "root_seed": <u64>,
  *     "replications": <n>,
@@ -16,7 +16,18 @@
  *           "<metric>": {"mean": x, "stddev": x, "ci95": x, "n": n},
  *           ...deterministic metrics from campaign::metricDefs()...
  *         },
- *         "counts": { ...replication-0 integer counters... }
+ *         "counts": { ...replication-0 integer counters... },
+ *         "telemetry": {   // only when the run enabled telemetry
+ *           "window_ms": x, "time_scale": x,
+ *           "worst_stream": <id or -1>, "worst_sigma_d_norm_ms": x,
+ *           "streams": [
+ *             {"stream": <id>, "frames": n, "intervals": n,
+ *              "d_norm_ms": x, "sigma_d_norm_ms": x,
+ *              "series": [
+ *                {"t_norm_ms": x, "frames": n, "flits": n,
+ *                 "intervals": n, "d_norm_ms": x,
+ *                 "sigma_d_norm_ms": x, "mbps": x}, ...]}, ...]
+ *         }
  *       }, ...
  *     ],
  *     "timing": {            // only when options.includeTiming
@@ -32,6 +43,12 @@
  * across jobs=1 and jobs=N runs. The bench binaries emit this same
  * schema (BENCH_*.json), timing included, so per-PR throughput
  * trajectories can be extracted mechanically.
+ *
+ * v2 is a strict superset of v1: the only change is the optional
+ * per-point "telemetry" member (per-stream sliding-window series from
+ * obs::StreamTelemetry, taken from replication 0, values
+ * re-normalised onto the paper's unscaled-ms axis). v1 readers that
+ * ignore unknown members parse v2 documents unchanged.
  */
 
 #ifndef MEDIAWORM_CAMPAIGN_ARTIFACT_HH
@@ -55,7 +72,7 @@ struct ArtifactOptions
 
 /** Current artifact schema identifier. */
 inline constexpr const char* kArtifactSchema =
-    "mediaworm-campaign-v1";
+    "mediaworm-campaign-v2";
 
 /** Serialises a completed campaign (must have been run()). */
 std::string toJson(const Campaign& campaign,

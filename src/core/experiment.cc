@@ -9,6 +9,8 @@
 
 #include "network/metrics.hh"
 #include "network/network.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/telemetry.hh"
 #include "sim/event.hh"
 #include "sim/logging.hh"
 #include "sim/simulator.hh"
@@ -94,6 +96,41 @@ runExperiment(const ExperimentConfig& cfg)
         [&] { metrics.enable(simulator.now()); }, "enableMetrics");
     simulator.schedule(enable_event, warm);
 
+    // Observability. Every observer is passive - no scheduled events,
+    // no RNG draws - so enabling any of them leaves the deterministic
+    // outputs (and deterministicHash) bit-identical.
+    std::shared_ptr<obs::RunObservations> observations;
+    std::unique_ptr<obs::StreamTelemetry> telemetry;
+    std::unique_ptr<obs::FlightRecorder> recorder;
+    if (cfg.obs.any()) {
+        const std::size_t ring_capacity = cfg.obs.trace
+            ? cfg.obs.traceCapacity
+            : cfg.obs.flightRecorderCapacity;
+        observations =
+            std::make_shared<obs::RunObservations>(ring_capacity);
+        if (cfg.obs.telemetry.enabled) {
+            obs::TelemetryConfig tcfg = cfg.obs.telemetry;
+            if (tcfg.window <= 0)
+                tcfg.window = 4 * traffic.frameInterval;
+            if (tcfg.measureFrom == 0)
+                tcfg.measureFrom = warm;
+            tcfg.flitSizeBits = cfg.router.flitSizeBits;
+            telemetry = std::make_unique<obs::StreamTelemetry>(tcfg);
+            metrics.attachTelemetry(telemetry.get());
+        }
+        if (cfg.obs.trace || cfg.obs.flightRecorder) {
+            observations->hasTrace = true;
+            if (cfg.obs.traceStream.valid())
+                observations->trace.filterStream(cfg.obs.traceStream);
+            net.attachTracer(observations->trace);
+            if (cfg.obs.flightRecorder) {
+                recorder = std::make_unique<obs::FlightRecorder>(
+                    observations->trace);
+                recorder->arm();
+            }
+        }
+    }
+
     // Run to drain, with a generous safety cap: at most several
     // injection horizons (overload backlogs drain at service rate).
     const sim::Tick cap = cfg.maxSimTime > 0
@@ -131,6 +168,13 @@ runExperiment(const ExperimentConfig& cfg)
     result.rtStreams = static_cast<int>(plan.streams.size());
     result.streamsPerNode = plan.streamsPerNode;
     result.simulatedMs = sim::toMilliseconds(simulator.now());
+
+    if (telemetry != nullptr) {
+        observations->hasTelemetry = true;
+        observations->telemetry = telemetry->finish(simulator.now());
+        observations->telemetry.timeScale = cfg.timeScale;
+    }
+    result.observations = std::move(observations);
 
     const auto wall_end = std::chrono::steady_clock::now();
     result.wallSeconds =

@@ -11,11 +11,13 @@
 #define MEDIAWORM_CORE_EXPERIMENT_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "config/network_config.hh"
 #include "config/router_config.hh"
 #include "config/traffic_config.hh"
+#include "obs/observer.hh"
 #include "sim/time.hh"
 
 namespace mediaworm::core {
@@ -45,6 +47,14 @@ struct ExperimentConfig
     /** Abort the run after this much simulated time; 0 = automatic
      *  (several times the injection horizon). */
     sim::Tick maxSimTime = 0;
+
+    /**
+     * Observability: per-stream telemetry, flight recorder, event
+     * trace. All off by default; enabling any of them changes no
+     * deterministic output (see obs/observer.hh). A telemetry window
+     * of 0 defaults to 4 scaled frame intervals.
+     */
+    obs::ObsConfig obs;
 };
 
 /** Measured outputs of one experiment point. */
@@ -86,6 +96,14 @@ struct ExperimentResult
      *  campaign aggregates, reported under their timing section. */
     double eventsPerSec = 0.0;
     bool truncated = false;   ///< Hit maxSimTime before draining.
+
+    /**
+     * Observations gathered when ExperimentConfig::obs enabled any
+     * observer; null otherwise. Shared so campaign result copies stay
+     * cheap. Excluded from deterministicHash() - observation must
+     * never change what the digest fingerprints.
+     */
+    std::shared_ptr<obs::RunObservations> observations;
 
     /** One-line human-readable summary. */
     std::string describe() const;

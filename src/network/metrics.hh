@@ -4,6 +4,11 @@
  * Section 4.1): mean frame delivery interval d and its standard
  * deviation sigma_d for CBR/VBR streams, and average latency for
  * best-effort traffic.
+ *
+ * Optionally forwards delivery observations to an attached
+ * obs::StreamTelemetry collector (per-stream sliding windows). The
+ * forwarding is a null-pointer check when nothing is attached, and
+ * compiles out entirely under -DMEDIAWORM_NO_OBS.
  */
 
 #ifndef MEDIAWORM_NETWORK_METRICS_HH
@@ -16,6 +21,15 @@
 #include "stats/accumulator.hh"
 #include "stats/histogram.hh"
 #include "stats/interval_tracker.hh"
+
+#ifndef MEDIAWORM_NO_OBS
+#include "obs/telemetry.hh"
+#else
+// Keep attachTelemetry() declarable; calls become no-ops.
+namespace mediaworm::obs {
+class StreamTelemetry;
+}
+#endif
 
 namespace mediaworm::network {
 
@@ -41,11 +55,28 @@ class MetricsHub
     /** True once enable() ran. */
     bool enabled() const { return enabled_; }
 
+    /**
+     * Attaches a per-stream telemetry collector; deliveries are
+     * forwarded until detached (pass nullptr). The hub does not own
+     * the collector. No-op under MEDIAWORM_NO_OBS.
+     */
+    void
+    attachTelemetry([[maybe_unused]] obs::StreamTelemetry* telemetry)
+    {
+#ifndef MEDIAWORM_NO_OBS
+        telemetry_ = telemetry;
+#endif
+    }
+
     /** Records delivery of a complete video frame. */
     void
     recordFrameDelivery(sim::StreamId stream, sim::Tick now)
     {
         frames_.recordDelivery(stream, now);
+#ifndef MEDIAWORM_NO_OBS
+        if (telemetry_ != nullptr)
+            telemetry_->recordFrameDelivery(stream, now);
+#endif
     }
 
     /** Records delivery of a real-time message. */
@@ -82,7 +113,16 @@ class MetricsHub
     }
 
     /** Counts one delivered flit (any class). */
-    void recordFlit() { ++flitsDelivered_; }
+    void
+    recordFlit([[maybe_unused]] sim::StreamId stream,
+               [[maybe_unused]] sim::Tick now)
+    {
+        ++flitsDelivered_;
+#ifndef MEDIAWORM_NO_OBS
+        if (telemetry_ != nullptr)
+            telemetry_->recordFlit(stream, now);
+#endif
+    }
 
     /** Frame delivery-interval statistics. */
     const stats::IntervalTracker& frames() const { return frames_; }
@@ -134,6 +174,9 @@ class MetricsHub
     std::uint64_t flitsDelivered_ = 0;
     sim::Tick enableTime_ = 0;
     bool enabled_ = false;
+#ifndef MEDIAWORM_NO_OBS
+    obs::StreamTelemetry* telemetry_ = nullptr;
+#endif
 };
 
 } // namespace mediaworm::network

@@ -98,15 +98,15 @@ NetworkInterface::injectMessage(const traffic::MessageDesc& message)
 void
 NetworkInterface::receiveFlit(const router::Flit& flit, int vc)
 {
+    const sim::Tick now = simulator_.now();
     if (tracer_ != nullptr && tracer_->accepts(flit.stream)) {
-        tracer_->record({simulator_.now(), sim::TracePoint::Eject,
-                         flit.stream, flit.message, flit.index,
-                         node_.value(), -1, vc});
+        tracer_->record({now, sim::TracePoint::Eject, flit.stream,
+                         flit.message, flit.index, node_.value(), -1,
+                         vc});
     }
-    metrics_.recordFlit();
+    metrics_.recordFlit(flit.stream, now);
     if (!flit.isTail())
         return;
-    const sim::Tick now = simulator_.now();
     if (flit.cls == router::TrafficClass::BestEffort) {
         metrics_.recordBeMessage(flit.injectTime,
                                  flit.networkEnterTime, now);

@@ -1,0 +1,215 @@
+#include "obs/chrome_trace.hh"
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "campaign/artifact.hh"
+#include "campaign/json.hh"
+
+namespace mediaworm::obs {
+
+namespace {
+
+using campaign::JsonWriter;
+
+/** Identity of one flit, the unit every event pair is keyed on. */
+using FlitKey = std::tuple<std::int32_t, std::int64_t, std::int32_t>;
+
+FlitKey
+keyOf(const sim::TraceRecord& r)
+{
+    return {r.stream.value(), r.message, r.flitIndex};
+}
+
+/** Ticks (ps) to the format's microsecond timestamps. */
+double
+toUs(sim::Tick t)
+{
+    return sim::toMicroseconds(t);
+}
+
+std::string
+flitName(const sim::TraceRecord& r)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "s%d m%lld f%d", r.stream.value(),
+                  static_cast<long long>(r.message), r.flitIndex);
+    return buf;
+}
+
+/** Emits the fixed fields every event carries. */
+void
+eventHeader(JsonWriter& json, const char* ph, const std::string& name,
+            const char* cat, double ts, std::int64_t pid,
+            std::int64_t tid)
+{
+    json.member("name", name);
+    json.member("cat", cat);
+    json.member("ph", ph);
+    json.member("ts", ts);
+    json.member("pid", pid);
+    json.member("tid", tid);
+}
+
+} // namespace
+
+std::string
+toChromeTraceJson(const sim::Tracer& tracer)
+{
+    // Track ids: pid 1 holds one thread per stream (flit lifetimes),
+    // pid 2 one thread per router (residencies + occupancy counters).
+    constexpr std::int64_t kStreamPid = 1;
+    constexpr std::int64_t kRouterPid = 2;
+
+    // Pass 1: collect the tracks so metadata can lead the array.
+    std::set<std::int32_t> streamTids;
+    std::set<std::int32_t> routerTids;
+    tracer.forEach([&](const sim::TraceRecord& r) {
+        switch (r.point) {
+          case sim::TracePoint::HostInject:
+          case sim::TracePoint::NetworkLaunch:
+          case sim::TracePoint::Eject:
+            streamTids.insert(r.stream.value());
+            break;
+          case sim::TracePoint::RouterArrive:
+          case sim::TracePoint::RouterDepart:
+          case sim::TracePoint::CreditReturn:
+            routerTids.insert(r.location);
+            break;
+        }
+    });
+
+    JsonWriter json;
+    json.beginObject();
+    json.member("displayTimeUnit", "ms");
+    json.key("otherData");
+    json.beginObject();
+    json.member("schema", kChromeTraceSchema);
+    json.endObject();
+    json.key("traceEvents");
+    json.beginArray();
+
+    auto nameMeta = [&](const char* what, std::int64_t pid,
+                        std::int64_t tid, const std::string& name) {
+        json.beginObject();
+        json.member("name", what);
+        json.member("ph", "M");
+        json.member("pid", pid);
+        if (tid >= 0)
+            json.member("tid", tid);
+        json.key("args");
+        json.beginObject();
+        json.member("name", name);
+        json.endObject();
+        json.endObject();
+    };
+    nameMeta("process_name", kStreamPid, -1, "streams");
+    nameMeta("process_name", kRouterPid, -1, "routers");
+    for (std::int32_t tid : streamTids)
+        nameMeta("thread_name", kStreamPid, tid,
+                 "stream" + std::to_string(tid));
+    for (std::int32_t tid : routerTids)
+        nameMeta("thread_name", kRouterPid, tid,
+                 "router" + std::to_string(tid));
+
+    // Pass 2: pair begin/end points and emit in completion order.
+    std::map<FlitKey, sim::Tick> lifetimeStart;
+    // (flit, router) -> (arrive tick, input port, input vc)
+    std::map<std::tuple<std::int32_t, std::int64_t, std::int32_t,
+                        std::int32_t>,
+             std::tuple<sim::Tick, std::int32_t, std::int32_t>>
+        residencyStart;
+    // (router, input port) -> resident flits, for "C" counters.
+    std::map<std::pair<std::int32_t, std::int32_t>, std::int64_t>
+        occupancy;
+
+    auto occupancyCounter = [&](std::int32_t router, std::int32_t port,
+                                sim::Tick when) {
+        char name[48];
+        std::snprintf(name, sizeof(name), "router%d.port%d.occupancy",
+                      router, port);
+        json.beginObject();
+        eventHeader(json, "C", name, "occupancy", toUs(when),
+                    kRouterPid, router);
+        json.key("args");
+        json.beginObject();
+        json.member("flits", occupancy[{router, port}]);
+        json.endObject();
+        json.endObject();
+    };
+
+    tracer.forEach([&](const sim::TraceRecord& r) {
+        switch (r.point) {
+          case sim::TracePoint::HostInject:
+            lifetimeStart[keyOf(r)] = r.when;
+            break;
+          case sim::TracePoint::NetworkLaunch:
+            break; // Visible via the router events.
+          case sim::TracePoint::Eject: {
+            const auto it = lifetimeStart.find(keyOf(r));
+            if (it == lifetimeStart.end())
+                break; // Inject fell off the ring; skip the pair.
+            json.beginObject();
+            eventHeader(json, "X", flitName(r), "flit",
+                        toUs(it->second), kStreamPid,
+                        r.stream.value());
+            json.member("dur", toUs(r.when - it->second));
+            json.endObject();
+            lifetimeStart.erase(it);
+            break;
+          }
+          case sim::TracePoint::RouterArrive:
+            residencyStart[{r.stream.value(), r.message, r.flitIndex,
+                            r.location}] = {r.when, r.port, r.vc};
+            ++occupancy[{r.location, r.port}];
+            occupancyCounter(r.location, r.port, r.when);
+            break;
+          case sim::TracePoint::RouterDepart: {
+            const auto it = residencyStart.find(
+                {r.stream.value(), r.message, r.flitIndex,
+                 r.location});
+            if (it == residencyStart.end())
+                break;
+            const auto [arrived, inPort, inVc] = it->second;
+            json.beginObject();
+            eventHeader(json, "X", flitName(r), "router",
+                        toUs(arrived), kRouterPid, r.location);
+            json.member("dur", toUs(r.when - arrived));
+            json.key("args");
+            json.beginObject();
+            json.member("in_port", static_cast<std::int64_t>(inPort));
+            json.member("in_vc", static_cast<std::int64_t>(inVc));
+            json.member("out_port",
+                        static_cast<std::int64_t>(r.port));
+            json.member("out_vc", static_cast<std::int64_t>(r.vc));
+            json.endObject();
+            json.endObject();
+            --occupancy[{r.location, inPort}];
+            occupancyCounter(r.location, inPort, r.when);
+            residencyStart.erase(it);
+            break;
+          }
+          case sim::TracePoint::CreditReturn:
+            json.beginObject();
+            eventHeader(json, "i", "credit", "credit", toUs(r.when),
+                        kRouterPid, r.location);
+            json.member("s", "t");
+            json.endObject();
+            break;
+        }
+    });
+
+    json.endArray();
+    json.endObject();
+    return json.str();
+}
+
+bool
+writeChromeTrace(const std::string& path, const sim::Tracer& tracer)
+{
+    return campaign::writeTextFile(path, toChromeTraceJson(tracer));
+}
+
+} // namespace mediaworm::obs

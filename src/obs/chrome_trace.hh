@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Chrome-trace (chrome://tracing / Perfetto JSON) export of flit
+ * lifecycle traces.
+ *
+ * Converts a sim::Tracer ring into the Trace Event Format: one
+ * complete ("X") event per flit lifetime (host-inject to eject, on a
+ * per-stream track) and per router residency (router-arrive to
+ * router-depart, on a per-router track), plus counter ("C") events
+ * tracking per-input-port occupancy. Load the file at
+ * chrome://tracing or https://ui.perfetto.dev to scrub through a
+ * small run visually - which stream hogged which port, where a flit
+ * sat blocked, how occupancy built up ahead of a jitter excursion.
+ *
+ * Intended for small runs: the JSON is a few hundred bytes per
+ * traced flit hop, so trace a filtered stream or a short horizon.
+ */
+
+#ifndef MEDIAWORM_OBS_CHROME_TRACE_HH
+#define MEDIAWORM_OBS_CHROME_TRACE_HH
+
+#include <string>
+
+#include "sim/tracer.hh"
+
+namespace mediaworm::obs {
+
+/** Schema tag recorded in the document's otherData member. */
+inline constexpr const char* kChromeTraceSchema =
+    "mediaworm-chrome-trace-v1";
+
+/**
+ * Renders @p tracer's retained records as Chrome trace JSON.
+ *
+ * Deterministic: the output is a pure function of the record
+ * sequence (fixed key order, fixed number formatting).
+ */
+std::string toChromeTraceJson(const sim::Tracer& tracer);
+
+/**
+ * toChromeTraceJson() + write to @p path.
+ * @return False (with a warn) if the file cannot be written.
+ */
+bool writeChromeTrace(const std::string& path,
+                      const sim::Tracer& tracer);
+
+} // namespace mediaworm::obs
+
+#endif // MEDIAWORM_OBS_CHROME_TRACE_HH

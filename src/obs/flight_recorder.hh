@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Crash-time flight recorder.
+ *
+ * A fixed-size ring buffer of the most recent simulation events
+ * (flit lifecycle points and credit returns, each with time, router /
+ * port / VC and flit identity) that is always cheap enough to leave
+ * armed on debugging runs: recording is the same ring-buffer append
+ * the Tracer performs, and a disarmed recorder costs the usual null
+ * tracer-pointer check on the hot paths.
+ *
+ * arm() installs a sim::setCrashHook() handler, so the moment
+ * checkInvariants() trips an assertion, a panic() fires, or a
+ * configuration fatal() aborts the run, the recorder dumps its trail
+ * to stderr - the last N things the simulator did, ending at the
+ * failure - before the process terminates. That turns "assertion
+ * failed at wormhole_router.cc:614" into an actionable trace of which
+ * flits moved through which ports right before the state went bad.
+ */
+
+#ifndef MEDIAWORM_OBS_FLIGHT_RECORDER_HH
+#define MEDIAWORM_OBS_FLIGHT_RECORDER_HH
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "sim/tracer.hh"
+
+namespace mediaworm::obs {
+
+/** Ring buffer of recent sim events with a crash-dump hook. */
+class FlightRecorder
+{
+  public:
+    /** A crash dump renders at most this many trailing events. */
+    static constexpr std::size_t kDumpTail = 256;
+
+    /** @param capacity Events retained (oldest evicted first). */
+    explicit FlightRecorder(std::size_t capacity = 512);
+
+    /**
+     * Records into @p ring instead of an owned buffer, so one trace
+     * ring can feed both the Chrome-trace export and the crash dump.
+     * @p ring must outlive the recorder.
+     */
+    explicit FlightRecorder(sim::Tracer& ring);
+
+    /** Disarms (uninstalls the crash hook) if still armed. */
+    ~FlightRecorder();
+
+    FlightRecorder(const FlightRecorder&) = delete;
+    FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+    /**
+     * The event sink. Attach it to the components to observe
+     * (Network::attachTracer wires every router and NI).
+     */
+    sim::Tracer& tracer() { return *ring_; }
+    const sim::Tracer& tracer() const { return *ring_; }
+
+    /**
+     * Installs this recorder as the process crash hook: fatal() and
+     * panic() dump the trail before terminating. Only one recorder
+     * can be armed at a time; arming replaces the previous hook.
+     */
+    void arm();
+
+    /** Uninstalls the crash hook if this recorder holds it. */
+    void disarm();
+
+    /** True while this recorder is the installed crash hook. */
+    bool armed() const { return armed_; }
+
+    /** Events currently retained. */
+    std::size_t size() const { return ring_->size(); }
+
+    /** Events ever recorded, including evicted ones. */
+    std::uint64_t totalRecorded() const
+    {
+        return ring_->totalRecorded();
+    }
+
+    /**
+     * The human-readable trail: a header plus one line per event,
+     * oldest first (the same rendering a crash prints). Capped at the
+     * newest kDumpTail events so a crash stays readable even when the
+     * recorder shares a large trace ring.
+     */
+    std::string dump() const;
+
+  private:
+    static void crashDump(void* context);
+
+    std::unique_ptr<sim::Tracer> own_;
+    sim::Tracer* ring_;
+    bool armed_ = false;
+};
+
+} // namespace mediaworm::obs
+
+#endif // MEDIAWORM_OBS_FLIGHT_RECORDER_HH

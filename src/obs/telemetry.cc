@@ -1,0 +1,155 @@
+#include "obs/telemetry.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace mediaworm::obs {
+
+namespace {
+
+constexpr double kMs = static_cast<double>(sim::kMillisecond);
+
+} // namespace
+
+const StreamSeries*
+TelemetryReport::find(sim::StreamId stream) const
+{
+    for (const StreamSeries& series : streams) {
+        if (series.stream == stream)
+            return &series;
+    }
+    return nullptr;
+}
+
+StreamTelemetry::StreamTelemetry(const TelemetryConfig& cfg)
+    : cfg_(cfg)
+{
+    MW_ASSERT(cfg.window > 0);
+}
+
+StreamTelemetry::StreamState&
+StreamTelemetry::stateFor(sim::StreamId stream)
+{
+    StreamState& state = streams_[stream];
+    // First touch this window: both counters are still zero (they are
+    // incremented by the caller after this returns, and only reset
+    // when the window closes), so this pushes exactly once per stream
+    // per window.
+    if (state.flitRate.count() == 0 && state.windowFrames == 0)
+        activeInWindow_.push_back(stream);
+    return state;
+}
+
+void
+StreamTelemetry::rollWindows(sim::Tick now)
+{
+    while (now >= windowStart_ + cfg_.window)
+        closeWindow();
+}
+
+void
+StreamTelemetry::closeWindow()
+{
+    const sim::Tick end = windowStart_ + cfg_.window;
+    // Sort so the samples land in deterministic order regardless of
+    // the observation interleaving that first touched each stream.
+    std::sort(activeInWindow_.begin(), activeInWindow_.end());
+    for (sim::StreamId id : activeInWindow_) {
+        StreamState& state = streams_[id];
+        const std::uint64_t flits = state.flitRate.count();
+        if (flits == 0 && state.windowFrames == 0)
+            continue;
+        TelemetrySample sample;
+        sample.windowStart = windowStart_;
+        sample.windowEnd = end;
+        sample.frames = state.windowFrames;
+        sample.flits = flits;
+        sample.intervalCount = state.windowIntervals.count();
+        sample.meanIntervalMs = state.windowIntervals.mean() / kMs;
+        sample.stddevIntervalMs = state.windowIntervals.stddev() / kMs;
+        // bits / window-seconds / 1e6 = Mbps; invariant under time
+        // scaling (bytes and time shrink together).
+        sample.mbps = static_cast<double>(flits)
+            * static_cast<double>(cfg_.flitSizeBits)
+            / sim::toSeconds(cfg_.window) / 1e6;
+        state.samples.push_back(sample);
+        state.flitRate.reset(end);
+        state.windowIntervals.reset();
+        state.windowFrames = 0;
+    }
+    activeInWindow_.clear();
+    windowStart_ = end;
+}
+
+void
+StreamTelemetry::recordFrameDelivery(sim::StreamId stream,
+                                     sim::Tick now)
+{
+    rollWindows(now);
+    StreamState& state = stateFor(stream);
+    ++state.windowFrames;
+    ++state.totalFrames;
+    if (state.lastDelivery != sim::kTickNever) {
+        const double interval =
+            static_cast<double>(now - state.lastDelivery);
+        state.windowIntervals.add(interval);
+        if (now >= cfg_.measureFrom)
+            state.overallIntervals.add(interval);
+    }
+    state.lastDelivery = now;
+    ++observations_;
+}
+
+void
+StreamTelemetry::recordFlit(sim::StreamId stream, sim::Tick now)
+{
+    rollWindows(now);
+    stateFor(stream).flitRate.add();
+    ++observations_;
+}
+
+TelemetryReport
+StreamTelemetry::finish(sim::Tick end)
+{
+    // Flush whatever the final (partial or idle) windows hold.
+    rollWindows(end);
+    if (!activeInWindow_.empty())
+        closeWindow();
+
+    TelemetryReport report;
+    report.window = cfg_.window;
+
+    std::vector<sim::StreamId> ids;
+    ids.reserve(streams_.size());
+    for (const auto& [id, state] : streams_) {
+        (void)state;
+        ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+
+    report.streams.reserve(ids.size());
+    for (sim::StreamId id : ids) {
+        StreamState& state = streams_[id];
+        StreamSeries series;
+        series.stream = id;
+        series.samples = std::move(state.samples);
+        series.frames = state.totalFrames;
+        series.intervalCount = state.overallIntervals.count();
+        series.meanIntervalMs = state.overallIntervals.mean() / kMs;
+        series.stddevIntervalMs =
+            state.overallIntervals.stddev() / kMs;
+        // Worst stream: largest steady-state sigma_d with enough
+        // intervals for a meaningful spread; ids ascend, so ties
+        // resolve to the lowest id deterministically.
+        if (series.intervalCount >= 2
+            && series.stddevIntervalMs > report.worstStddevMs) {
+            report.worstStream = id;
+            report.worstStddevMs = series.stddevIntervalMs;
+        }
+        report.streams.push_back(std::move(series));
+    }
+    return report;
+}
+
+} // namespace mediaworm::obs

@@ -248,10 +248,10 @@ PcsNetwork::serveDestMux(int node)
     dvc.link->sendCredit(dvc.srcVc);
 
     // The flit leaves on the ejection channel now; record delivery.
+    const sim::Tick now = simulator_.now();
     ++flitsDelivered_;
-    metrics_.recordFlit();
+    metrics_.recordFlit(flit.stream, now);
     if (flit.isTail()) {
-        const sim::Tick now = simulator_.now();
         if (flit.cls == router::TrafficClass::BestEffort) {
             metrics_.recordBeMessage(flit.injectTime, flit.injectTime,
                                      now);

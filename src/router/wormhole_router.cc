@@ -156,6 +156,13 @@ WormholeRouter::flitArrived(int port, int vc, const Flit& flit)
 void
 WormholeRouter::creditArrived(int port, int vc)
 {
+    // Credits carry no stream identity, so a stream-filtered tracer
+    // drops them (accepts(invalid) is false once a filter is set).
+    if (tracer_ != nullptr && tracer_->accepts(sim::StreamId())) {
+        tracer_->record({simulator_.now(),
+                         sim::TracePoint::CreditReturn, sim::StreamId(),
+                         0, 0, traceLocation_, port, vc});
+    }
     OutputPort& op = outputAt(port);
     ++vcAt(op, vc).credits;
     refreshOutputEligibility(op, vc);
@@ -599,24 +606,50 @@ WormholeRouter::registerStats(stats::Registry& registry) const
 }
 
 void
+WormholeRouter::debugCorruptVcForTest(int port, int vc)
+{
+    // An Active input VC must carry a valid grant; wiping it is the
+    // smallest corruption every invariant profile detects.
+    InputVc& ivc = vcAt(inputAt(port), vc);
+    ivc.state = InputVcState::Active;
+    ivc.outPort = -1;
+    ivc.outVc = -1;
+}
+
+/**
+ * Contextual invariant check: panics with the router name and the
+ * offending port/VC, so a crash dump (see obs::FlightRecorder)
+ * pinpoints where the state went bad. Relies on `p` and `v` being the
+ * loop variables in scope at the use site.
+ */
+#define MW_CHECK(cond)                                                  \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::mediaworm::sim::panic(                                    \
+                "%s: invariant '%s' failed at port=%d vc=%d (%s:%d)",   \
+                name_.c_str(), #cond, p, v, __FILE__, __LINE__);        \
+        }                                                               \
+    } while (0)
+
+void
 WormholeRouter::checkInvariants() const
 {
     for (int p = 0; p < cfg_.numPorts; ++p) {
         const InputPort& ip = inputAt(p);
         for (int v = 0; v < cfg_.numVcs; ++v) {
             const InputVc& ivc = vcAt(ip, v);
-            MW_ASSERT(ivc.buffer.size()
+            MW_CHECK(ivc.buffer.size()
                       <= static_cast<std::size_t>(
                           cfg_.flitBufferDepth));
             if (ivc.state == InputVcState::Active) {
-                MW_ASSERT(ivc.outPort >= 0 && ivc.outVc >= 0);
+                MW_CHECK(ivc.outPort >= 0 && ivc.outVc >= 0);
                 // The cached grant pointers must track the ids.
-                MW_ASSERT(ivc.outPortPtr == &outputAt(ivc.outPort));
-                MW_ASSERT(ivc.outVcPtr
+                MW_CHECK(ivc.outPortPtr == &outputAt(ivc.outPort));
+                MW_CHECK(ivc.outVcPtr
                           == &vcAt(*ivc.outPortPtr, ivc.outVc));
             }
             if (ivc.state == InputVcState::Idle)
-                MW_ASSERT(ivc.buffer.empty());
+                MW_CHECK(ivc.buffer.empty());
             if (cfg_.crossbar == config::CrossbarKind::Multiplexed) {
                 // Eligibility-mask invariant: bit v mirrors (Active
                 // && non-empty), and the cached head record matches
@@ -624,41 +657,43 @@ WormholeRouter::checkInvariants() const
                 const bool ready =
                     ivc.state == InputVcState::Active
                     && !ivc.buffer.empty();
-                MW_ASSERT(ip.arb.eligible(v) == ready);
+                MW_CHECK(ip.arb.eligible(v) == ready);
                 if (ready) {
                     const Flit& head = ivc.buffer.front();
-                    MW_ASSERT(ip.arb.head(v).stamp == head.stamp);
-                    MW_ASSERT(ip.arb.head(v).fifoSeq
+                    MW_CHECK(ip.arb.head(v).stamp == head.stamp);
+                    MW_CHECK(ip.arb.head(v).fifoSeq
                               == head.arrivalSeq);
-                    MW_ASSERT(ip.arb.head(v).vtick == head.vtick);
+                    MW_CHECK(ip.arb.head(v).vtick == head.vtick);
                 }
             }
         }
         const OutputPort& op = outputAt(p);
         for (int v = 0; v < cfg_.numVcs; ++v) {
             const OutputVc& ovc = vcAt(op, v);
-            MW_ASSERT(ovc.reservedSlots >= 0);
-            MW_ASSERT(ovc.buffer.size()
+            MW_CHECK(ovc.reservedSlots >= 0);
+            MW_CHECK(ovc.buffer.size()
                           + static_cast<std::size_t>(ovc.reservedSlots)
                       <= ovc.buffer.capacity());
-            MW_ASSERT(ovc.credits >= 0);
+            MW_CHECK(ovc.credits >= 0);
             if (!ovc.allocated) {
                 // Wormhole grants immediately on release; only the
                 // cut-through space gate may leave waiters parked.
                 if (cfg_.switching == config::SwitchingKind::Wormhole)
-                    MW_ASSERT(ovc.allocWaiters.empty());
-                MW_ASSERT(ovc.buffer.empty());
+                    MW_CHECK(ovc.allocWaiters.empty());
+                MW_CHECK(ovc.buffer.empty());
             }
             const bool ready = !ovc.buffer.empty() && ovc.credits > 0;
-            MW_ASSERT(op.arb.eligible(v) == ready);
+            MW_CHECK(op.arb.eligible(v) == ready);
             if (ready) {
                 const Flit& head = ovc.buffer.front();
-                MW_ASSERT(op.arb.head(v).stamp == head.stamp);
-                MW_ASSERT(op.arb.head(v).fifoSeq == head.arrivalSeq);
-                MW_ASSERT(op.arb.head(v).vtick == head.vtick);
+                MW_CHECK(op.arb.head(v).stamp == head.stamp);
+                MW_CHECK(op.arb.head(v).fifoSeq == head.arrivalSeq);
+                MW_CHECK(op.arb.head(v).vtick == head.vtick);
             }
         }
     }
 }
+
+#undef MW_CHECK
 
 } // namespace mediaworm::router

@@ -146,6 +146,14 @@ class WormholeRouter
     void checkInvariants() const;
 
     /**
+     * Test-only: corrupts the state of input VC (@p port, @p vc) so
+     * the next checkInvariants() panics, exercising the crash path
+     * (flight-recorder dump, contextual panic message). Never call
+     * outside tests - the router is unusable afterwards.
+     */
+    void debugCorruptVcForTest(int port, int vc);
+
+    /**
      * Registers this router's counters under "<name>." in
      * @p registry for end-of-run reporting.
      */

@@ -12,6 +12,18 @@ namespace {
 // the threshold while another thread adjusts it, race-free.
 std::atomic<LogLevel> g_level{LogLevel::Info};
 
+// Crash hook; the pair is read on the (single) failing thread just
+// before termination.
+std::atomic<CrashHook> g_crashHook{nullptr};
+std::atomic<void*> g_crashContext{nullptr};
+
+void
+runCrashHook()
+{
+    if (CrashHook hook = g_crashHook.load())
+        hook(g_crashContext.load());
+}
+
 void
 vprint(const char* tag, const char* fmt, std::va_list args)
 {
@@ -41,6 +53,7 @@ fatal(const char* fmt, ...)
     va_start(args, fmt);
     vprint("fatal: ", fmt, args);
     va_end(args);
+    runCrashHook();
     std::exit(1);
 }
 
@@ -51,7 +64,23 @@ panic(const char* fmt, ...)
     va_start(args, fmt);
     vprint("panic: ", fmt, args);
     va_end(args);
+    runCrashHook();
     std::abort();
+}
+
+void
+setCrashHook(CrashHook hook, void* context)
+{
+    g_crashHook = hook;
+    g_crashContext = context;
+}
+
+CrashHook
+crashHook(void** context)
+{
+    if (context != nullptr)
+        *context = g_crashContext.load();
+    return g_crashHook.load();
 }
 
 void

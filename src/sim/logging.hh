@@ -40,6 +40,24 @@ LogLevel logLevel();
 [[noreturn]] void panic(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/**
+ * Last-words callback invoked by fatal() and panic() after printing
+ * their message and before terminating, so an observer (the obs
+ * flight recorder) can dump its trail of recent events to stderr.
+ *
+ * A plain function pointer + context keeps logging free of
+ * std::function; pass nullptr to uninstall. The hook must be
+ * async-termination-safe in the ordinary sense: it runs on the
+ * failing thread and must not call fatal()/panic() itself.
+ */
+using CrashHook = void (*)(void* context);
+
+/** Installs @p hook (replacing any previous one). */
+void setCrashHook(CrashHook hook, void* context);
+
+/** Current hook, or nullptr; @p context receives its context. */
+CrashHook crashHook(void** context);
+
 /** Non-fatal complaint. Printf-style format. */
 void warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 

@@ -20,6 +20,8 @@ toString(TracePoint point)
         return "router-depart";
       case TracePoint::Eject:
         return "eject";
+      case TracePoint::CreditReturn:
+        return "credit-return";
     }
     return "?";
 }
@@ -56,11 +58,17 @@ Tracer::forEach(
 }
 
 std::string
-Tracer::toString() const
+Tracer::toString(std::size_t tail) const
 {
     std::string out;
     char line[160];
+    std::size_t skip =
+        (tail != 0 && count_ > tail) ? count_ - tail : 0;
     forEach([&](const TraceRecord& entry) {
+        if (skip != 0) {
+            --skip;
+            return;
+        }
         std::snprintf(line, sizeof(line),
                       "%14s  %-14s stream=%d msg=%lld flit=%d "
                       "at=%d port=%d vc=%d\n",

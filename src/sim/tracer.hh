@@ -30,6 +30,8 @@ enum class TracePoint : std::uint8_t {
     RouterArrive, ///< Flit entered a router input VC.
     RouterDepart, ///< Flit left a router's VC output multiplexer.
     Eject,        ///< Flit consumed by the destination NI.
+    CreditReturn, ///< Credit came back to a router output VC (no
+                  ///< flit; stream/message fields are invalid).
 };
 
 /** Returns a stable display name for a trace point. */
@@ -82,8 +84,11 @@ class Tracer
     void forEach(
         const std::function<void(const TraceRecord&)>& visit) const;
 
-    /** Renders retained records, one line each. */
-    std::string toString() const;
+    /**
+     * Renders retained records, one line each.
+     * @param tail Render only the newest @p tail records (0 = all).
+     */
+    std::string toString(std::size_t tail = 0) const;
 
     /** Drops all retained records. */
     void clear();

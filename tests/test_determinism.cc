@@ -136,6 +136,35 @@ TEST(Determinism, HashCoversResultFields)
     EXPECT_EQ(a.deterministicHash(), b.deterministicHash());
 }
 
+/**
+ * Observation must not perturb: a run with every observer enabled
+ * (telemetry, trace, flight recorder) produces the same
+ * deterministicHash as the plain run - no extra events, no extra RNG
+ * draws, identical measured outputs. Checked against the golden too,
+ * so the observed run matches the seed implementation bit for bit.
+ */
+TEST(Determinism, ObserversDoNotPerturbTheHash)
+{
+    const ExperimentResult plain = runExperiment(goldenConfig1());
+
+    ExperimentConfig observed_cfg = goldenConfig1();
+    observed_cfg.obs.telemetry.enabled = true;
+    observed_cfg.obs.trace = true;
+    observed_cfg.obs.flightRecorder = true;
+    const ExperimentResult observed = runExperiment(observed_cfg);
+
+    expectIdentical(plain, observed);
+    EXPECT_EQ(observed.deterministicHash(), kGolden1);
+
+    // And the observations themselves arrived.
+    ASSERT_NE(observed.observations, nullptr);
+    EXPECT_TRUE(observed.observations->hasTelemetry);
+    EXPECT_TRUE(observed.observations->hasTrace);
+    EXPECT_GT(observed.observations->trace.size(), 0u);
+    EXPECT_FALSE(observed.observations->telemetry.streams.empty());
+    EXPECT_EQ(plain.observations, nullptr);
+}
+
 TEST(Determinism, MatchesGoldenSingleSwitchVirtualClock)
 {
     const ExperimentResult r = runExperiment(goldenConfig1());

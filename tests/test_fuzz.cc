@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "network/network.hh"
+#include "obs/flight_recorder.hh"
 #include "sim/random.hh"
 
 namespace {
@@ -107,6 +108,51 @@ TEST_P(FuzzStorm, RandomMessageStormConservesEverything)
     EXPECT_EQ(injected, flits_expected);
     for (int r = 0; r < net.numRouters(); ++r)
         net.router(r).checkInvariants();
+}
+
+/**
+ * The crash path end to end: run a small storm with the flight
+ * recorder armed, corrupt one router VC through the debug hook, and
+ * check that the resulting invariant panic (a) names the offending
+ * router, port and VC and (b) dumps the recorder's event trail to
+ * stderr before dying.
+ */
+TEST(FuzzFlightRecorder, InvariantViolationDumpsTrail)
+{
+    auto crash = [] {
+        Simulator simulator(11);
+        config::RouterConfig cfg;
+        cfg.numVcs = 6;
+        config::NetworkConfig net_cfg;
+        MetricsHub metrics;
+        Rng net_rng = simulator.rng().split();
+        Network net(simulator, cfg, net_cfg, metrics, net_rng);
+
+        obs::FlightRecorder recorder(256);
+        net.attachTracer(recorder.tracer());
+        recorder.arm();
+
+        // A little traffic so the recorder has a trail to dump.
+        traffic::MessageDesc desc;
+        desc.stream = StreamId(7);
+        desc.dest = NodeId(3);
+        desc.cls = router::TrafficClass::Vbr;
+        desc.vcLane = 1;
+        desc.vtick = microseconds(4);
+        desc.numFlits = 6;
+        desc.endOfFrame = true;
+        CallbackEvent inject(
+            [&net, desc] { net.ni(0).injectMessage(desc); });
+        simulator.schedule(inject, 0);
+        simulator.run(seconds(1));
+
+        net.router(0).debugCorruptVcForTest(2, 3);
+        net.router(0).checkInvariants(); // Panics.
+    };
+    EXPECT_DEATH(crash(),
+                 "invariant .* failed at port=2 vc=3"
+                 ".*flight recorder: last .* events"
+                 ".*host-inject.*stream=7");
 }
 
 std::vector<FuzzParams>

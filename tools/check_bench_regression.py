@@ -8,6 +8,7 @@ threshold.
 
 usage: check_bench_regression.py <json> <current-label>
            [--baseline LABEL] [--threshold FRACTION]
+           [--benchmark NAME]
 
 The baseline defaults to the last entry recorded before the current
 label (the tracked number committed by the most recent perf PR). The
@@ -16,6 +17,12 @@ are noisy, and the gate exists to catch structural regressions (an
 accidental re-virtualization, a quadratic rescan) that cost far more
 than run-to-run jitter, not to police single-digit drift - use the
 committed BENCH_kernel.json entries for that (see EXPERIMENTS.md).
+
+--benchmark gates one named row instead of the headline, using its
+events_per_second (falling back to items_per_second). CI uses it with
+--threshold 0.05 on BM_EndToEndExperiment to enforce that the
+telemetry-off hot path stays within 5% of the committed baseline (the
+observability hooks must cost nothing when disabled).
 """
 
 import argparse
@@ -34,6 +41,10 @@ def main() -> int:
     parser.add_argument("--threshold", type=float, default=0.30,
                         help="maximum tolerated fractional drop "
                              "(default 0.30)")
+    parser.add_argument("--benchmark", default=None,
+                        help="gate this benchmark row instead of the "
+                             "entry headline (events_per_second, "
+                             "else items_per_second)")
     args = parser.parse_args()
 
     with open(args.json_path) as f:
@@ -60,15 +71,27 @@ def main() -> int:
             return 0
         baseline = previous[-1]
 
-    cur = current.get("events_per_second")
-    base = baseline.get("events_per_second")
+    if args.benchmark is not None:
+        def rate(entry):
+            row = entry.get("benchmarks", {}).get(args.benchmark)
+            if row is None:
+                return None
+            return row.get("events_per_second",
+                           row.get("items_per_second"))
+        cur = rate(current)
+        base = rate(baseline)
+        what = args.benchmark
+    else:
+        cur = current.get("events_per_second")
+        base = baseline.get("events_per_second")
+        what = "headline"
     if not cur or not base:
-        print("error: entries lack the headline events_per_second",
+        print(f"error: entries lack a rate for '{what}'",
               file=sys.stderr)
         return 2
 
     ratio = cur / base
-    print(f"{args.current}: {cur:.3e} events/s vs "
+    print(f"[{what}] {args.current}: {cur:.3e} events/s vs "
           f"{baseline['label']}: {base:.3e} events/s "
           f"({ratio:.2f}x, threshold {1 - args.threshold:.2f}x)")
     if ratio < 1.0 - args.threshold:

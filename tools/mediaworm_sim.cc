@@ -14,7 +14,7 @@
  *   mediaworm_sim --loads 0.6,0.8,0.9 --jobs 8 --replications 5 \
  *       --json-out out.json
  *
- * The JSON artifact (schema mediaworm-campaign-v1) is by default a
+ * The JSON artifact (schema mediaworm-campaign-v2) is by default a
  * pure function of configuration + seed: byte-identical for any
  * --jobs value. Pass --json-timing to append the wall-clock timing
  * section (making the file host- and run-dependent).
@@ -28,6 +28,7 @@
 #include "campaign/artifact.hh"
 #include "config/options.hh"
 #include "core/mediaworm.hh"
+#include "obs/chrome_trace.hh"
 #include "pcs/pcs_experiment.hh"
 
 namespace {
@@ -114,6 +115,9 @@ main(int argc, char** argv)
     bool pcs_mode = false;
     bool csv = false;
     bool dump_stats = false;
+    bool telemetry = false;
+    bool flight_recorder = false;
+    std::string trace_out;
 
     config::OptionParser parser(
         "mediaworm_sim",
@@ -146,7 +150,7 @@ main(int argc, char** argv)
                   "seed replications per point (95% CIs)",
                   &replications, 1, 1000);
     parser.addString("json-out", "write a JSON campaign artifact "
-                                 "(schema mediaworm-campaign-v1)",
+                                 "(schema mediaworm-campaign-v2)",
                      &json_out);
     parser.addFlag("json-timing", "include the wall-clock timing "
                                   "section in the JSON artifact",
@@ -169,6 +173,21 @@ main(int argc, char** argv)
                    &csv);
     parser.addFlag("stats", "dump the full component stat registry",
                    &dump_stats);
+    parser.addFlag("telemetry",
+                   "collect per-stream sliding-window QoS telemetry "
+                   "(adds a telemetry section to the report and the "
+                   "JSON artifact)",
+                   &telemetry);
+    parser.addString("trace-out",
+                     "write a Chrome-trace JSON (load at "
+                     "chrome://tracing) of the first point's flit "
+                     "events",
+                     &trace_out);
+    parser.addFlag("flight-recorder",
+                   "arm the crash-time flight recorder (dumps the "
+                   "recent event trail to stderr on an assertion "
+                   "failure)",
+                   &flight_recorder);
 
     std::string error;
     if (!parser.parse(argc, argv, &error)) {
@@ -215,6 +234,9 @@ main(int argc, char** argv)
     base.traffic.measuredFrames = frames;
     base.timeScale = scale;
     base.seed = static_cast<std::uint64_t>(seed);
+    base.obs.telemetry.enabled = telemetry;
+    base.obs.flightRecorder = flight_recorder;
+    base.obs.trace = !trace_out.empty();
 
     core::Sweep sweep(base);
     sweep.setJobs(jobs);
@@ -227,6 +249,15 @@ main(int argc, char** argv)
                 json_out, sweep.toJson("mediaworm_sim", json_timing)))
             return 1;
         std::fprintf(stderr, "wrote %s\n", json_out.c_str());
+    }
+
+    if (!trace_out.empty()) {
+        const auto& obs0 = sweep.rows()[0].result.observations;
+        if (obs0 == nullptr || !obs0->hasTrace
+            || !obs::writeChromeTrace(trace_out, obs0->trace))
+            return 1;
+        std::fprintf(stderr, "wrote %s (%zu events)\n",
+                     trace_out.c_str(), obs0->trace.size());
     }
 
     if (csv) {
@@ -267,6 +298,19 @@ main(int argc, char** argv)
                     s.mean("be_latency_us"),
                     s.mean("be_network_latency_us"),
                     static_cast<unsigned long long>(r.beMessages));
+        if (r.observations != nullptr
+            && r.observations->hasTelemetry) {
+            const obs::TelemetryReport& t = r.observations->telemetry;
+            const double div = t.timeScale > 0.0 ? t.timeScale : 1.0;
+            std::printf("Telemetry: %zu streams, worst sigma_d = "
+                        "%.3f ms (stream %d), window %.2f ms "
+                        "(unscaled axis)\n",
+                        t.streams.size(), t.worstStddevMs / div,
+                        t.worstStream.valid()
+                            ? t.worstStream.value()
+                            : -1,
+                        sim::toMilliseconds(t.window) / div);
+        }
         std::printf("Simulated %.1f ms in %.2f s (%llu events, "
                     "%.2f Mev/s)%s\n",
                     r.simulatedMs, r.wallSeconds,
