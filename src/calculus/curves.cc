@@ -1,0 +1,55 @@
+#include "calculus/curves.hh"
+
+#include <algorithm>
+
+namespace mediaworm::calculus {
+
+ArrivalCurve
+aggregate(const ArrivalCurve& a, const ArrivalCurve& b)
+{
+    return {a.sigmaFlits + b.sigmaFlits,
+            a.rhoFlitsPerUs + b.rhoFlitsPerUs};
+}
+
+ServiceCurve
+convolve(const ServiceCurve& a, const ServiceCurve& b)
+{
+    if (!a.guarantees() || !b.guarantees())
+        return ServiceCurve::none();
+    return {std::min(a.rateFlitsPerUs, b.rateFlitsPerUs),
+            a.latencyUs + b.latencyUs};
+}
+
+ServiceCurve
+residual(double capacity_flits_per_us,
+         const ArrivalCurve& interference, double base_latency_us)
+{
+    const double rate =
+        capacity_flits_per_us - interference.rhoFlitsPerUs;
+    if (rate <= 0.0)
+        return ServiceCurve::none();
+    return {rate, interference.sigmaFlits / rate + base_latency_us};
+}
+
+double
+delayBoundUs(const ArrivalCurve& arrival, const ServiceCurve& service)
+{
+    if (!service.guarantees()
+        || arrival.rhoFlitsPerUs > service.rateFlitsPerUs)
+        return kUnbounded;
+    return service.latencyUs
+        + arrival.sigmaFlits / service.rateFlitsPerUs;
+}
+
+double
+backlogBoundFlits(const ArrivalCurve& arrival,
+                  const ServiceCurve& service)
+{
+    if (!service.guarantees()
+        || arrival.rhoFlitsPerUs > service.rateFlitsPerUs)
+        return kUnbounded;
+    return arrival.sigmaFlits
+        + arrival.rhoFlitsPerUs * service.latencyUs;
+}
+
+} // namespace mediaworm::calculus

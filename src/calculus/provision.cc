@@ -1,0 +1,153 @@
+#include "calculus/provision.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "calculus/route_model.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/time.hh"
+#include "traffic/traffic_mix.hh"
+
+namespace mediaworm::calculus {
+
+namespace {
+
+/** One evaluated allocation. */
+struct Candidate
+{
+    bool meets = false;
+    int numVcs = 0;
+    double factor = 1.0;
+    double worstUs = kUnbounded;
+    int streams = 0;
+};
+
+/**
+ * Plans the mix for @p seed exactly as runExperiment() does (same
+ * RNG derivation: the network split is drawn first, then the mix
+ * split) and returns the oracle's worst bound.
+ */
+Candidate
+evaluate(config::RouterConfig router, config::TrafficConfig traffic,
+         const config::NetworkConfig& net, std::uint64_t seed,
+         int num_vcs, double factor, const OracleConfig& oracle)
+{
+    router.numVcs = num_vcs;
+    traffic.reservedRateFactor = factor;
+
+    sim::Rng root(seed);
+    sim::Rng net_rng = root.split();
+    (void)net_rng;
+    sim::Rng mix_rng = root.split();
+    const traffic::MixPlan plan = traffic::planMix(
+        router, traffic, net.totalNodes(router.numPorts), mix_rng);
+
+    OracleConfig ocfg = oracle;
+    ocfg.enabled = true;
+    const BoundsReport report =
+        computeBounds(router, traffic, net, plan.streams, ocfg);
+
+    Candidate c;
+    c.numVcs = num_vcs;
+    c.factor = factor;
+    c.streams = static_cast<int>(report.streams.size());
+    c.worstUs =
+        report.allBounded() ? report.maxBoundUs : kUnbounded;
+    return c;
+}
+
+} // namespace
+
+std::string
+ProvisionResult::describe() const
+{
+    char buf[160];
+    if (!feasible) {
+        std::snprintf(buf, sizeof(buf),
+                      "infeasible: no allocation met the SLA "
+                      "(%d streams)", rtStreams);
+        return buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "numVcs=%d reservedRateFactor=%.3f "
+                  "worstBound=%.1fus (%d streams)",
+                  numVcs, reservedRateFactor, worstBoundUs,
+                  rtStreams);
+    return buf;
+}
+
+ProvisionResult
+provision(const config::RouterConfig& router,
+          const config::TrafficConfig& traffic,
+          const config::NetworkConfig& net, std::uint64_t seed,
+          double time_scale, const ProvisionRequest& request)
+{
+    MW_ASSERT(request.slaUs > 0.0);
+    MW_ASSERT(time_scale > 0.0 && time_scale <= 1.0);
+
+    // Same workload compression runExperiment() applies.
+    config::TrafficConfig scaled = traffic;
+    scaled.frameBytesMean *= time_scale;
+    scaled.frameBytesStddev *= time_scale;
+    scaled.frameInterval = static_cast<sim::Tick>(
+        static_cast<double>(scaled.frameInterval) * time_scale);
+
+    std::vector<int> vc_candidates = request.vcCandidates;
+    if (vc_candidates.empty())
+        vc_candidates = {4, 8, 16, 32, 64};
+
+    const double capacity = linkCapacityFlitsPerUs(router);
+    const double base_stamp_rate =
+        static_cast<double>(sim::kMicrosecond)
+        / static_cast<double>(
+              scaled.streamVtick(router.flitSizeBits));
+
+    ProvisionResult result;
+    for (const int num_vcs : vc_candidates) {
+        if (num_vcs < 2 || num_vcs > 64)
+            continue;
+
+        // Stamp-rate feasibility caps the reservation scale: in the
+        // worst case every real-time lane of the partition is present
+        // at a contention point.
+        const traffic::VcPartition partition =
+            traffic::partitionVcs(num_vcs, scaled.realTimeFraction);
+        if (partition.rtCount < 1)
+            continue;
+        const double factor_max = std::max(
+            1.0, request.maxStampLoad * capacity
+                     / (static_cast<double>(partition.rtCount)
+                        * base_stamp_rate));
+
+        // Least reservation first; the bound is non-increasing in the
+        // factor, so the first hit is this VC count's answer.
+        const int steps = std::max(1, request.rateSteps);
+        for (int k = 0; k <= steps; ++k) {
+            const double factor = 1.0
+                + (factor_max - 1.0) * static_cast<double>(k)
+                    / static_cast<double>(steps);
+            Candidate c = evaluate(router, scaled, net, seed,
+                                   num_vcs, factor, request.oracle);
+            result.rtStreams = std::max(result.rtStreams, c.streams);
+            if (c.worstUs > request.slaUs)
+                continue;
+            c.meets = true;
+            const bool better = !result.feasible
+                || c.factor < result.reservedRateFactor
+                || (c.factor == result.reservedRateFactor
+                    && c.worstUs < result.worstBoundUs);
+            if (better) {
+                result.feasible = true;
+                result.numVcs = c.numVcs;
+                result.reservedRateFactor = c.factor;
+                result.worstBoundUs = c.worstUs;
+            }
+            break;
+        }
+    }
+    return result;
+}
+
+} // namespace mediaworm::calculus

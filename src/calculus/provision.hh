@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Inverse provisioning: choose VC counts and Virtual Clock stamp
+ * rates so every admitted stream's analytic delay bound meets an SLA.
+ *
+ * The oracle (oracle.hh) maps an allocation to per-stream bounds;
+ * this module inverts it by searching the two MediaWorm allocation
+ * levers the paper studies:
+ *
+ *  - the VC count (RouterConfig::numVcs) - more lanes mean fewer
+ *    streams share a lane FIFO, but each lane's stamp-rate share of
+ *    the link shrinks, so neither direction is always better; and
+ *  - the per-stream reserved rate (TrafficConfig::reservedRateFactor,
+ *    which scales the advertised Vtick) - reserving above the mean
+ *    rate turns the stamp-rate service curve into a real guarantee,
+ *    at the cost of admission-budget headroom.
+ *
+ * For each candidate VC count the search scans the feasible
+ * reserved-rate factors from least to most aggressive and keeps the
+ * smallest factor whose worst-case bound meets the SLA; among VC
+ * candidates it returns the allocation with the least reservation
+ * (ties broken by the tighter bound). The evaluation plans the mix
+ * exactly as runExperiment() would for the given seed, so the
+ * returned allocation's bounds apply verbatim to the subsequent
+ * simulation.
+ */
+
+#ifndef MEDIAWORM_CALCULUS_PROVISION_HH
+#define MEDIAWORM_CALCULUS_PROVISION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "calculus/oracle.hh"
+
+namespace mediaworm::calculus {
+
+/** What the provisioner must achieve and where it may search. */
+struct ProvisionRequest
+{
+    /** Required worst-case end-to-end delay per stream, us (in the
+     *  same time base as the workload handed in - i.e. scaled). */
+    double slaUs = 0.0;
+
+    /** Cap on the summed lane stamp rates as a fraction of link
+     *  capacity, keeping headroom for best-effort progress. */
+    double maxStampLoad = 0.95;
+
+    /** VC counts to try; empty selects {4, 8, 16, 32, 64}. */
+    std::vector<int> vcCandidates;
+
+    /** Grid resolution of the reserved-rate scan per VC count. */
+    int rateSteps = 24;
+
+    /** Envelope knobs forwarded to the oracle. */
+    OracleConfig oracle;
+};
+
+/** The chosen allocation, or infeasibility. */
+struct ProvisionResult
+{
+    bool feasible = false;
+
+    /** Chosen RouterConfig::numVcs. */
+    int numVcs = 0;
+
+    /** Chosen TrafficConfig::reservedRateFactor. */
+    double reservedRateFactor = 1.0;
+
+    /** Worst per-stream bound under the chosen allocation, us. */
+    double worstBoundUs = kUnbounded;
+
+    /** Streams the evaluated plan carries. */
+    int rtStreams = 0;
+
+    /** One-line human-readable summary. */
+    std::string describe() const;
+};
+
+/**
+ * Searches for the least allocation meeting @p request.
+ *
+ * @param router  Base router configuration (numVcs is overridden).
+ * @param traffic Workload at full scale, BEFORE time-scale
+ *                compression (reservedRateFactor is overridden).
+ * @param net     Topology.
+ * @param seed    The experiment seed; the mix is planned with the
+ *                same derived RNG runExperiment() will use.
+ * @param time_scale The experiment's timeScale, applied here the
+ *                same way runExperiment() applies it.
+ * @param request SLA target and search space.
+ */
+ProvisionResult provision(const config::RouterConfig& router,
+                          const config::TrafficConfig& traffic,
+                          const config::NetworkConfig& net,
+                          std::uint64_t seed, double time_scale,
+                          const ProvisionRequest& request);
+
+} // namespace mediaworm::calculus
+
+#endif // MEDIAWORM_CALCULUS_PROVISION_HH

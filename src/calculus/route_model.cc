@@ -1,0 +1,143 @@
+#include "calculus/route_model.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/time.hh"
+
+namespace mediaworm::calculus {
+
+namespace {
+
+/** Cycle time in microseconds. */
+double
+cycleUs(const config::RouterConfig& router)
+{
+    return sim::toMicroseconds(router.cycleTime());
+}
+
+/** Fixed latency behind a router output port: the header pipeline,
+ *  crossbar and output stages plus downstream link propagation. */
+double
+routerHopLatencyUs(const config::RouterConfig& router)
+{
+    return static_cast<double>(router.headerPipelineCycles
+                               + router.crossbarCycles
+                               + router.outputCycles
+                               + router.linkDelayCycles)
+        * cycleUs(router);
+}
+
+/** Identity key for output @p port of switch @p switch_index. */
+int
+outputKey(int switch_index, int port)
+{
+    return switch_index * 4096 + port;
+}
+
+} // namespace
+
+double
+linkCapacityFlitsPerUs(const config::RouterConfig& router)
+{
+    return router.flitsPerSecond() / 1e6;
+}
+
+int
+routerHops(const config::NetworkConfig& net, int src, int dst)
+{
+    if (net.topology == config::TopologyKind::SingleSwitch)
+        return 1;
+    const int eps = net.endpointsPerSwitch;
+    const int ss = src / eps;
+    const int ds = dst / eps;
+    const int dx = std::abs(ss % net.meshWidth - ds % net.meshWidth);
+    const int dy = std::abs(ss / net.meshWidth - ds / net.meshWidth);
+    return 1 + dx + dy;
+}
+
+Route
+routeOf(const config::RouterConfig& router,
+        const config::NetworkConfig& net, int src, int dst)
+{
+    MW_ASSERT(src != dst);
+    const double cap = linkCapacityFlitsPerUs(router);
+    const double hop_latency = routerHopLatencyUs(router);
+
+    Route route;
+    // Injection multiplexer: the source end of the injection link.
+    route.push_back({-(src + 1), cap, router.injectionScheduler,
+                     static_cast<double>(router.linkDelayCycles)
+                         * cycleUs(router)});
+
+    if (net.topology == config::TopologyKind::SingleSwitch) {
+        // One router; the ejection port is the destination's port.
+        route.push_back(
+            {outputKey(0, dst), cap, router.scheduler, hop_latency});
+        return route;
+    }
+
+    // Fat mesh: deterministic XY, X moves first (buildFatMesh()).
+    const int eps = net.endpointsPerSwitch;
+    const int width = net.meshWidth;
+    const int height = net.meshHeight;
+    const int fat = net.fatFactor;
+    const int dest_switch = dst / eps;
+    int cur = src / eps;
+
+    // Port map mirror of buildFatMesh(): endpoint ports first, then
+    // fat channels per present direction in East/West/South/North
+    // order.
+    auto dir_base = [&](int s, int dir) {
+        const int x = s % width;
+        const int y = s / width;
+        int next = eps;
+        const bool present[4] = {x < width - 1, x > 0, y < height - 1,
+                                 y > 0};
+        for (int d = 0; d < 4; ++d) {
+            if (d == dir) {
+                MW_ASSERT(present[d]);
+                return next;
+            }
+            if (present[d])
+                next += fat;
+        }
+        sim::panic("routeOf: direction %d absent at switch %d", dir, s);
+    };
+
+    while (cur != dest_switch) {
+        const int x = cur % width;
+        const int y = cur / width;
+        const int dx = dest_switch % width;
+        const int dy = dest_switch / width;
+        int dir;   // 0=E 1=W 2=S 3=N, as in Network::Direction.
+        int step;  // Switch-index delta.
+        if (dx != x) {
+            dir = dx > x ? 0 : 1;
+            step = dx > x ? 1 : -1;
+        } else {
+            dir = dy > y ? 2 : 3;
+            step = dy > y ? width : -width;
+        }
+        const int base = dir_base(cur, dir);
+        if (net.fatLinkPolicy == config::FatLinkPolicy::Static) {
+            // The simulator picks port base + dst % fat per header.
+            route.push_back({outputKey(cur, base + dst % fat), cap,
+                             router.scheduler, hop_latency});
+        } else {
+            // Least-loaded / random spread over the parallel links:
+            // model the fat channel as one server of fat x rate.
+            route.push_back({outputKey(cur, base),
+                             cap * static_cast<double>(fat),
+                             router.scheduler, hop_latency});
+        }
+        cur += step;
+    }
+
+    // Ejection: the destination switch's endpoint port.
+    route.push_back({outputKey(cur, dst % eps), cap, router.scheduler,
+                     hop_latency});
+    return route;
+}
+
+} // namespace mediaworm::calculus

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Analytic route model: the ordered contention points a stream's
+ * flits traverse, mirroring network::Network's wiring exactly.
+ *
+ * The simulator has two scheduling-point families on a stream's path:
+ *
+ *  - the NI injection multiplexer (the source end of the injection
+ *    link, discipline RouterConfig::injectionScheduler), and
+ *  - one output-port multiplexer per traversed router (discipline
+ *    RouterConfig::scheduler) - the ejection link's server is the
+ *    destination router's output port, and the NI sink drains at link
+ *    rate, so ejection adds no further contention point.
+ *
+ * For the fat mesh the model reproduces buildFatMesh()'s deterministic
+ * XY routing (X moves first, then Y) and treats a fat channel under
+ * the least-loaded or random policies as one aggregate server of
+ * fat x link rate (the policies spread a stream's messages across the
+ * parallel links); under the static policy each parallel link is its
+ * own single-rate server keyed by destination hash, matching the
+ * simulator's port choice.
+ *
+ * Each contention point carries a stable identity key so the oracle
+ * can intersect routes: two streams interfere at a point iff their
+ * routes contain the same key.
+ */
+
+#ifndef MEDIAWORM_CALCULUS_ROUTE_MODEL_HH
+#define MEDIAWORM_CALCULUS_ROUTE_MODEL_HH
+
+#include <vector>
+
+#include "config/network_config.hh"
+#include "config/router_config.hh"
+
+namespace mediaworm::calculus {
+
+/** One multiplexing point on a stream's path. */
+struct ContentionPoint
+{
+    /**
+     * Stable identity for interference matching. Injection points
+     * use -(node + 1); router output points use
+     * switchIndex * 4096 + outputPortKey, where outputPortKey is the
+     * concrete port (endpoint and static-policy fat links) or the fat
+     * channel's first port (aggregated fat channels).
+     */
+    int key = 0;
+
+    /** Server capacity in flits/us (fat x link rate for aggregated
+     *  fat channels). */
+    double capacityFlitsPerUs = 0.0;
+
+    /** Scheduling discipline arbitrating the point. */
+    config::SchedulerKind discipline =
+        config::SchedulerKind::VirtualClock;
+
+    /** Fixed pipeline + propagation latency behind the point, us. */
+    double fixedLatencyUs = 0.0;
+};
+
+/** A stream's path as an ordered list of contention points. */
+using Route = std::vector<ContentionPoint>;
+
+/**
+ * Builds the route of a (src, dst) stream through the configured
+ * topology. @p net must have been validated against @p router.
+ */
+Route routeOf(const config::RouterConfig& router,
+              const config::NetworkConfig& net, int src, int dst);
+
+/** Link capacity in flits/us for @p router. */
+double linkCapacityFlitsPerUs(const config::RouterConfig& router);
+
+/**
+ * Router hops on the (src, dst) path: 1 for the single switch,
+ * 1 + Manhattan switch distance for the fat mesh. Used for the
+ * multi-hop backpressure slack term.
+ */
+int routerHops(const config::NetworkConfig& net, int src, int dst);
+
+} // namespace mediaworm::calculus
+
+#endif // MEDIAWORM_CALCULUS_ROUTE_MODEL_HH

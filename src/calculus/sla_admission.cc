@@ -1,0 +1,52 @@
+#include "calculus/sla_admission.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace mediaworm::calculus {
+
+SlaAdmission::SlaAdmission(const config::RouterConfig& router,
+                           const config::TrafficConfig& traffic,
+                           const config::NetworkConfig& net,
+                           double sla_us, const OracleConfig& oracle)
+    : router_(router), traffic_(traffic), net_(net), slaUs_(sla_us),
+      oracle_(oracle)
+{
+    MW_ASSERT(sla_us > 0.0);
+    oracle_.enabled = true;
+}
+
+bool
+SlaAdmission::permits(const traffic::Stream& stream) const
+{
+    std::vector<traffic::Stream> tentative = admitted_;
+    tentative.push_back(stream);
+    const BoundsReport report =
+        computeBounds(router_, traffic_, net_, tentative, oracle_);
+    return report.allBounded() && report.maxBoundUs <= slaUs_;
+}
+
+void
+SlaAdmission::committed(const traffic::Stream& stream)
+{
+    admitted_.push_back(stream);
+}
+
+void
+SlaAdmission::released(const traffic::Stream& stream)
+{
+    const auto it = std::find_if(
+        admitted_.begin(), admitted_.end(),
+        [&](const traffic::Stream& s) { return s.id == stream.id; });
+    MW_ASSERT(it != admitted_.end());
+    admitted_.erase(it);
+}
+
+BoundsReport
+SlaAdmission::report() const
+{
+    return computeBounds(router_, traffic_, net_, admitted_, oracle_);
+}
+
+} // namespace mediaworm::calculus

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Analytic admission test: admit a stream only if every admitted
+ * stream's worst-case delay bound (including the newcomer's) still
+ * meets the SLA.
+ *
+ * This is the oracle turned into a gatekeeper: where the capacity
+ * bookkeeping of traffic::AdmissionController enforces the paper's
+ * bandwidth arithmetic, SlaAdmission enforces the end-to-end
+ * guarantee itself, re-running computeBounds() over the tentative
+ * admitted set. Admission therefore degrades from "the load fits"
+ * to "the delay bound holds" - the analytic admission-control
+ * strategy the paper's Section 6 calls for.
+ */
+
+#ifndef MEDIAWORM_CALCULUS_SLA_ADMISSION_HH
+#define MEDIAWORM_CALCULUS_SLA_ADMISSION_HH
+
+#include <vector>
+
+#include "calculus/oracle.hh"
+#include "traffic/admission.hh"
+
+namespace mediaworm::calculus {
+
+/** SLA-bound admission test over the oracle. */
+class SlaAdmission : public traffic::AnalyticAdmission
+{
+  public:
+    /**
+     * @param router  Router configuration.
+     * @param traffic Workload AS RUN (scaled), for the envelopes.
+     * @param net     Topology.
+     * @param sla_us  Required worst-case delay per stream, us.
+     * @param oracle  Envelope knobs; enabled is forced on.
+     */
+    SlaAdmission(const config::RouterConfig& router,
+                 const config::TrafficConfig& traffic,
+                 const config::NetworkConfig& net, double sla_us,
+                 const OracleConfig& oracle = {});
+
+    /** True when the tentative set {admitted + stream} keeps every
+     *  bound finite and within the SLA. */
+    bool permits(const traffic::Stream& stream) const override;
+
+    void committed(const traffic::Stream& stream) override;
+
+    void released(const traffic::Stream& stream) override;
+
+    /** The committed stream set the test currently guarantees. */
+    const std::vector<traffic::Stream>& admitted() const
+    {
+        return admitted_;
+    }
+
+    /** Bounds for the committed set (recomputed on call). */
+    BoundsReport report() const;
+
+  private:
+    config::RouterConfig router_;
+    config::TrafficConfig traffic_;
+    config::NetworkConfig net_;
+    double slaUs_;
+    OracleConfig oracle_;
+    std::vector<traffic::Stream> admitted_;
+};
+
+} // namespace mediaworm::calculus
+
+#endif // MEDIAWORM_CALCULUS_SLA_ADMISSION_HH

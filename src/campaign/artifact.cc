@@ -1,7 +1,9 @@
 #include "campaign/artifact.hh"
 
+#include <algorithm>
 #include <cstdio>
 
+#include "calculus/oracle.hh"
 #include "campaign/json.hh"
 #include "obs/telemetry.hh"
 #include "sim/logging.hh"
@@ -89,6 +91,64 @@ writeTelemetry(JsonWriter& json, const obs::TelemetryReport& t)
     json.endObject();
 }
 
+/**
+ * Analytic bounds of replication 0 (deterministic: the oracle is a
+ * pure function of configuration and seed). When the same run also
+ * gathered telemetry, each stream carries its observed whole-run
+ * worst message delay so bound-vs-observed margins can be read
+ * directly from the artifact. Times are in the run's (scaled)
+ * microseconds - the same base the telemetry delays use.
+ */
+void
+writeBounds(JsonWriter& json, const calculus::BoundsReport& bounds,
+            const obs::TelemetryReport* telemetry)
+{
+    json.beginObject();
+    json.member("streams", static_cast<std::int64_t>(
+                               bounds.streams.size()));
+    json.member("unbounded",
+                static_cast<std::int64_t>(bounds.unboundedStreams));
+    json.member("max_bound_us", bounds.maxBoundUs);
+
+    double min_margin = calculus::kUnbounded;
+    if (telemetry != nullptr) {
+        for (const calculus::StreamBound& b : bounds.streams) {
+            const obs::StreamSeries* series =
+                telemetry->find(b.stream);
+            if (series == nullptr || !b.bounded)
+                continue;
+            min_margin = std::min(
+                min_margin, b.boundUs - series->worstMessageDelayUs);
+        }
+    }
+    // Non-finite doubles serialise as null (JsonWriter contract).
+    json.member("min_margin_us", min_margin);
+
+    json.key("per_stream");
+    json.beginArray();
+    for (const calculus::StreamBound& b : bounds.streams) {
+        json.beginObject();
+        json.member("stream",
+                    static_cast<std::int64_t>(b.stream.value()));
+        json.member("hops", static_cast<std::int64_t>(b.hops));
+        json.member("sigma_flits", b.sigmaFlits);
+        json.member("rho_flits_per_us", b.rhoFlitsPerUs);
+        json.member("reserved_flits_per_us", b.reservedFlitsPerUs);
+        json.member("bound_us", b.boundUs);
+        if (telemetry != nullptr) {
+            const obs::StreamSeries* series =
+                telemetry->find(b.stream);
+            if (series != nullptr) {
+                json.member("observed_worst_us",
+                            series->worstMessageDelayUs);
+            }
+        }
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+}
+
 } // namespace
 
 std::string
@@ -123,6 +183,14 @@ toJson(const Campaign& campaign, const ArtifactOptions& options)
         if (obs0 != nullptr && obs0->hasTelemetry) {
             json.key("telemetry");
             writeTelemetry(json, obs0->telemetry);
+        }
+        const auto& bounds0 = point.first().bounds;
+        if (bounds0 != nullptr) {
+            json.key("bounds");
+            writeBounds(json, *bounds0,
+                        obs0 != nullptr && obs0->hasTelemetry
+                            ? &obs0->telemetry
+                            : nullptr);
         }
         json.endObject();
     }

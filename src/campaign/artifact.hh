@@ -2,10 +2,10 @@
  * @file
  * JSON artifact writer: one machine-readable file per campaign.
  *
- * Schema "mediaworm-campaign-v2":
+ * Schema "mediaworm-campaign-v3":
  *
  *   {
- *     "schema": "mediaworm-campaign-v2",
+ *     "schema": "mediaworm-campaign-v3",
  *     "name": "<campaign name>",
  *     "root_seed": <u64>,
  *     "replications": <n>,
@@ -27,6 +27,16 @@
  *                {"t_norm_ms": x, "frames": n, "flits": n,
  *                 "intervals": n, "d_norm_ms": x,
  *                 "sigma_d_norm_ms": x, "mbps": x}, ...]}, ...]
+ *         },
+ *         "bounds": {      // only when the run enabled the oracle
+ *           "streams": n, "unbounded": n, "max_bound_us": x,
+ *           "min_margin_us": x,   // min(bound - observed); null
+ *                                 // without telemetry or finite bound
+ *           "per_stream": [
+ *             {"stream": <id>, "hops": n, "sigma_flits": x,
+ *              "rho_flits_per_us": x, "reserved_flits_per_us": x,
+ *              "bound_us": x,      // null when unbounded
+ *              "observed_worst_us": x}, ...] // only with telemetry
  *         }
  *       }, ...
  *     ],
@@ -44,11 +54,15 @@
  * schema (BENCH_*.json), timing included, so per-PR throughput
  * trajectories can be extracted mechanically.
  *
- * v2 is a strict superset of v1: the only change is the optional
- * per-point "telemetry" member (per-stream sliding-window series from
- * obs::StreamTelemetry, taken from replication 0, values
- * re-normalised onto the paper's unscaled-ms axis). v1 readers that
- * ignore unknown members parse v2 documents unchanged.
+ * v2 was a strict superset of v1 (optional per-point "telemetry"
+ * member, per-stream sliding-window series from obs::StreamTelemetry
+ * taken from replication 0, re-normalised onto the paper's unscaled
+ * axis); v3 is a strict superset of v2: the only change is the
+ * optional per-point "bounds" member (per-stream worst-case delay
+ * bounds from the calculus oracle, with observed-vs-bound margins
+ * when telemetry is also present). Readers that ignore unknown
+ * members parse all three generations unchanged; parseJson()
+ * (json.hh) round-trips any of them.
  */
 
 #ifndef MEDIAWORM_CAMPAIGN_ARTIFACT_HH
@@ -72,7 +86,7 @@ struct ArtifactOptions
 
 /** Current artifact schema identifier. */
 inline constexpr const char* kArtifactSchema =
-    "mediaworm-campaign-v2";
+    "mediaworm-campaign-v3";
 
 /** Serialises a completed campaign (must have been run()). */
 std::string toJson(const Campaign& campaign,

@@ -45,9 +45,10 @@ TrafficConfig::streamRateMbps() const
 sim::Tick
 TrafficConfig::streamVtick(int flit_size_bits) const
 {
-    // Flits per second demanded by one stream; Vtick is its inverse.
-    const double flits_per_second =
-        streamRateMbps() * 1e6 / static_cast<double>(flit_size_bits);
+    // Flits per second reserved by one stream (the mean demand times
+    // the reservation factor); Vtick is its inverse.
+    const double flits_per_second = reservedRateFactor
+        * streamRateMbps() * 1e6 / static_cast<double>(flit_size_bits);
     return static_cast<sim::Tick>(
         std::llround(static_cast<double>(sim::kSecond)
                      / flits_per_second));
@@ -70,6 +71,9 @@ TrafficConfig::validate() const
     if (messageFlits < 2 || beMessageFlits < 2)
         fatal("TrafficConfig: messages need at least 2 flits "
               "(header + tail)");
+    if (reservedRateFactor < 1.0 || reservedRateFactor > 64.0)
+        fatal("TrafficConfig: reservedRateFactor %.3f out of [1,64]",
+              reservedRateFactor);
     if (warmupFrames < 0 || measuredFrames < 1)
         fatal("TrafficConfig: invalid warmup/measurement frame counts");
 }

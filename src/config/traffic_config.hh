@@ -71,6 +71,17 @@ struct TrafficConfig
     int beMessageFlits = 20; ///< Best-effort message size in flits.
 
     /**
+     * Scale on the Virtual Clock rate every stream reserves: the
+     * advertised Vtick shrinks by this factor, so stamps advance
+     * slower and the stream's lane is guaranteed factor x the mean
+     * rate. 1.0 (the default, the paper's setting) reserves exactly
+     * the mean rate; calculus::provision() raises it to buy delay
+     * guarantees with envelope headroom. Admission bookkeeping
+     * charges the reserved (scaled) rate, as it should.
+     */
+    double reservedRateFactor = 1.0;
+
+    /**
      * Anchor the last message of every frame at a fixed offset
      * before the next frame, spreading the earlier messages evenly.
      * Without anchoring, the frame-completion instant wobbles with

@@ -51,6 +51,17 @@ runExperiment(const ExperimentConfig& cfg)
     traffic::MixPlan plan =
         traffic::planMix(cfg.router, traffic, net.numNodes(), mix_rng);
 
+    // Analytic delay bounds for the planned mix. Computed before the
+    // run from configuration alone: no events, no RNG draws, so the
+    // simulation (and deterministicHash) is bit-identical with the
+    // oracle on or off.
+    std::shared_ptr<const calculus::BoundsReport> bounds;
+    if (cfg.calculus.enabled) {
+        bounds = std::make_shared<const calculus::BoundsReport>(
+            calculus::computeBounds(cfg.router, traffic, cfg.network,
+                                    plan.streams, cfg.calculus));
+    }
+
     // Real-time sources, one per stream.
     std::vector<std::unique_ptr<traffic::FrameSource>> rt_sources;
     rt_sources.reserve(plan.streams.size());
@@ -175,6 +186,7 @@ runExperiment(const ExperimentConfig& cfg)
         observations->telemetry.timeScale = cfg.timeScale;
     }
     result.observations = std::move(observations);
+    result.bounds = std::move(bounds);
 
     const auto wall_end = std::chrono::steady_clock::now();
     result.wallSeconds =

@@ -14,6 +14,7 @@
 #include <memory>
 #include <string>
 
+#include "calculus/oracle.hh"
 #include "config/network_config.hh"
 #include "config/router_config.hh"
 #include "config/traffic_config.hh"
@@ -55,6 +56,14 @@ struct ExperimentConfig
      * of 0 defaults to 4 scaled frame intervals.
      */
     obs::ObsConfig obs;
+
+    /**
+     * Network-calculus oracle: when enabled, per-stream worst-case
+     * delay bounds are computed for the planned mix (pure analysis -
+     * no events, no RNG draws, deterministicHash unchanged) and
+     * attached to ExperimentResult::bounds.
+     */
+    calculus::OracleConfig calculus;
 };
 
 /** Measured outputs of one experiment point. */
@@ -104,6 +113,14 @@ struct ExperimentResult
      * never change what the digest fingerprints.
      */
     std::shared_ptr<obs::RunObservations> observations;
+
+    /**
+     * Analytic per-stream delay bounds, present when
+     * ExperimentConfig::calculus was enabled; null otherwise. Like
+     * observations, excluded from deterministicHash() - the oracle
+     * reports on the run, it never participates in it.
+     */
+    std::shared_ptr<const calculus::BoundsReport> bounds;
 
     /** One-line human-readable summary. */
     std::string describe() const;

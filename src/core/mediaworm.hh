@@ -19,6 +19,11 @@
 #ifndef MEDIAWORM_CORE_MEDIAWORM_HH
 #define MEDIAWORM_CORE_MEDIAWORM_HH
 
+#include "calculus/curves.hh"
+#include "calculus/oracle.hh"
+#include "calculus/provision.hh"
+#include "calculus/route_model.hh"
+#include "calculus/sla_admission.hh"
 #include "campaign/aggregate.hh"
 #include "campaign/artifact.hh"
 #include "campaign/campaign.hh"

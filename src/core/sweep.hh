@@ -103,7 +103,7 @@ class Sweep
     std::string toCsv() const;
 
     /**
-     * JSON campaign artifact (schema mediaworm-campaign-v2) for the
+     * JSON campaign artifact (schema mediaworm-campaign-v3) for the
      * last run. With @p includeTiming false the output is a pure
      * function of configuration + root seed (byte-identical across
      * jobs settings).

@@ -81,13 +81,20 @@ class MetricsHub
 
     /** Records delivery of a real-time message. */
     void
-    recordRtMessage(sim::Tick inject_time, sim::Tick now)
+    recordRtMessage([[maybe_unused]] sim::StreamId stream,
+                    sim::Tick inject_time, sim::Tick now)
     {
         ++rtMessages_;
         if (enabled_ && inject_time >= enableTime_) {
             rtMessageLatency_.add(
                 sim::toMicroseconds(now - inject_time));
         }
+#ifndef MEDIAWORM_NO_OBS
+        if (telemetry_ != nullptr) {
+            telemetry_->recordMessageDelay(
+                stream, sim::toMicroseconds(now - inject_time));
+        }
+#endif
     }
 
     /**

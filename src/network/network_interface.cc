@@ -112,7 +112,7 @@ NetworkInterface::receiveFlit(const router::Flit& flit, int vc)
                                  flit.networkEnterTime, now);
         return;
     }
-    metrics_.recordRtMessage(flit.injectTime, now);
+    metrics_.recordRtMessage(flit.stream, flit.injectTime, now);
     if (flit.endOfFrame)
         metrics_.recordFrameDelivery(flit.stream, now);
 }

@@ -109,6 +109,19 @@ StreamTelemetry::recordFlit(sim::StreamId stream, sim::Tick now)
     ++observations_;
 }
 
+void
+StreamTelemetry::recordMessageDelay(sim::StreamId stream,
+                                    double delay_us)
+{
+    // Direct map access, not stateFor(): this touches no window
+    // counter, so it must not mark the stream window-active.
+    StreamState& state = streams_[stream];
+    ++state.totalMessages;
+    state.worstMessageDelayUs =
+        std::max(state.worstMessageDelayUs, delay_us);
+    ++observations_;
+}
+
 TelemetryReport
 StreamTelemetry::finish(sim::Tick end)
 {
@@ -139,6 +152,8 @@ StreamTelemetry::finish(sim::Tick end)
         series.meanIntervalMs = state.overallIntervals.mean() / kMs;
         series.stddevIntervalMs =
             state.overallIntervals.stddev() / kMs;
+        series.messages = state.totalMessages;
+        series.worstMessageDelayUs = state.worstMessageDelayUs;
         // Worst stream: largest steady-state sigma_d with enough
         // intervals for a meaningful spread; ids ascend, so ties
         // resolve to the lowest id deterministically.

@@ -82,6 +82,11 @@ struct StreamSeries
     std::uint64_t intervalCount = 0; ///< Measured intervals.
     double meanIntervalMs = 0.0;     ///< Overall d.
     double stddevIntervalMs = 0.0;   ///< Overall sigma_d.
+
+    // Whole-run message-delay extrema (not gated on measureFrom:
+    // the analytic bound must hold for warmup messages too).
+    std::uint64_t messages = 0;          ///< Messages delivered.
+    double worstMessageDelayUs = 0.0;    ///< Max host-to-sink delay.
 };
 
 /** Everything the collector measured, ready for serialisation. */
@@ -118,6 +123,15 @@ class StreamTelemetry
     /** Observes delivery of one flit of @p stream. */
     void recordFlit(sim::StreamId stream, sim::Tick now);
 
+    /**
+     * Observes a completed message of @p stream with host-to-sink
+     * delay @p delay_us. Feeds only the whole-run per-stream worst
+     * delay (the quantity the calculus oracle bounds); windows are
+     * untouched, and the companion recordFlit() call at the same
+     * timestamp has already rolled them.
+     */
+    void recordMessageDelay(sim::StreamId stream, double delay_us);
+
     /** Closes the final partial window and builds the report.
      *  @param end The simulation end time (>= every observation). */
     TelemetryReport finish(sim::Tick end);
@@ -137,6 +151,8 @@ class StreamTelemetry
         // Whole-run aggregates.
         stats::Accumulator overallIntervals; ///< >= measureFrom only.
         std::uint64_t totalFrames = 0;
+        std::uint64_t totalMessages = 0;
+        double worstMessageDelayUs = 0.0;
         std::vector<TelemetrySample> samples;
     };
 

@@ -256,7 +256,8 @@ PcsNetwork::serveDestMux(int node)
             metrics_.recordBeMessage(flit.injectTime, flit.injectTime,
                                      now);
         } else {
-            metrics_.recordRtMessage(flit.injectTime, now);
+            metrics_.recordRtMessage(flit.stream, flit.injectTime,
+                                     now);
             if (flit.endOfFrame)
                 metrics_.recordFrameDelivery(flit.stream, now);
         }

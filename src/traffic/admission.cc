@@ -54,6 +54,30 @@ AdmissionController::tryAdmit(const Stream& stream)
     MW_ASSERT(src >= 0 && src < numNodes_);
     MW_ASSERT(dst >= 0 && dst < numNodes_);
 
+    // Rate sanity: a non-positive vtick requests infinite (or
+    // undefined) bandwidth, and a vtick below the flit cycle time
+    // requests more than the link can carry. Either is a broken
+    // request, not a capacity shortage - reject it loudly before it
+    // reaches the admission table.
+    if (stream.vtick <= 0) {
+        sim::warn("AdmissionController: stream %d requests "
+                  "non-positive vtick %lld; rejecting",
+                  stream.id.value(),
+                  static_cast<long long>(stream.vtick));
+        ++rejected_;
+        return false;
+    }
+    if (streamLoad(stream) > 1.0) {
+        sim::warn("AdmissionController: stream %d requests %.3fx "
+                  "link capacity (vtick %lld < cycle %lld); "
+                  "rejecting",
+                  stream.id.value(), streamLoad(stream),
+                  static_cast<long long>(stream.vtick),
+                  static_cast<long long>(router_.cycleTime()));
+        ++rejected_;
+        return false;
+    }
+
     const bool lane_in_partition = stream.vcLane >= partition_.rtFirst
         && stream.vcLane < partition_.rtFirst + partition_.rtCount;
     if (!lane_in_partition || src == dst) {
@@ -85,11 +109,20 @@ AdmissionController::tryAdmit(const Stream& stream)
         }
     }
 
+    // The analytic test runs last: it is the most expensive check
+    // and should only see streams the bookkeeping already accepts.
+    if (analytic_ != nullptr && !analytic_->permits(stream)) {
+        ++rejected_;
+        return false;
+    }
+
     srcLoad_[static_cast<std::size_t>(src)] += load;
     dstLoad_[static_cast<std::size_t>(dst)] += load;
     ++laneStreams_[laneIndex(dst, stream.vcLane)];
     ++admitted_;
     ++live_;
+    if (analytic_ != nullptr)
+        analytic_->committed(stream);
     return true;
 }
 
@@ -104,6 +137,8 @@ AdmissionController::release(const Stream& stream)
     dstLoad_[static_cast<std::size_t>(dst)] -= load;
     --laneStreams_[laneIndex(dst, stream.vcLane)];
     --live_;
+    if (analytic_ != nullptr)
+        analytic_->released(stream);
 }
 
 double

@@ -27,6 +27,29 @@
 
 namespace mediaworm::traffic {
 
+/**
+ * Optional analytic admission test consulted after the capacity
+ * bookkeeping accepts a stream. Implemented by
+ * calculus::SlaAdmission, which re-derives every admitted stream's
+ * worst-case delay bound and vetoes requests that would break an
+ * SLA; declared here (not in calculus/) so the traffic layer never
+ * depends on its analytic clients.
+ */
+class AnalyticAdmission
+{
+  public:
+    virtual ~AnalyticAdmission() = default;
+
+    /** True when admitting @p stream keeps every guarantee. */
+    virtual bool permits(const Stream& stream) const = 0;
+
+    /** @p stream passed all checks and is now live. */
+    virtual void committed(const Stream& stream) = 0;
+
+    /** A previously committed @p stream was released. */
+    virtual void released(const Stream& stream) = 0;
+};
+
 /** Policy knobs for the admission decision. */
 struct AdmissionPolicy
 {
@@ -58,14 +81,27 @@ class AdmissionController
     /**
      * Tries to admit @p stream (a real-time connection request).
      *
-     * Checks, in order: the lane lies in the real-time partition;
-     * the source link's and destination link's real-time budgets
-     * can absorb the stream's rate; and the destination (port, lane)
-     * pair has a free connection slot.
+     * Checks, in order: the requested rate is sane (positive and at
+     * most link capacity - nonsense requests are rejected with a
+     * warning before touching the admission table); the lane lies in
+     * the real-time partition; the source link's and destination
+     * link's real-time budgets can absorb the stream's rate; the
+     * destination (port, lane) pair has a free connection slot; and
+     * the analytic test, when attached, permits the stream.
      *
      * @return True and records the reservation, or false untouched.
      */
     bool tryAdmit(const Stream& stream);
+
+    /**
+     * Attaches (or detaches, with nullptr) an analytic admission
+     * test; not owned. tryAdmit() consults it last, so it only sees
+     * streams the capacity bookkeeping already accepted.
+     */
+    void setAnalyticAdmission(AnalyticAdmission* analytic)
+    {
+        analytic_ = analytic;
+    }
 
     /** Releases a previously admitted stream's reservations. */
     void release(const Stream& stream);
@@ -101,6 +137,7 @@ class AdmissionController
     VcPartition partition_;
     int numNodes_;
     AdmissionPolicy policy_;
+    AnalyticAdmission* analytic_ = nullptr;
     int laneCapacity_;
 
     std::vector<double> srcLoad_; ///< Real-time load per source link.

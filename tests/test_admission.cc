@@ -162,6 +162,105 @@ TEST_F(AdmissionTest, BudgetsAreIndependentPerNode)
         EXPECT_NEAR(controller.sourceLoad(node), 0.01, 1e-12);
 }
 
+TEST_F(AdmissionTest, RejectsZeroVtick)
+{
+    // A vtick of zero would divide by zero in the load arithmetic;
+    // it must bounce off the sanity check, not reach the table.
+    EXPECT_FALSE(controller.tryAdmit(request(0, 1, 0, Tick(0))));
+    EXPECT_EQ(controller.rejected(), 1u);
+    EXPECT_EQ(controller.live(), 0);
+    EXPECT_NEAR(controller.sourceLoad(0), 0.0, 1e-12);
+    EXPECT_NEAR(controller.destinationLoad(1), 0.0, 1e-12);
+}
+
+TEST_F(AdmissionTest, RejectsNegativeVtick)
+{
+    EXPECT_FALSE(controller.tryAdmit(
+        request(0, 1, 0, -microseconds(8))));
+    EXPECT_EQ(controller.rejected(), 1u);
+    EXPECT_EQ(controller.laneOccupancy(1, 0), 0);
+}
+
+TEST_F(AdmissionTest, RejectsOverCapacityRate)
+{
+    // A vtick below the flit cycle time asks for more than the whole
+    // link; no budget arithmetic can make that admissible.
+    const Tick half_cycle = router.cycleTime() / 2;
+    ASSERT_GT(half_cycle, 0);
+    EXPECT_FALSE(controller.tryAdmit(request(0, 1, 0, half_cycle)));
+    EXPECT_EQ(controller.rejected(), 1u);
+    EXPECT_EQ(controller.live(), 0);
+    EXPECT_NEAR(controller.sourceLoad(0), 0.0, 1e-12);
+
+    // Exactly the link rate is the boundary case: load 1.0 exceeds
+    // the default 0.75 budget but passes the sanity check, so it is
+    // a capacity rejection, not a malformed request.
+    EXPECT_FALSE(
+        controller.tryAdmit(request(0, 1, 0, router.cycleTime())));
+    EXPECT_EQ(controller.rejected(), 2u);
+}
+
+/** Scripted analytic test for the delegation-order contract. */
+class ScriptedAnalytic : public AnalyticAdmission
+{
+  public:
+    bool
+    permits(const Stream&) const override
+    {
+        ++asked;
+        return allow;
+    }
+
+    void
+    committed(const Stream&) override
+    {
+        ++commits;
+    }
+
+    void
+    released(const Stream&) override
+    {
+        ++releases;
+    }
+
+    bool allow = true;
+    mutable int asked = 0;
+    int commits = 0;
+    int releases = 0;
+};
+
+TEST_F(AdmissionTest, AnalyticVetoRejectsAfterBookkeeping)
+{
+    ScriptedAnalytic analytic;
+    analytic.allow = false;
+    controller.setAnalyticAdmission(&analytic);
+
+    EXPECT_FALSE(controller.tryAdmit(request(0, 1)));
+    EXPECT_EQ(analytic.asked, 1);
+    EXPECT_EQ(analytic.commits, 0);
+    EXPECT_EQ(controller.rejected(), 1u);
+    EXPECT_NEAR(controller.sourceLoad(0), 0.0, 1e-12);
+
+    // Streams the cheap checks already reject never reach the
+    // (expensive) analytic test.
+    EXPECT_FALSE(controller.tryAdmit(request(3, 3)));
+    EXPECT_EQ(analytic.asked, 1);
+}
+
+TEST_F(AdmissionTest, AnalyticSeesCommitAndRelease)
+{
+    ScriptedAnalytic analytic;
+    controller.setAnalyticAdmission(&analytic);
+
+    Stream stream = request(0, 1);
+    ASSERT_TRUE(controller.tryAdmit(stream));
+    EXPECT_EQ(analytic.commits, 1);
+
+    controller.release(stream);
+    EXPECT_EQ(analytic.releases, 1);
+    EXPECT_EQ(controller.live(), 0);
+}
+
 TEST(AdmissionPolicyDeath, RejectsBadBudget)
 {
     config::RouterConfig router;

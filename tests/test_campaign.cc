@@ -261,7 +261,7 @@ TEST(Campaign, ArtifactSchemaShape)
     ArtifactOptions options;
     options.name = "shape";
     const std::string text = toJson(camp, options);
-    EXPECT_NE(text.find("\"schema\": \"mediaworm-campaign-v2\""),
+    EXPECT_NE(text.find("\"schema\": \"mediaworm-campaign-v3\""),
               std::string::npos);
     EXPECT_NE(text.find("\"name\": \"shape\""), std::string::npos);
     EXPECT_NE(text.find("\"points\""), std::string::npos);

@@ -335,7 +335,7 @@ TEST(ArtifactV2, TelemetrySectionSerialisedWhenEnabled)
     options.includeTiming = false;
     const std::string text = campaign::toJson(camp, options);
 
-    EXPECT_NE(text.find("\"schema\": \"mediaworm-campaign-v2\""),
+    EXPECT_NE(text.find("\"schema\": \"mediaworm-campaign-v3\""),
               std::string::npos);
     // The telemetry member and its key vocabulary.
     for (const char* key :

@@ -23,6 +23,13 @@ events_per_second (falling back to items_per_second). CI uses it with
 --threshold 0.05 on BM_EndToEndExperiment to enforce that the
 telemetry-off hot path stays within 5% of the committed baseline (the
 observability hooks must cost nothing when disabled).
+
+A missing baseline is an error (exit 2), never a silent pass: a gate
+that passes because the entry it should compare against is absent is
+indistinguishable from a gate that ran, and has hidden a mislabeled
+trend file before. --self-test exercises the gate against built-in
+documents (no file needed) so CI can prove the failure modes stay
+loud.
 """
 
 import argparse
@@ -30,11 +37,60 @@ import json
 import sys
 
 
-def main() -> int:
+def self_test() -> int:
+    """Run the gate against canned documents; 0 when all pass."""
+    doc = {
+        "entries": [
+            {"label": "pr-1", "events_per_second": 1.0e6,
+             "benchmarks": {
+                 "BM_EndToEndExperiment":
+                     {"events_per_second": 2.0e6}}},
+            {"label": "pr-2", "events_per_second": 0.9e6,
+             "benchmarks": {
+                 "BM_EndToEndExperiment":
+                     {"events_per_second": 0.5e6}}},
+        ]
+    }
+    cases = [
+        # (argv-extras, entries-subset, expected-exit, description)
+        (["pr-2"], None, 0, "10% drop passes the loose default"),
+        (["pr-2", "--threshold", "0.05"], None, 1,
+         "10% drop fails a 5% threshold"),
+        (["pr-2", "--benchmark", "BM_EndToEndExperiment"], None, 1,
+         "75% row drop fails"),
+        (["pr-2", "--baseline", "nope"], None, 2,
+         "explicit missing baseline errors"),
+        (["nope"], None, 2, "missing current entry errors"),
+        (["pr-1"], [doc["entries"][0]], 2,
+         "no baseline entry errors instead of passing"),
+        (["pr-2", "--benchmark", "BM_Missing"], None, 2,
+         "missing benchmark row errors"),
+    ]
+    failures = 0
+    for extras, subset, expected, description in cases:
+        trimmed = doc if subset is None else {"entries": subset}
+        got = run_gate(trimmed, parse_args(["<self-test>"] + extras))
+        status = "ok" if got == expected else "FAIL"
+        if got != expected:
+            failures += 1
+        print(f"self-test [{status}] {description} "
+              f"(exit {got}, want {expected})")
+    if failures:
+        print(f"self-test: {failures} case(s) failed",
+              file=sys.stderr)
+        return 1
+    print("self-test: all cases passed")
+    return 0
+
+
+def parse_args(argv):
     parser = argparse.ArgumentParser(
         description="Fail on kernel benchmark regressions.")
-    parser.add_argument("json_path", help="BENCH_kernel.json path")
-    parser.add_argument("current", help="label of the new entry")
+    parser.add_argument("json_path", nargs="?", default=None,
+                        help="BENCH_kernel.json path (optional with "
+                             "--self-test)")
+    parser.add_argument("current", nargs="?", default=None,
+                        help="label of the new entry")
     parser.add_argument("--baseline", default=None,
                         help="baseline label (default: last entry "
                              "before the current one)")
@@ -45,30 +101,41 @@ def main() -> int:
                         help="gate this benchmark row instead of the "
                              "entry headline (events_per_second, "
                              "else items_per_second)")
-    args = parser.parse_args()
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in behavioral checks and "
+                             "exit")
+    return parser.parse_args(argv)
 
-    with open(args.json_path) as f:
-        doc = json.load(f)
+
+def run_gate(doc, args) -> int:
     entries = doc.get("entries", [])
     by_label = {e["label"]: e for e in entries}
 
     if args.current not in by_label:
-        print(f"error: no entry labeled '{args.current}'",
+        print(f"error: no entry labeled '{args.current}' in "
+              f"{args.json_path} (have: "
+              f"{', '.join(sorted(by_label)) or 'none'})",
               file=sys.stderr)
         return 2
     current = by_label[args.current]
 
     if args.baseline is not None:
         if args.baseline not in by_label:
-            print(f"error: no baseline entry '{args.baseline}'",
+            print(f"error: no baseline entry '{args.baseline}' in "
+                  f"{args.json_path} (have: "
+                  f"{', '.join(sorted(by_label)) or 'none'})",
                   file=sys.stderr)
             return 2
         baseline = by_label[args.baseline]
     else:
         previous = [e for e in entries if e["label"] != args.current]
         if not previous:
-            print("no baseline entry to compare against; passing")
-            return 0
+            print(f"error: no baseline entry before '{args.current}' "
+                  f"in {args.json_path}; a gate with nothing to "
+                  "compare against must not pass (record a baseline "
+                  "entry or name one with --baseline)",
+                  file=sys.stderr)
+            return 2
         baseline = previous[-1]
 
     if args.benchmark is not None:
@@ -86,7 +153,8 @@ def main() -> int:
         base = baseline.get("events_per_second")
         what = "headline"
     if not cur or not base:
-        print(f"error: entries lack a rate for '{what}'",
+        print(f"error: entries '{args.current}' / "
+              f"'{baseline['label']}' lack a rate for '{what}'",
               file=sys.stderr)
         return 2
 
@@ -100,6 +168,19 @@ def main() -> int:
         return 1
     print("OK")
     return 0
+
+
+def main() -> int:
+    args = parse_args(sys.argv[1:])
+    if args.self_test:
+        return self_test()
+    if args.json_path is None or args.current is None:
+        print("error: a trend file path and a current entry label "
+              "are required", file=sys.stderr)
+        return 2
+    with open(args.json_path) as f:
+        doc = json.load(f)
+    return run_gate(doc, args)
 
 
 if __name__ == "__main__":

@@ -14,12 +14,13 @@
  *   mediaworm_sim --loads 0.6,0.8,0.9 --jobs 8 --replications 5 \
  *       --json-out out.json
  *
- * The JSON artifact (schema mediaworm-campaign-v2) is by default a
+ * The JSON artifact (schema mediaworm-campaign-v3) is by default a
  * pure function of configuration + seed: byte-identical for any
  * --jobs value. Pass --json-timing to append the wall-clock timing
  * section (making the file host- and run-dependent).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -117,6 +118,9 @@ main(int argc, char** argv)
     bool dump_stats = false;
     bool telemetry = false;
     bool flight_recorder = false;
+    bool bounds_flag = false;
+    bool provision_mode = false;
+    double sla_ms = 33.0;
     std::string trace_out;
 
     config::OptionParser parser(
@@ -150,7 +154,7 @@ main(int argc, char** argv)
                   "seed replications per point (95% CIs)",
                   &replications, 1, 1000);
     parser.addString("json-out", "write a JSON campaign artifact "
-                                 "(schema mediaworm-campaign-v2)",
+                                 "(schema mediaworm-campaign-v3)",
                      &json_out);
     parser.addFlag("json-timing", "include the wall-clock timing "
                                   "section in the JSON artifact",
@@ -178,6 +182,20 @@ main(int argc, char** argv)
                    "(adds a telemetry section to the report and the "
                    "JSON artifact)",
                    &telemetry);
+    parser.addFlag("bounds",
+                   "compute network-calculus worst-case delay bounds "
+                   "per admitted stream (adds a bounds section to the "
+                   "report and the JSON artifact)",
+                   &bounds_flag);
+    parser.addFlag("provision",
+                   "pick VC count and reserved Virtual Clock rates "
+                   "so every stream's analytic bound meets --sla-ms, "
+                   "then simulate under that allocation",
+                   &provision_mode);
+    parser.addDouble("sla-ms",
+                     "per-stream worst-case delay SLA for "
+                     "--provision, in unscaled (paper-axis) ms",
+                     &sla_ms, 0.001, 10000.0);
     parser.addString("trace-out",
                      "write a Chrome-trace JSON (load at "
                      "chrome://tracing) of the first point's flit "
@@ -237,6 +255,34 @@ main(int argc, char** argv)
     base.obs.telemetry.enabled = telemetry;
     base.obs.flightRecorder = flight_recorder;
     base.obs.trace = !trace_out.empty();
+    base.calculus.enabled = bounds_flag || provision_mode;
+
+    if (provision_mode) {
+        calculus::ProvisionRequest request;
+        // The SLA arrives on the paper's unscaled axis; the oracle
+        // works in the run's scaled time base.
+        request.slaUs = sla_ms * 1000.0 * scale;
+        // Provision at the sweep's heaviest point: an allocation
+        // whose bound holds there holds at every lighter load too.
+        const double provisionLoad =
+            *std::max_element(loads.begin(), loads.end());
+        config::TrafficConfig provisionTraffic = base.traffic;
+        provisionTraffic.inputLoad = provisionLoad;
+        const calculus::ProvisionResult alloc = calculus::provision(
+            base.router, provisionTraffic, base.network, base.seed,
+            scale, request);
+        std::printf("Provisioning: %s\n", alloc.describe().c_str());
+        if (!alloc.feasible) {
+            std::fprintf(stderr,
+                         "provision: no allocation meets the %.2f ms "
+                         "SLA at load %.2f; lower the load or relax "
+                         "--sla-ms\n",
+                         sla_ms, provisionLoad);
+            return 1;
+        }
+        base.router.numVcs = alloc.numVcs;
+        base.traffic.reservedRateFactor = alloc.reservedRateFactor;
+    }
 
     core::Sweep sweep(base);
     sweep.setJobs(jobs);
@@ -310,6 +356,43 @@ main(int argc, char** argv)
                             ? t.worstStream.value()
                             : -1,
                         sim::toMilliseconds(t.window) / div);
+        }
+        if (r.bounds != nullptr) {
+            const calculus::BoundsReport& b = *r.bounds;
+            if (b.allBounded()) {
+                std::printf("Bounds: %zu streams, worst analytic "
+                            "bound %.1f us (scaled axis, %.2f ms "
+                            "unscaled)\n",
+                            b.streams.size(), b.maxBoundUs,
+                            b.maxBoundUs / 1000.0
+                                / (scale > 0.0 ? scale : 1.0));
+            } else {
+                std::printf("Bounds: %zu streams, %d with no finite "
+                            "bound at this operating point\n",
+                            b.streams.size(), b.unboundedStreams);
+            }
+            if (r.observations != nullptr
+                && r.observations->hasTelemetry) {
+                double min_margin = calculus::kUnbounded;
+                int tightest = -1;
+                for (const calculus::StreamBound& sb : b.streams) {
+                    const obs::StreamSeries* series =
+                        r.observations->telemetry.find(sb.stream);
+                    if (series == nullptr || !sb.bounded)
+                        continue;
+                    const double margin =
+                        sb.boundUs - series->worstMessageDelayUs;
+                    if (margin < min_margin) {
+                        min_margin = margin;
+                        tightest = sb.stream.value();
+                    }
+                }
+                if (tightest >= 0) {
+                    std::printf("  tightest bound-vs-observed margin: "
+                                "%.1f us (stream %d)\n",
+                                min_margin, tightest);
+                }
+            }
         }
         std::printf("Simulated %.1f ms in %.2f s (%llu events, "
                     "%.2f Mev/s)%s\n",
