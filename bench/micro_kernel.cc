@@ -222,6 +222,55 @@ BM_EndToEndExperimentTelemetry(benchmark::State& state)
 BENCHMARK(BM_EndToEndExperimentTelemetry)
     ->Unit(benchmark::kMillisecond);
 
+/**
+ * Conservative-PDES scaling: one 4x2 fat-mesh experiment partitioned
+ * across N shards (Arg = ExperimentConfig::shards; 1 is the classic
+ * single-threaded kernel and the determinism oracle - every arg
+ * produces the bit-identical result, see tests/test_pdes.cc). The
+ * interesting comparison is events/s across args on the same host:
+ * speedup is bounded by the host's core count and by how much work
+ * each 160 ns lookahead window holds, so read these rows together
+ * with the entry's recorded host metadata (cores, CPU model) in
+ * BENCH_kernel.json - a 1-core host legitimately shows slowdown, not
+ * speedup, and that is worth recording too.
+ */
+void
+BM_EndToEndFatMeshShards(benchmark::State& state)
+{
+    for (auto _ : state) {
+        core::ExperimentConfig cfg;
+        cfg.network.topology = config::TopologyKind::FatMesh;
+        cfg.network.meshWidth = 4;
+        cfg.network.meshHeight = 2;
+        cfg.network.fatFactor = 2;
+        cfg.network.endpointsPerSwitch = 4;
+        cfg.router.numPorts = 10;
+        cfg.traffic.inputLoad = 0.7;
+        cfg.traffic.realTimeFraction = 0.6;
+        cfg.traffic.warmupFrames = 1;
+        cfg.traffic.measuredFrames = 2;
+        cfg.timeScale = 0.05;
+        cfg.shards = static_cast<int>(state.range(0));
+        const core::ExperimentResult result =
+            core::runExperiment(cfg);
+        benchmark::DoNotOptimize(result.eventsFired);
+        state.counters["events/s"] = benchmark::Counter(
+            static_cast<double>(result.eventsFired),
+            benchmark::Counter::kIsIterationInvariantRate);
+    }
+}
+BENCHMARK(BM_EndToEndFatMeshShards)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    // Rates must divide by wall-clock time, not the main thread's
+    // CPU time: with N shards the main thread spends most of the run
+    // blocked on the epoch barrier, which would inflate events/s by
+    // exactly the factor the benchmark exists to measure.
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 BENCHMARK_MAIN();

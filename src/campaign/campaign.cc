@@ -1,5 +1,6 @@
 #include "campaign/campaign.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <mutex>
@@ -15,7 +16,12 @@ CampaignConfig::effectiveJobs() const
 {
     if (jobs < 0)
         sim::fatal("CampaignConfig: jobs must be >= 0, got %d", jobs);
-    return jobs == 0 ? ThreadPool::hardwareThreads() : jobs;
+    if (shardsPerJob < 1)
+        sim::fatal("CampaignConfig: shardsPerJob must be >= 1, got %d",
+                   shardsPerJob);
+    if (jobs != 0)
+        return jobs;
+    return std::max(1, ThreadPool::hardwareThreads() / shardsPerJob);
 }
 
 const std::vector<MetricDef>&

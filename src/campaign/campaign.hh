@@ -45,6 +45,15 @@ struct CampaignConfig
     /** Live "done/total + ETA" line on stderr while running. */
     bool showProgress = false;
 
+    /**
+     * Threads each job uses internally (ExperimentConfig::shards of
+     * the points being run; >= 1). Only the jobs == 0 heuristic
+     * consumes it: the pool gets hardware_threads / shardsPerJob
+     * workers so jobs x shards stays within the machine instead of
+     * oversubscribing it. Explicit jobs values are taken as given.
+     */
+    int shardsPerJob = 1;
+
     /** Worker-thread count after resolving jobs == 0. */
     int effectiveJobs() const;
 };

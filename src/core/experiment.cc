@@ -5,14 +5,17 @@
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "network/metrics.hh"
 #include "network/network.hh"
+#include "network/partition.hh"
 #include "obs/flight_recorder.hh"
 #include "obs/telemetry.hh"
 #include "sim/event.hh"
 #include "sim/logging.hh"
+#include "sim/pdes.hh"
 #include "sim/simulator.hh"
 #include "traffic/best_effort_source.hh"
 #include "traffic/frame_source.hh"
@@ -41,11 +44,35 @@ runExperiment(const ExperimentConfig& cfg)
     traffic.validate();
     cfg.network.validate(cfg.router.numPorts);
 
+    // Shard plan. The flit tracer's ring is single-threaded, so any
+    // trace-based observer forces the classic one-shard run.
+    network::ShardPlan shard_plan = network::planShards(
+        cfg.network, cfg.shards, std::thread::hardware_concurrency());
+    if (!shard_plan.trivial()
+        && (cfg.obs.trace || cfg.obs.flightRecorder)) {
+        sim::warn("runExperiment: flit tracing requested; running on "
+                  "one shard instead of %d",
+                  shard_plan.numShards);
+        shard_plan = network::ShardPlan{};
+    }
+
+    // Shard 0 is the root kernel: every RNG split that seeds the
+    // model comes from it, in construction order, so the stream of
+    // seeds is identical however many shards execute the run.
     sim::Simulator simulator(cfg.seed);
+    std::vector<std::unique_ptr<sim::Simulator>> extra_sims;
+    std::vector<sim::Simulator*> sims{&simulator};
+    for (int s = 1; s < shard_plan.numShards; ++s) {
+        extra_sims.push_back(std::make_unique<sim::Simulator>(
+            cfg.seed
+            ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(s))));
+        sims.push_back(extra_sims.back().get());
+    }
+
     network::MetricsHub metrics;
     sim::Rng net_rng = simulator.rng().split();
-    network::Network net(simulator, cfg.router, cfg.network, metrics,
-                         net_rng);
+    network::Network net(sims, shard_plan, cfg.router, cfg.network,
+                         metrics, net_rng);
 
     sim::Rng mix_rng = simulator.rng().split();
     traffic::MixPlan plan =
@@ -67,8 +94,9 @@ runExperiment(const ExperimentConfig& cfg)
     rt_sources.reserve(plan.streams.size());
     for (const traffic::Stream& stream : plan.streams) {
         rt_sources.push_back(std::make_unique<traffic::FrameSource>(
-            simulator, stream, traffic, cfg.router.flitSizeBits,
-            net.ni(stream.src.value()), simulator.rng().split()));
+            net.simOfNode(stream.src.value()), stream, traffic,
+            cfg.router.flitSizeBits, net.ni(stream.src.value()),
+            simulator.rng().split()));
     }
 
     // Injection horizon: all sources stop after this time.
@@ -84,7 +112,7 @@ runExperiment(const ExperimentConfig& cfg)
         for (int node = 0; node < net.numNodes(); ++node) {
             be_sources.push_back(
                 std::make_unique<traffic::BestEffortSource>(
-                    simulator,
+                    net.simOfNode(node),
                     sim::StreamId(1000000 + node), sim::NodeId(node),
                     net.numNodes(), traffic.beMessageFlits,
                     plan.beInterval, horizon,
@@ -100,18 +128,19 @@ runExperiment(const ExperimentConfig& cfg)
 
     // Steady-state measurement starts once every stream has injected
     // its warmup frames (stream phases are within one interval).
+    // Gating is by record timestamp against this threshold (see
+    // network/metrics.hh) - no enable event, so it costs sharded
+    // runs no synchronization.
     const sim::Tick warm = static_cast<sim::Tick>(
                                traffic.warmupFrames + 1)
         * traffic.frameInterval;
-    sim::CallbackEvent enable_event(
-        [&] { metrics.enable(simulator.now()); }, "enableMetrics");
-    simulator.schedule(enable_event, warm);
+    metrics.enable(warm);
 
     // Observability. Every observer is passive - no scheduled events,
     // no RNG draws - so enabling any of them leaves the deterministic
     // outputs (and deterministicHash) bit-identical.
     std::shared_ptr<obs::RunObservations> observations;
-    std::unique_ptr<obs::StreamTelemetry> telemetry;
+    std::vector<std::unique_ptr<obs::StreamTelemetry>> telemetry;
     std::unique_ptr<obs::FlightRecorder> recorder;
     if (cfg.obs.any()) {
         const std::size_t ring_capacity = cfg.obs.trace
@@ -126,8 +155,18 @@ runExperiment(const ExperimentConfig& cfg)
             if (tcfg.measureFrom == 0)
                 tcfg.measureFrom = warm;
             tcfg.flitSizeBits = cfg.router.flitSizeBits;
-            telemetry = std::make_unique<obs::StreamTelemetry>(tcfg);
-            metrics.attachTelemetry(telemetry.get());
+            // One collector per shard so observation stays lock-free;
+            // the reports merge exactly after the run (windows are
+            // absolute-aligned in every collector).
+            for (int s = 0; s < shard_plan.numShards; ++s)
+                telemetry.push_back(
+                    std::make_unique<obs::StreamTelemetry>(tcfg));
+            for (int node = 0; node < net.numNodes(); ++node) {
+                metrics.lane(node).attachTelemetry(
+                    telemetry[static_cast<std::size_t>(
+                                  net.shardOfNode(node))]
+                        .get());
+            }
         }
         if (cfg.obs.trace || cfg.obs.flightRecorder) {
             observations->hasTrace = true;
@@ -147,18 +186,38 @@ runExperiment(const ExperimentConfig& cfg)
     const sim::Tick cap = cfg.maxSimTime > 0
         ? cfg.maxSimTime
         : horizon * 8 + 100 * sim::kMillisecond;
-    simulator.run(cap);
+    std::vector<sim::ShardRunStats> shard_stats;
+    if (shard_plan.trivial()) {
+        simulator.run(cap);
+    } else {
+        sim::PdesExecutor executor(sims, net.minCrossShardDelay());
+        for (const network::Network::CrossChannel& channel :
+             net.crossChannels()) {
+            router::Link* link = channel.link;
+            executor.addMailbox(
+                channel.consumerShard,
+                channel.isFlit
+                    ? std::function<std::uint64_t()>(
+                          [link] { return link->flushFlitOutbox(); })
+                    : std::function<std::uint64_t()>(
+                          [link] { return link->flushCreditOutbox(); }));
+        }
+        executor.run(cap);
+        shard_stats = executor.stats();
+    }
 
     ExperimentResult result;
-    result.truncated = !simulator.queue().empty();
+    for (sim::Simulator* shard : sims)
+        result.truncated |= !shard->queue().empty();
     if (result.truncated) {
         sim::warn("runExperiment: truncated at %s with %llu flits of "
                   "host backlog",
-                  sim::formatTime(simulator.now()).c_str(),
+                  sim::formatTime(cap).c_str(),
                   static_cast<unsigned long long>(
                       net.totalBacklogFlits()));
         // Unhook pending events so components tear down cleanly.
-        simulator.queue().clear();
+        for (sim::Simulator* shard : sims)
+            shard->queue().clear();
     }
 
     const auto& frames = metrics.frames();
@@ -175,15 +234,32 @@ runExperiment(const ExperimentConfig& cfg)
     result.framesDelivered = frames.framesDelivered();
     result.beMessages = metrics.beMessages();
     result.flitsDelivered = metrics.flitsDelivered();
-    result.eventsFired = simulator.eventsFired();
+    result.eventsFired = 0;
+    for (sim::Simulator* shard : sims)
+        result.eventsFired += shard->eventsFired();
     result.rtStreams = static_cast<int>(plan.streams.size());
     result.streamsPerNode = plan.streamsPerNode;
-    result.simulatedMs = sim::toMilliseconds(simulator.now());
+    // Simulator::run(cap) leaves every shard's clock at the cap, so
+    // this matches the single-threaded figure exactly.
+    result.simulatedMs = sim::toMilliseconds(cap);
 
-    if (telemetry != nullptr) {
+    if (!telemetry.empty()) {
         observations->hasTelemetry = true;
-        observations->telemetry = telemetry->finish(simulator.now());
+        std::vector<obs::TelemetryReport> reports;
+        reports.reserve(telemetry.size());
+        for (auto& collector : telemetry)
+            reports.push_back(collector->finish(cap));
+        observations->telemetry =
+            obs::StreamTelemetry::merge(std::move(reports));
         observations->telemetry.timeScale = cfg.timeScale;
+    }
+    if (!shard_stats.empty()) {
+        if (observations == nullptr) {
+            observations = std::make_shared<obs::RunObservations>(
+                cfg.obs.flightRecorderCapacity);
+        }
+        observations->hasShards = true;
+        observations->shards = std::move(shard_stats);
     }
     result.observations = std::move(observations);
     result.bounds = std::move(bounds);

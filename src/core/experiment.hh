@@ -50,6 +50,18 @@ struct ExperimentConfig
     sim::Tick maxSimTime = 0;
 
     /**
+     * Shard count for conservative-parallel execution (sim/pdes.hh):
+     * the mesh is cut into contiguous router strips, each run on its
+     * own thread, synchronized with the link latency as lookahead.
+     * 1 (default) is the classic single-threaded run; 0 picks one
+     * shard per hardware thread. Clamped to the router count, and a
+     * single switch always runs on one shard. Any value produces
+     * bit-identical results - deterministicHash does not depend on
+     * it (tests/test_pdes.cc enforces this).
+     */
+    int shards = 1;
+
+    /**
      * Observability: per-stream telemetry, flight recorder, event
      * trace. All off by default; enabling any of them changes no
      * deterministic output (see obs/observer.hh). A telemetry window

@@ -1,5 +1,6 @@
 #include "core/sweep.hh"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "campaign/artifact.hh"
@@ -37,6 +38,9 @@ Sweep::run(const Progress& progress)
     ccfg.jobs = jobs_;
     ccfg.replications = replications_;
     ccfg.rootSeed = base_.seed;
+    // shards=0 (auto) resolves per run inside runExperiment; budget
+    // the pool for at least one thread per job in that case.
+    ccfg.shardsPerJob = std::max(1, base_.shards);
     campaign_ = campaign::Campaign(ccfg);
 
     for (const Point& point : points_) {

@@ -64,8 +64,18 @@ class Sweep
         replications_ = replications;
     }
 
+    /**
+     * Shards per experiment (ExperimentConfig::shards) for every
+     * point; also tells the campaign's jobs=0 heuristic to budget
+     * hardware threads as jobs x shards (campaign.hh). Default 1;
+     * 0 = one shard per hardware thread. Deterministic outputs are
+     * shard-count invariant.
+     */
+    void setShards(int shards) { base_.shards = shards; }
+
     int jobs() const { return jobs_; }
     int replications() const { return replications_; }
+    int shards() const { return base_.shards; }
 
     /** One completed point. */
     struct Row

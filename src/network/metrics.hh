@@ -5,16 +5,34 @@
  * deviation sigma_d for CBR/VBR streams, and average latency for
  * best-effort traffic.
  *
+ * Measurements accumulate in one MetricsLane per sink node and the
+ * hub's accessors merge the lanes in ascending node order on demand.
+ * The fixed merge order makes every aggregate - including the
+ * floating-point means and variances - a pure function of what each
+ * node observed, independent of how record calls from different
+ * nodes interleaved. That is what lets conservative-parallel shards
+ * (sim/pdes.hh) write their own nodes' lanes concurrently and still
+ * reproduce the single-threaded results bit for bit.
+ *
+ * Measurement gating is a time threshold (enable()): a record counts
+ * when it happens - or, for latencies, when its message was injected
+ * - at or after the threshold. The threshold is set before the run
+ * and only read during it, so it needs no event and no
+ * synchronization.
+ *
  * Optionally forwards delivery observations to an attached
- * obs::StreamTelemetry collector (per-stream sliding windows). The
- * forwarding is a null-pointer check when nothing is attached, and
- * compiles out entirely under -DMEDIAWORM_NO_OBS.
+ * obs::StreamTelemetry collector per lane (per-stream sliding
+ * windows). The forwarding is a null-pointer check when nothing is
+ * attached, and compiles out entirely under -DMEDIAWORM_NO_OBS.
  */
 
 #ifndef MEDIAWORM_NETWORK_METRICS_HH
 #define MEDIAWORM_NETWORK_METRICS_HH
 
 #include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
 
 #include "sim/ids.hh"
 #include "sim/time.hh"
@@ -33,32 +51,37 @@ class StreamTelemetry;
 
 namespace mediaworm::network {
 
-/** Shared by every NI sink; aggregates delivery measurements. */
-class MetricsHub
+class MetricsHub;
+
+/** One sink node's measurement accumulators (see MetricsHub). */
+class MetricsLane
 {
   public:
-    MetricsHub() = default;
+    explicit MetricsLane(const MetricsHub* hub) : hub_(hub) {}
+
+    /** Records delivery of a complete video frame. */
+    void recordFrameDelivery(sim::StreamId stream, sim::Tick now);
+
+    /** Records delivery of a real-time message. */
+    void recordRtMessage(sim::StreamId stream, sim::Tick inject_time,
+                         sim::Tick now);
 
     /**
-     * Starts measurement at @p now. Frame intervals spanning the
-     * boundary and best-effort messages injected before it are
-     * excluded (steady-state measurement after warmup).
+     * Records delivery of a best-effort message.
+     *
+     * @param inject_time Message creation time at the host.
+     * @param network_enter_time When the tail flit left the NI.
+     * @param now Tail delivery time.
      */
-    void
-    enable(sim::Tick now)
-    {
-        frames_.enable();
-        enableTime_ = now;
-        enabled_ = true;
-    }
+    void recordBeMessage(sim::Tick inject_time,
+                         sim::Tick network_enter_time, sim::Tick now);
 
-    /** True once enable() ran. */
-    bool enabled() const { return enabled_; }
+    /** Counts one delivered flit (any class). */
+    void recordFlit(sim::StreamId stream, sim::Tick now);
 
     /**
-     * Attaches a per-stream telemetry collector; deliveries are
-     * forwarded until detached (pass nullptr). The hub does not own
-     * the collector. No-op under MEDIAWORM_NO_OBS.
+     * Attaches a per-stream telemetry collector to this lane; pass
+     * nullptr to detach. No-op under MEDIAWORM_NO_OBS.
      */
     void
     attachTelemetry([[maybe_unused]] obs::StreamTelemetry* telemetry)
@@ -68,109 +91,10 @@ class MetricsHub
 #endif
     }
 
-    /** Records delivery of a complete video frame. */
-    void
-    recordFrameDelivery(sim::StreamId stream, sim::Tick now)
-    {
-        frames_.recordDelivery(stream, now);
-#ifndef MEDIAWORM_NO_OBS
-        if (telemetry_ != nullptr)
-            telemetry_->recordFrameDelivery(stream, now);
-#endif
-    }
-
-    /** Records delivery of a real-time message. */
-    void
-    recordRtMessage([[maybe_unused]] sim::StreamId stream,
-                    sim::Tick inject_time, sim::Tick now)
-    {
-        ++rtMessages_;
-        if (enabled_ && inject_time >= enableTime_) {
-            rtMessageLatency_.add(
-                sim::toMicroseconds(now - inject_time));
-        }
-#ifndef MEDIAWORM_NO_OBS
-        if (telemetry_ != nullptr) {
-            telemetry_->recordMessageDelay(
-                stream, sim::toMicroseconds(now - inject_time));
-        }
-#endif
-    }
-
-    /**
-     * Records delivery of a best-effort message.
-     *
-     * @param inject_time Message creation time at the host.
-     * @param network_enter_time When the tail flit left the NI.
-     * @param now Tail delivery time.
-     */
-    void
-    recordBeMessage(sim::Tick inject_time, sim::Tick network_enter_time,
-                    sim::Tick now)
-    {
-        ++beMessages_;
-        if (enabled_ && inject_time >= enableTime_) {
-            const double total_us =
-                sim::toMicroseconds(now - inject_time);
-            beLatency_.add(total_us);
-            beLatencyHistogram_.add(total_us);
-            beNetworkLatency_.add(
-                sim::toMicroseconds(now - network_enter_time));
-        }
-    }
-
-    /** Counts one delivered flit (any class). */
-    void
-    recordFlit([[maybe_unused]] sim::StreamId stream,
-               [[maybe_unused]] sim::Tick now)
-    {
-        ++flitsDelivered_;
-#ifndef MEDIAWORM_NO_OBS
-        if (telemetry_ != nullptr)
-            telemetry_->recordFlit(stream, now);
-#endif
-    }
-
-    /** Frame delivery-interval statistics. */
-    const stats::IntervalTracker& frames() const { return frames_; }
-
-    /** Best-effort message latency in microseconds (host to sink). */
-    const stats::Accumulator& beLatency() const { return beLatency_; }
-
-    /** Best-effort in-network latency (NI exit to sink). */
-    const stats::Accumulator&
-    beNetworkLatency() const
-    {
-        return beNetworkLatency_;
-    }
-
-    /**
-     * Best-effort total-latency distribution (10 us buckets up to
-     * 50 ms; tail quantiles via quantile()).
-     */
-    const stats::Histogram&
-    beLatencyHistogram() const
-    {
-        return beLatencyHistogram_;
-    }
-
-    /** Real-time message latency in microseconds. */
-    const stats::Accumulator&
-    rtMessageLatency() const
-    {
-        return rtMessageLatency_;
-    }
-
-    /** Total best-effort messages delivered (measured or not). */
-    std::uint64_t beMessages() const { return beMessages_; }
-
-    /** Total real-time messages delivered (measured or not). */
-    std::uint64_t rtMessages() const { return rtMessages_; }
-
-    /** Total flits delivered to sinks. */
-    std::uint64_t flitsDelivered() const { return flitsDelivered_; }
-
   private:
+    friend class MetricsHub;
+
+    const MetricsHub* hub_;
     stats::IntervalTracker frames_;
     stats::Accumulator beLatency_;
     stats::Accumulator beNetworkLatency_;
@@ -179,12 +103,205 @@ class MetricsHub
     std::uint64_t beMessages_ = 0;
     std::uint64_t rtMessages_ = 0;
     std::uint64_t flitsDelivered_ = 0;
-    sim::Tick enableTime_ = 0;
-    bool enabled_ = false;
 #ifndef MEDIAWORM_NO_OBS
     obs::StreamTelemetry* telemetry_ = nullptr;
 #endif
 };
+
+/** Shared by every NI sink; aggregates delivery measurements. */
+class MetricsHub
+{
+  public:
+    MetricsHub() = default;
+
+    MetricsHub(const MetricsHub&) = delete;
+    MetricsHub& operator=(const MetricsHub&) = delete;
+
+    /**
+     * Starts measurement at @p now. Frame intervals spanning the
+     * boundary and messages injected before it are excluded
+     * (steady-state measurement after warmup). May be called before
+     * the simulation reaches @p now; gating is by timestamp, not by
+     * call time.
+     */
+    void enable(sim::Tick now) { measureFrom_ = now; }
+
+    /** True once enable() ran. */
+    bool enabled() const { return measureFrom_ != kDisabled; }
+
+    /** Measurement threshold; effectively +infinity until enable(). */
+    sim::Tick measureFrom() const { return measureFrom_; }
+
+    /**
+     * Node @p node 's lane, created on first use (single-threaded
+     * construction time only; during a sharded run each shard must
+     * touch only its own nodes' pre-created lanes).
+     */
+    MetricsLane&
+    lane(int node)
+    {
+        const auto index = static_cast<std::size_t>(node);
+        if (index >= lanes_.size())
+            growLanes(index + 1);
+        return *lanes_[index];
+    }
+
+    /** Number of lanes created so far. */
+    int numLanes() const { return static_cast<int>(lanes_.size()); }
+
+    /**
+     * Attaches a telemetry collector to every current and future
+     * lane (single-collector convenience; sharded runs attach one
+     * collector per shard via lane().attachTelemetry). The hub does
+     * not own the collector. No-op under MEDIAWORM_NO_OBS.
+     */
+    void
+    attachTelemetry([[maybe_unused]] obs::StreamTelemetry* telemetry)
+    {
+#ifndef MEDIAWORM_NO_OBS
+        defaultTelemetry_ = telemetry;
+        for (auto& lane : lanes_)
+            lane->attachTelemetry(telemetry);
+#endif
+    }
+
+    // Single-sink convenience recorders (lane 0): used by models
+    // with one delivery point (PCS) and by unit tests.
+    void
+    recordFrameDelivery(sim::StreamId stream, sim::Tick now)
+    {
+        lane(0).recordFrameDelivery(stream, now);
+    }
+
+    void
+    recordRtMessage(sim::StreamId stream, sim::Tick inject_time,
+                    sim::Tick now)
+    {
+        lane(0).recordRtMessage(stream, inject_time, now);
+    }
+
+    void
+    recordBeMessage(sim::Tick inject_time, sim::Tick network_enter_time,
+                    sim::Tick now)
+    {
+        lane(0).recordBeMessage(inject_time, network_enter_time, now);
+    }
+
+    void
+    recordFlit(sim::StreamId stream, sim::Tick now)
+    {
+        lane(0).recordFlit(stream, now);
+    }
+
+    // Merged read-side accessors. Each call re-merges the lanes in
+    // ascending node order - cheap at end-of-run reporting scale,
+    // deterministic regardless of how the run was sharded. The
+    // returned reference is invalidated by the next accessor call.
+
+    /** Frame delivery-interval statistics. */
+    const stats::IntervalTracker& frames() const;
+
+    /** Best-effort message latency in microseconds (host to sink). */
+    const stats::Accumulator& beLatency() const;
+
+    /** Best-effort in-network latency (NI exit to sink). */
+    const stats::Accumulator& beNetworkLatency() const;
+
+    /**
+     * Best-effort total-latency distribution (10 us buckets up to
+     * 50 ms; tail quantiles via quantile()).
+     */
+    const stats::Histogram& beLatencyHistogram() const;
+
+    /** Real-time message latency in microseconds. */
+    const stats::Accumulator& rtMessageLatency() const;
+
+    /** Total best-effort messages delivered (measured or not). */
+    std::uint64_t beMessages() const;
+
+    /** Total real-time messages delivered (measured or not). */
+    std::uint64_t rtMessages() const;
+
+    /** Total flits delivered to sinks. */
+    std::uint64_t flitsDelivered() const;
+
+  private:
+    static constexpr sim::Tick kDisabled =
+        std::numeric_limits<sim::Tick>::max();
+
+    void growLanes(std::size_t count);
+
+    std::vector<std::unique_ptr<MetricsLane>> lanes_;
+    sim::Tick measureFrom_ = kDisabled;
+#ifndef MEDIAWORM_NO_OBS
+    obs::StreamTelemetry* defaultTelemetry_ = nullptr;
+#endif
+
+    /** Scratch for the merged views; rebuilt by each accessor. */
+    struct Merged
+    {
+        stats::IntervalTracker frames;
+        stats::Accumulator beLatency;
+        stats::Accumulator beNetworkLatency;
+        stats::Histogram beLatencyHistogram{0.0, 50000.0, 5000};
+        stats::Accumulator rtMessageLatency;
+    };
+    mutable Merged merged_;
+};
+
+// --- MetricsLane inline recorders (hot path) -------------------------------
+
+inline void
+MetricsLane::recordFrameDelivery(sim::StreamId stream, sim::Tick now)
+{
+    if (!frames_.enabled() && now >= hub_->measureFrom())
+        frames_.enable();
+    frames_.recordDelivery(stream, now);
+#ifndef MEDIAWORM_NO_OBS
+    if (telemetry_ != nullptr)
+        telemetry_->recordFrameDelivery(stream, now);
+#endif
+}
+
+inline void
+MetricsLane::recordRtMessage([[maybe_unused]] sim::StreamId stream,
+                             sim::Tick inject_time, sim::Tick now)
+{
+    ++rtMessages_;
+    if (inject_time >= hub_->measureFrom())
+        rtMessageLatency_.add(sim::toMicroseconds(now - inject_time));
+#ifndef MEDIAWORM_NO_OBS
+    if (telemetry_ != nullptr) {
+        telemetry_->recordMessageDelay(
+            stream, sim::toMicroseconds(now - inject_time));
+    }
+#endif
+}
+
+inline void
+MetricsLane::recordBeMessage(sim::Tick inject_time,
+                             sim::Tick network_enter_time, sim::Tick now)
+{
+    ++beMessages_;
+    if (inject_time >= hub_->measureFrom()) {
+        const double total_us = sim::toMicroseconds(now - inject_time);
+        beLatency_.add(total_us);
+        beLatencyHistogram_.add(total_us);
+        beNetworkLatency_.add(
+            sim::toMicroseconds(now - network_enter_time));
+    }
+}
+
+inline void
+MetricsLane::recordFlit([[maybe_unused]] sim::StreamId stream,
+                        [[maybe_unused]] sim::Tick now)
+{
+    ++flitsDelivered_;
+#ifndef MEDIAWORM_NO_OBS
+    if (telemetry_ != nullptr)
+        telemetry_->recordFlit(stream, now);
+#endif
+}
 
 } // namespace mediaworm::network
 

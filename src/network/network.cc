@@ -20,9 +20,22 @@ Network::Network(sim::Simulator& simulator,
                  const config::RouterConfig& router_cfg,
                  const config::NetworkConfig& net_cfg,
                  MetricsHub& metrics, sim::Rng& rng)
-    : simulator_(simulator), routerCfg_(router_cfg), netCfg_(net_cfg),
-      metrics_(metrics), rng_(&rng)
+    : Network(std::vector<sim::Simulator*>{&simulator}, ShardPlan{},
+              router_cfg, net_cfg, metrics, rng)
 {
+}
+
+Network::Network(std::vector<sim::Simulator*> shard_sims,
+                 const ShardPlan& plan,
+                 const config::RouterConfig& router_cfg,
+                 const config::NetworkConfig& net_cfg,
+                 MetricsHub& metrics, sim::Rng& rng)
+    : sims_(std::move(shard_sims)), plan_(plan), routerCfg_(router_cfg),
+      netCfg_(net_cfg), metrics_(metrics), rng_(&rng)
+{
+    MW_ASSERT(!sims_.empty());
+    MW_ASSERT(static_cast<int>(sims_.size()) == plan_.numShards
+              || (plan_.trivial() && sims_.size() == 1));
     routerCfg_.validate();
     netCfg_.validate(routerCfg_.numPorts);
     linkDelay_ =
@@ -30,33 +43,58 @@ Network::Network(sim::Simulator& simulator,
                                + routerCfg_.outputCycles)
         * routerCfg_.cycleTime();
 
-    if (netCfg_.topology == config::TopologyKind::SingleSwitch)
+    if (netCfg_.topology == config::TopologyKind::SingleSwitch) {
+        MW_ASSERT(plan_.trivial());
         buildSingleSwitch();
-    else
+    } else {
         buildFatMesh();
+    }
+}
+
+sim::Simulator&
+Network::simOfRouter(int r) const
+{
+    return *sims_[static_cast<std::size_t>(plan_.shardOfRouter(r))];
 }
 
 router::Link&
-Network::newLink(const std::string& name)
+Network::newLink(const std::string& name, int sender_router,
+                 int receiver_router)
 {
-    links_.push_back(std::make_unique<router::Link>(simulator_,
-                                                    linkDelay_, name));
-    return *links_.back();
+    // Canonical channel keys in link-creation order: the same keys
+    // in every execution mode, so same-tick link deliveries merge
+    // identically whether the link is intra- or cross-shard.
+    links_.push_back(std::make_unique<router::Link>(
+        simOfRouter(sender_router), linkDelay_, name,
+        router::ChannelIds::forLinkIndex(links_.size())));
+    router::Link& link = *links_.back();
+
+    const int sender_shard = plan_.shardOfRouter(sender_router);
+    const int receiver_shard = plan_.shardOfRouter(receiver_router);
+    link.bindShards(simOfRouter(sender_router),
+                    simOfRouter(receiver_router));
+    if (sender_shard != receiver_shard) {
+        crossChannels_.push_back({&link, true, receiver_shard});
+        crossChannels_.push_back({&link, false, sender_shard});
+    }
+    return link;
 }
 
 void
-Network::attachEndpoint(router::WormholeRouter& sw, int port, int node)
+Network::attachEndpoint(router::WormholeRouter& sw, int sw_index,
+                        int port, int node)
 {
     auto ni = std::make_unique<NetworkInterface>(
-        simulator_, sim::NodeId(node), routerCfg_, metrics_,
+        simOfRouter(sw_index), sim::NodeId(node), routerCfg_, metrics_,
         "ni" + std::to_string(node));
 
     router::Link& inj =
-        newLink("inj" + std::to_string(node));
+        newLink("inj" + std::to_string(node), sw_index, sw_index);
     sw.connectInputLink(port, inj);
     ni->connectInjectionLink(inj, routerCfg_.flitBufferDepth);
 
-    router::Link& ej = newLink("ej" + std::to_string(node));
+    router::Link& ej =
+        newLink("ej" + std::to_string(node), sw_index, sw_index);
     sw.connectOutputLink(port, ej, kSinkCredits);
     ni->connectEjectionLink(ej);
 
@@ -68,13 +106,14 @@ void
 Network::buildSingleSwitch()
 {
     auto sw = std::make_unique<router::WormholeRouter>(
-        simulator_, routerCfg_, "router0");
+        *sims_[0], routerCfg_, "router0");
 
+    routers_.push_back(std::move(sw));
     for (int p = 0; p < routerCfg_.numPorts; ++p)
-        attachEndpoint(*sw, p, p);
+        attachEndpoint(*routers_[0], 0, p, p);
 
     // One endpoint per port: the destination id is the output port.
-    sw->setRouteFunction([](sim::NodeId dest) {
+    routers_[0]->setRouteFunction([](sim::NodeId dest) {
         return router::RouteCandidates::single(dest.value());
     });
     // Static topology: precompute the table so headers route with an
@@ -84,9 +123,7 @@ Network::buildSingleSwitch()
     for (int node = 0; node < routerCfg_.numPorts; ++node)
         table[static_cast<std::size_t>(node)] =
             router::RouteCandidates::single(node);
-    sw->setRouteTable(std::move(table));
-
-    routers_.push_back(std::move(sw));
+    routers_[0]->setRouteTable(std::move(table));
 }
 
 void
@@ -105,7 +142,7 @@ Network::buildFatMesh()
 
     for (int s = 0; s < num_switches; ++s) {
         routers_.push_back(std::make_unique<router::WormholeRouter>(
-            simulator_, routerCfg_, "router" + std::to_string(s)));
+            simOfRouter(s), routerCfg_, "router" + std::to_string(s)));
         const int x = s % width;
         const int y = s / width;
         int next_port = eps;
@@ -126,7 +163,7 @@ Network::buildFatMesh()
     // Endpoints: node n lives on switch n / eps at port n % eps.
     for (int s = 0; s < num_switches; ++s) {
         for (int e = 0; e < eps; ++e) {
-            attachEndpoint(*routers_[static_cast<std::size_t>(s)], e,
+            attachEndpoint(*routers_[static_cast<std::size_t>(s)], s, e,
                            s * eps + e);
         }
     }
@@ -143,7 +180,9 @@ Network::buildFatMesh()
                         [static_cast<std::size_t>(td)] + k;
             router::Link& link = newLink(
                 "sw" + std::to_string(s) + "p" + std::to_string(sp)
-                + "-sw" + std::to_string(t) + "p" + std::to_string(tp));
+                    + "-sw" + std::to_string(t) + "p"
+                    + std::to_string(tp),
+                s, t);
             routers_[static_cast<std::size_t>(s)]->connectOutputLink(
                 sp, link, routerCfg_.flitBufferDepth);
             routers_[static_cast<std::size_t>(t)]->connectInputLink(
@@ -170,7 +209,15 @@ Network::buildFatMesh()
         const int y = s / width;
         const auto& ports = dir_port[static_cast<std::size_t>(s)];
         const config::FatLinkPolicy policy = netCfg_.fatLinkPolicy;
+        // The Random policy draws per routed header at run time;
+        // give each switch its own split so the draws stay inside
+        // the switch's shard (construction-order deterministic).
         sim::Rng* rng = rng_;
+        if (policy == config::FatLinkPolicy::Random) {
+            routeRngs_.push_back(
+                std::make_unique<sim::Rng>(rng_->split()));
+            rng = routeRngs_.back().get();
+        }
         auto route =
             [=, this](sim::NodeId dest) -> router::RouteCandidates {
                 const int dest_switch = dest.value() / eps;
@@ -234,6 +281,18 @@ Network::switchOfNode(int node) const
     if (netCfg_.topology == config::TopologyKind::SingleSwitch)
         return 0;
     return node / netCfg_.endpointsPerSwitch;
+}
+
+sim::Tick
+Network::minCrossShardDelay() const
+{
+    sim::Tick min_delay = sim::kTickNever;
+    for (const CrossChannel& channel : crossChannels_) {
+        if (min_delay == sim::kTickNever
+            || channel.link->delay() < min_delay)
+            min_delay = channel.link->delay();
+    }
+    return min_delay;
 }
 
 std::uint64_t

@@ -4,6 +4,13 @@
  * into the two systems the paper evaluates - a single switch with one
  * endpoint per port, and a k x k fat-mesh with parallel inter-switch
  * links and multiple endpoints per switch (Section 3.4).
+ *
+ * Construction is shard-aware: given a ShardPlan, each router (with
+ * its endpoints' NIs and their injection/ejection links) is built on
+ * its shard's Simulator, and every inter-switch link whose ends live
+ * on different shards is bound as a cross-shard channel pair (see
+ * router/link.hh). The classic single-Simulator constructor is the
+ * trivial plan.
  */
 
 #ifndef MEDIAWORM_NETWORK_NETWORK_HH
@@ -17,6 +24,7 @@
 #include "config/router_config.hh"
 #include "network/metrics.hh"
 #include "network/network_interface.hh"
+#include "network/partition.hh"
 #include "router/link.hh"
 #include "router/wormhole_router.hh"
 #include "sim/random.hh"
@@ -29,8 +37,19 @@ namespace mediaworm::network {
 class Network
 {
   public:
+    /** One direction of a link that crosses shards: the channel's
+     *  consumer shard drains it at PDES epoch boundaries. */
+    struct CrossChannel
+    {
+        router::Link* link;
+        /** True for the flit channel, false for the credit one. */
+        bool isFlit;
+        int consumerShard;
+    };
+
     /**
-     * Builds and wires the configured topology.
+     * Builds and wires the configured topology on one kernel (the
+     * classic single-threaded run; trivial shard plan).
      *
      * @param simulator Owning kernel.
      * @param router_cfg Per-router hardware configuration.
@@ -39,6 +58,19 @@ class Network
      * @param rng Random stream (used by the Random fat-link policy).
      */
     Network(sim::Simulator& simulator,
+            const config::RouterConfig& router_cfg,
+            const config::NetworkConfig& net_cfg, MetricsHub& metrics,
+            sim::Rng& rng);
+
+    /**
+     * Builds the topology across shards: router r and everything
+     * attached to it live on shard_sims[plan.shardOfRouter(r)].
+     *
+     * @param shard_sims One Simulator per shard; must outlive the
+     *        network. plan.numShards must match its size.
+     */
+    Network(std::vector<sim::Simulator*> shard_sims,
+            const ShardPlan& plan,
             const config::RouterConfig& router_cfg,
             const config::NetworkConfig& net_cfg, MetricsHub& metrics,
             sim::Rng& rng);
@@ -72,6 +104,37 @@ class Network
     /** The switch that hosts endpoint @p node. */
     int switchOfNode(int node) const;
 
+    /** The shard that owns endpoint @p node. */
+    int
+    shardOfNode(int node) const
+    {
+        return plan_.shardOfRouter(switchOfNode(node));
+    }
+
+    /** The Simulator that owns endpoint @p node (traffic sources
+     *  for the node must schedule on it). */
+    sim::Simulator&
+    simOfNode(int node) const
+    {
+        return *sims_[static_cast<std::size_t>(shardOfNode(node))];
+    }
+
+    /** The shard plan this network was built with. */
+    const ShardPlan& plan() const { return plan_; }
+
+    /** Link channels that cross shards (PDES mailboxes). */
+    const std::vector<CrossChannel>&
+    crossChannels() const
+    {
+        return crossChannels_;
+    }
+
+    /**
+     * Minimum delay among cross-shard links: the conservative
+     * lookahead window. kTickNever when nothing crosses shards.
+     */
+    sim::Tick minCrossShardDelay() const;
+
     /** Total host-side injection backlog, for drain diagnostics. */
     std::uint64_t totalBacklogFlits() const;
 
@@ -88,10 +151,14 @@ class Network
     void buildSingleSwitch();
     void buildFatMesh();
 
-    router::Link& newLink(const std::string& name);
-    void attachEndpoint(router::WormholeRouter& sw, int port, int node);
+    sim::Simulator& simOfRouter(int r) const;
+    router::Link& newLink(const std::string& name, int sender_router,
+                          int receiver_router);
+    void attachEndpoint(router::WormholeRouter& sw, int sw_index,
+                        int port, int node);
 
-    sim::Simulator& simulator_;
+    std::vector<sim::Simulator*> sims_;
+    ShardPlan plan_;
     config::RouterConfig routerCfg_;
     config::NetworkConfig netCfg_;
     MetricsHub& metrics_;
@@ -101,6 +168,10 @@ class Network
     std::vector<std::unique_ptr<router::WormholeRouter>> routers_;
     std::vector<std::unique_ptr<NetworkInterface>> nis_;
     std::vector<std::unique_ptr<router::Link>> links_;
+    /** Per-switch RNGs for the Random fat-link policy: route draws
+     *  must stay shard-local, so each switch owns a split. */
+    std::vector<std::unique_ptr<sim::Rng>> routeRngs_;
+    std::vector<CrossChannel> crossChannels_;
 };
 
 } // namespace mediaworm::network

@@ -8,8 +8,9 @@ NetworkInterface::NetworkInterface(sim::Simulator& simulator,
                                    sim::NodeId node,
                                    const config::RouterConfig& cfg,
                                    MetricsHub& metrics, std::string name)
-    : simulator_(simulator), node_(node), cfg_(cfg), metrics_(metrics),
-      name_(std::move(name)), cycleTime_(cfg.cycleTime()),
+    : simulator_(simulator), node_(node), cfg_(cfg),
+      lane_(&metrics.lane(node.value())), name_(std::move(name)),
+      cycleTime_(cfg.cycleTime()),
       vcs_(static_cast<std::size_t>(cfg.numVcs)),
       muxEvent_(this, "NetworkInterface::mux")
 {
@@ -104,17 +105,17 @@ NetworkInterface::receiveFlit(const router::Flit& flit, int vc)
                          flit.message, flit.index, node_.value(), -1,
                          vc});
     }
-    metrics_.recordFlit(flit.stream, now);
+    lane_->recordFlit(flit.stream, now);
     if (!flit.isTail())
         return;
     if (flit.cls == router::TrafficClass::BestEffort) {
-        metrics_.recordBeMessage(flit.injectTime,
-                                 flit.networkEnterTime, now);
+        lane_->recordBeMessage(flit.injectTime,
+                               flit.networkEnterTime, now);
         return;
     }
-    metrics_.recordRtMessage(flit.stream, flit.injectTime, now);
+    lane_->recordRtMessage(flit.stream, flit.injectTime, now);
     if (flit.endOfFrame)
-        metrics_.recordFrameDelivery(flit.stream, now);
+        lane_->recordFrameDelivery(flit.stream, now);
 }
 
 void

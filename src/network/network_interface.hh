@@ -109,7 +109,9 @@ class NetworkInterface final : public traffic::Injector,
     sim::Simulator& simulator_;
     sim::NodeId node_;
     config::RouterConfig cfg_;
-    MetricsHub& metrics_;
+    /** This node's measurement lane, resolved once: during a sharded
+     *  run only this shard touches it, so recording needs no locks. */
+    MetricsLane* lane_;
     std::string name_;
     sim::Tick cycleTime_;
 

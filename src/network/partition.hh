@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Topology partitioner for conservative-parallel execution: maps
+ * every router (and with it, its attached endpoints and their NIs)
+ * to a shard. Links between routers of different shards become the
+ * cross-shard mailboxes the PDES executor synchronizes on
+ * (sim/pdes.hh, router/link.hh).
+ */
+
+#ifndef MEDIAWORM_NETWORK_PARTITION_HH
+#define MEDIAWORM_NETWORK_PARTITION_HH
+
+#include <vector>
+
+#include "config/network_config.hh"
+
+namespace mediaworm::network {
+
+/** Router-to-shard assignment for one topology. */
+struct ShardPlan
+{
+    /** Shard count; 1 means the classic single-threaded run. */
+    int numShards = 1;
+
+    /** routerShard[r] = shard of router r; empty means all on 0. */
+    std::vector<int> routerShard;
+
+    /** Shard owning router @p r. */
+    int
+    shardOfRouter(int r) const
+    {
+        return routerShard.empty()
+            ? 0
+            : routerShard[static_cast<std::size_t>(r)];
+    }
+
+    /** True for the single-shard (classic) plan. */
+    bool trivial() const { return numShards <= 1; }
+};
+
+/**
+ * Plans a shard assignment for @p net.
+ *
+ * @param requested_shards Shard count from configuration: >= 1 is
+ *        clamped to the router count; 0 asks for the auto heuristic
+ *        (one shard per hardware thread, clamped likewise).
+ * @param hardware_threads std::thread::hardware_concurrency(), or
+ *        any cap the caller wants the heuristic to respect.
+ *
+ * A single switch always yields one shard (there is nothing to
+ * cut). A fat mesh is cut into contiguous row-major strips of
+ * near-equal router count: row-major strips keep most mesh links
+ * internal while the strip boundaries carry the cross-shard
+ * channels, whose link delay is the synchronization lookahead.
+ */
+ShardPlan planShards(const config::NetworkConfig& net,
+                     int requested_shards, unsigned hardware_threads);
+
+} // namespace mediaworm::network
+
+#endif // MEDIAWORM_NETWORK_PARTITION_HH

@@ -22,8 +22,10 @@
 #define MEDIAWORM_OBS_OBSERVER_HH
 
 #include <cstddef>
+#include <vector>
 
 #include "obs/telemetry.hh"
+#include "sim/pdes.hh"
 #include "sim/tracer.hh"
 
 namespace mediaworm::obs {
@@ -73,6 +75,12 @@ struct RunObservations
      *  recorder requested); the ring holds the recent events. */
     bool hasTrace = false;
     sim::Tracer trace;
+
+    /** True when the run executed on >1 shard; shards then holds one
+     *  entry per shard (queue occupancy high-water marks, mailbox
+     *  traffic, and time blocked on the lookahead barriers). */
+    bool hasShards = false;
+    std::vector<sim::ShardRunStats> shards;
 };
 
 } // namespace mediaworm::obs

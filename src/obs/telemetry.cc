@@ -132,6 +132,7 @@ StreamTelemetry::finish(sim::Tick end)
 
     TelemetryReport report;
     report.window = cfg_.window;
+    report.flitSizeBits = cfg_.flitSizeBits;
 
     std::vector<sim::StreamId> ids;
     ids.reserve(streams_.size());
@@ -165,6 +166,110 @@ StreamTelemetry::finish(sim::Tick end)
         report.streams.push_back(std::move(series));
     }
     return report;
+}
+
+TelemetryReport
+StreamTelemetry::merge(std::vector<TelemetryReport> parts)
+{
+    MW_ASSERT(!parts.empty());
+    if (parts.size() == 1)
+        return std::move(parts.front());
+
+    TelemetryReport merged;
+    merged.window = parts.front().window;
+    merged.timeScale = parts.front().timeScale;
+    merged.flitSizeBits = parts.front().flitSizeBits;
+
+    // Per-part cursors over the id-sorted series lists.
+    std::vector<std::size_t> cursor(parts.size(), 0);
+    for (;;) {
+        // Lowest stream id not yet consumed in any part.
+        sim::StreamId id;
+        for (std::size_t p = 0; p < parts.size(); ++p) {
+            if (cursor[p] >= parts[p].streams.size())
+                continue;
+            const sim::StreamId candidate =
+                parts[p].streams[cursor[p]].stream;
+            if (!id.valid() || candidate < id)
+                id = candidate;
+        }
+        if (!id.valid())
+            break;
+
+        std::vector<StreamSeries*> contributors;
+        for (std::size_t p = 0; p < parts.size(); ++p) {
+            if (cursor[p] < parts[p].streams.size()
+                && parts[p].streams[cursor[p]].stream == id)
+                contributors.push_back(
+                    &parts[p].streams[cursor[p]++]);
+        }
+
+        StreamSeries series;
+        series.stream = id;
+        for (StreamSeries* c : contributors) {
+            series.frames += c->frames;
+            series.messages += c->messages;
+            series.worstMessageDelayUs = std::max(
+                series.worstMessageDelayUs, c->worstMessageDelayUs);
+            if (c->intervalCount > 0) {
+                // Frame deliveries of a stream all land at one sink,
+                // so exactly one collector measured its intervals.
+                MW_ASSERT(series.intervalCount == 0);
+                series.intervalCount = c->intervalCount;
+                series.meanIntervalMs = c->meanIntervalMs;
+                series.stddevIntervalMs = c->stddevIntervalMs;
+            }
+        }
+
+        // Merge the window series by windowStart (each contributor's
+        // samples ascend; best-effort streams deliver to sinks on
+        // several shards, so counts add within a window).
+        std::vector<std::size_t> at(contributors.size(), 0);
+        for (;;) {
+            sim::Tick start = sim::kTickNever;
+            for (std::size_t c = 0; c < contributors.size(); ++c) {
+                if (at[c] >= contributors[c]->samples.size())
+                    continue;
+                const sim::Tick s =
+                    contributors[c]->samples[at[c]].windowStart;
+                if (start == sim::kTickNever || s < start)
+                    start = s;
+            }
+            if (start == sim::kTickNever)
+                break;
+            TelemetrySample sample;
+            sample.windowStart = start;
+            sample.windowEnd = start + merged.window;
+            for (std::size_t c = 0; c < contributors.size(); ++c) {
+                if (at[c] >= contributors[c]->samples.size()
+                    || contributors[c]->samples[at[c]].windowStart
+                        != start)
+                    continue;
+                const TelemetrySample& part =
+                    contributors[c]->samples[at[c]++];
+                sample.frames += part.frames;
+                sample.flits += part.flits;
+                if (part.intervalCount > 0) {
+                    MW_ASSERT(sample.intervalCount == 0);
+                    sample.intervalCount = part.intervalCount;
+                    sample.meanIntervalMs = part.meanIntervalMs;
+                    sample.stddevIntervalMs = part.stddevIntervalMs;
+                }
+            }
+            sample.mbps = static_cast<double>(sample.flits)
+                * static_cast<double>(merged.flitSizeBits)
+                / sim::toSeconds(merged.window) / 1e6;
+            series.samples.push_back(sample);
+        }
+
+        if (series.intervalCount >= 2
+            && series.stddevIntervalMs > merged.worstStddevMs) {
+            merged.worstStream = id;
+            merged.worstStddevMs = series.stddevIntervalMs;
+        }
+        merged.streams.push_back(std::move(series));
+    }
+    return merged;
 }
 
 } // namespace mediaworm::obs

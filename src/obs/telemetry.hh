@@ -96,6 +96,9 @@ struct TelemetryReport
     /** Time-scale compression of the run; divide the (scaled) ms
      *  values by this to land on the paper's 33 ms axis. */
     double timeScale = 1.0;
+    /** Flit payload size the bandwidth samples were computed with
+     *  (kept so merged reports can recompute them). */
+    int flitSizeBits = 32;
     /** Per-stream series, sorted by stream id (deterministic). */
     std::vector<StreamSeries> streams;
     /** Stream with the largest overall sigma_d among streams with
@@ -138,6 +141,19 @@ class StreamTelemetry
 
     /** Observations accepted so far (frames + flits). */
     std::uint64_t observations() const { return observations_; }
+
+    /**
+     * Merges per-shard reports (one collector per shard, identical
+     * configs) into the report a single whole-network collector would
+     * have produced. Windows are absolute-aligned in every collector,
+     * so same-window samples of the same stream combine exactly:
+     * frame/flit counts add, bandwidth is recomputed from the summed
+     * flits, and interval statistics come from the one collector that
+     * observed them (a real-time stream sinks at exactly one node,
+     * hence one shard). The worst stream is re-selected over the
+     * merged series.
+     */
+    static TelemetryReport merge(std::vector<TelemetryReport> parts);
 
   private:
     struct StreamState

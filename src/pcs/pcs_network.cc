@@ -68,7 +68,8 @@ PcsNetwork::registerConnection(const Connection& connection)
     links_.push_back(std::make_unique<router::Link>(
         simulator_,
         static_cast<sim::Tick>(cfg_.pathCycles) * cycleTime_,
-        "pcs-conn" + std::to_string(connection.stream.value())));
+        "pcs-conn" + std::to_string(connection.stream.value()),
+        router::ChannelIds::forLinkIndex(links_.size())));
     router::Link& link = *links_.back();
     link.connectReceiver(&destReceivers_[static_cast<std::size_t>(
         connection.dst.value())]);

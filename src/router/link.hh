@@ -8,12 +8,27 @@
  * and delivers in order. Credits flow the other way with the same
  * delay, implementing credit-based flow control between the sender's
  * output unit and the receiver's input buffers.
+ *
+ * A link is also the only place simulation state crosses routers,
+ * which makes it the shard boundary for conservative-parallel runs
+ * (sim/pdes.hh). Each direction is a channel with its own consumer
+ * shard: the flit channel is consumed where the receiver lives, the
+ * credit channel where the sender lives. When the two sides are
+ * bound to different shard Simulators (bindShards), a send appends
+ * to a plain outbox instead of scheduling on the foreign queue; the
+ * consumer shard drains the outbox at the next epoch boundary via
+ * flushFlitOutbox()/flushCreditOutbox(). Channel delivery events
+ * carry canonical tie-break keys (ChannelIds), so their order among
+ * same-tick events is identical whether the link is intra-shard,
+ * cross-shard, or running single-threaded.
  */
 
 #ifndef MEDIAWORM_ROUTER_LINK_HH
 #define MEDIAWORM_ROUTER_LINK_HH
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "router/flit.hh"
 #include "router/ring.hh"
@@ -43,16 +58,52 @@ class CreditReceiver
     virtual void creditReturned(int vc) = 0;
 };
 
+/**
+ * Canonical tie-break keys for a link's two delivery events, unique
+ * across the network (topology builders assign forLinkIndex). The
+ * default (-1) keeps the per-queue schedule counter - fine for
+ * hand-wired unit tests, required to be canonical for any link built
+ * into an experiment topology so sharded runs merge identically.
+ */
+struct ChannelIds
+{
+    std::int64_t flit = -1;
+    std::int64_t credit = -1;
+
+    /** Keys for the @p index 'th link of a network. */
+    static ChannelIds
+    forLinkIndex(std::size_t index)
+    {
+        return {static_cast<std::int64_t>(2 * index),
+                static_cast<std::int64_t>(2 * index + 1)};
+    }
+};
+
 /** Unidirectional physical channel with a credit backchannel. */
 class Link
 {
   public:
     /**
-     * @param simulator The owning simulation kernel.
+     * @param simulator The owning simulation kernel (both sides,
+     *        until bindShards() says otherwise).
      * @param delay One-way propagation delay (both directions).
      * @param name Diagnostic name.
+     * @param ids Canonical delivery-event keys; default keeps the
+     *        dynamic schedule counter.
      */
-    Link(sim::Simulator& simulator, sim::Tick delay, std::string name);
+    Link(sim::Simulator& simulator, sim::Tick delay, std::string name,
+         ChannelIds ids = {});
+
+    /**
+     * Splits the link across shards: the sender's output unit lives
+     * on @p sender, the flit receiver on @p receiver. Requires
+     * canonical ChannelIds when the shards differ. Call during
+     * construction, before any traffic.
+     */
+    void bindShards(sim::Simulator& sender, sim::Simulator& receiver);
+
+    /** True if bindShards() put the two sides on different shards. */
+    bool crossShard() const { return crossShard_; }
 
     /** Attaches the downstream flit consumer. */
     void connectReceiver(FlitReceiver* receiver);
@@ -60,11 +111,25 @@ class Link
     /** Attaches the upstream credit consumer. */
     void connectCreditReceiver(CreditReceiver* receiver);
 
-    /** Sends @p flit on VC @p vc; delivered after the link delay. */
+    /** Sends @p flit on VC @p vc; delivered after the link delay.
+     *  Caller must be on the sender shard. */
     void sendFlit(const Flit& flit, int vc);
 
-    /** Returns one credit for VC @p vc to the sender. */
+    /** Returns one credit for VC @p vc to the sender. Caller must
+     *  be on the receiver shard. */
     void sendCredit(int vc);
+
+    /**
+     * Moves cross-shard flits from the outbox into the delivery
+     * pipe, scheduling on the receiver shard. Called only from the
+     * receiver shard's worker, between PDES epoch barriers.
+     * @return Number of flits moved.
+     */
+    std::uint64_t flushFlitOutbox();
+
+    /** Credit-channel counterpart of flushFlitOutbox(); called from
+     *  the sender shard's worker. @return Credit entries moved. */
+    std::uint64_t flushCreditOutbox();
 
     /** Flits transmitted since the last stats reset. */
     stats::RateMonitor& flitRate() { return flitRate_; }
@@ -97,15 +162,27 @@ class Link
     void deliverFlits();
     void deliverCredits();
 
-    sim::Simulator& simulator_;
+    /** Sender-side clock and credit-delivery queue. */
+    sim::Simulator* senderSim_;
+    /** Receiver-side clock and flit-delivery queue. */
+    sim::Simulator* receiverSim_;
     sim::Tick delay_;
     std::string name_;
+    bool crossShard_ = false;
 
     FlitReceiver* receiver_ = nullptr;
     CreditReceiver* creditReceiver_ = nullptr;
 
     Ring<InFlightFlit> flitPipe_;
     Ring<InFlightCredit> creditPipe_;
+    /**
+     * Cross-shard staging: written by the producer side during a
+     * PDES epoch, drained by the consumer side between the epoch
+     * barriers (which order the accesses); never touched on the
+     * intra-shard fast path.
+     */
+    std::vector<InFlightFlit> flitOutbox_;
+    std::vector<InFlightCredit> creditOutbox_;
     sim::MemberFuncEvent<&Link::deliverFlits> flitEvent_;
     sim::MemberFuncEvent<&Link::deliverCredits> creditEvent_;
 

@@ -49,6 +49,30 @@ class Event
     /** Scheduled firing time; meaningless unless scheduled(). */
     Tick when() const { return when_; }
 
+    /**
+     * Pins this event's tie-break key to @p key forever, instead of
+     * the per-schedule monotone counter. Canonical keys occupy the
+     * range below EventQueue's dynamic counter, so among same-tick
+     * events every canonical-key event fires before every
+     * counter-keyed event, and canonical-key events fire in key
+     * order - a total order that does not depend on schedule-call
+     * order. This is what lets conservative-parallel shards merge
+     * cross-shard link events in the same order the single-threaded
+     * kernel would have used (see sim/pdes.hh).
+     *
+     * Must be called before the first schedule; @p key must be
+     * unique per queue among canonical events that can share a tick.
+     */
+    void
+    setCanonicalSeq(std::uint64_t key)
+    {
+        seq_ = key;
+        canonicalSeq_ = true;
+    }
+
+    /** True if setCanonicalSeq() pinned the tie-break key. */
+    bool hasCanonicalSeq() const { return canonicalSeq_; }
+
   private:
     friend class EventQueue;
 
@@ -69,6 +93,8 @@ class Event
     /** Near-tier bucket list links (meaningful only in the near tier). */
     Event* nearPrev_ = nullptr;
     Event* nearNext_ = nullptr;
+    /** True once setCanonicalSeq() fixed seq_ permanently. */
+    bool canonicalSeq_ = false;
 };
 
 namespace detail {

@@ -45,13 +45,15 @@ EventQueue::tryScheduleNear(Event& event, std::int64_t bucket_number)
     Bucket& bucket =
         buckets_[static_cast<std::size_t>(bucket_number) & kBucketMask];
 
-    // Sorted insert from the tail. The new event carries the largest
-    // seq, so its slot is right after the last event with when_ <=
-    // event.when_; schedules arrive in loosely increasing time order,
-    // making the tail check the dominant case.
+    // Sorted insert from the tail under the full (when, seq) order.
+    // A counter-keyed event carries the largest seq, so for it this
+    // stops at the last event with when_ <= event.when_ - the tail
+    // check is the dominant case; a canonical-key event (seq below
+    // the counter range) may walk past same-tick counter-keyed
+    // events to its key slot.
     Event* at = bucket.tail;
     int scanned = 0;
-    while (at != nullptr && at->when_ > event.when_) {
+    while (at != nullptr && before(event, *at)) {
         if (++scanned > kMaxInsertScan)
             return false; // Awkward insert; the heap takes it.
         at = at->nearPrev_;
@@ -199,7 +201,10 @@ EventQueue::schedule(Event& event, Tick when)
     MW_ASSERT(!event.scheduled());
     MW_ASSERT(when >= 0);
     event.when_ = when;
-    event.seq_ = nextSeq_++;
+    if (event.canonicalSeq_)
+        MW_ASSERT(event.seq_ < kFirstDynamicSeq);
+    else
+        event.seq_ = nextSeq_++;
     if (!tryScheduleNear(event, when >> kBucketShift))
         scheduleFar(event);
 }

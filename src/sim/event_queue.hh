@@ -60,6 +60,15 @@ class EventQueue
      */
     static constexpr int kMaxInsertScan = 16;
 
+    /**
+     * First tie-break value the per-queue monotone counter hands
+     * out. Event::setCanonicalSeq() keys must stay below this, so
+     * the (when, seq) total order makes every canonical-key event
+     * precede every counter-keyed event at the same tick, in every
+     * execution mode (see event.hh).
+     */
+    static constexpr std::uint64_t kFirstDynamicSeq = 1ULL << 32;
+
     EventQueue();
 
     /**
@@ -144,7 +153,7 @@ class EventQueue
     std::size_t nearCount_ = 0;
 
     std::vector<Event*> heap_;
-    std::uint64_t nextSeq_ = 0;
+    std::uint64_t nextSeq_ = kFirstDynamicSeq;
 };
 
 } // namespace mediaworm::sim

@@ -1,0 +1,157 @@
+#include "sim/pdes.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <limits>
+#include <thread>
+
+#include "sim/logging.hh"
+
+namespace mediaworm::sim {
+
+namespace {
+
+/** "No pending event" sentinel for the shared min-reduction
+ *  (kTickNever is -1 and would win every min). */
+constexpr Tick kNoEvent = std::numeric_limits<Tick>::max();
+
+void
+atomicMinTick(std::atomic<Tick>& slot, Tick value)
+{
+    Tick current = slot.load(std::memory_order_relaxed);
+    while (value < current
+           && !slot.compare_exchange_weak(current, value,
+                                          std::memory_order_relaxed)) {
+    }
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+PdesExecutor::PdesExecutor(std::vector<Simulator*> shards,
+                           Tick lookahead)
+    : shards_(std::move(shards)), lookahead_(lookahead)
+{
+    MW_ASSERT(!shards_.empty());
+    MW_ASSERT(lookahead_ == kTickNever || lookahead_ > 0);
+    stats_.resize(shards_.size());
+}
+
+void
+PdesExecutor::addMailbox(int consumer_shard,
+                         std::function<std::uint64_t()> flush)
+{
+    MW_ASSERT(consumer_shard >= 0
+              && consumer_shard < static_cast<int>(shards_.size()));
+    mailboxes_.push_back({consumer_shard, std::move(flush)});
+}
+
+void
+PdesExecutor::run(Tick cap)
+{
+    stats_.assign(shards_.size(), ShardRunStats{});
+
+    if (shards_.size() == 1) {
+        const auto start = std::chrono::steady_clock::now();
+        const std::uint64_t before = shards_[0]->eventsFired();
+        shards_[0]->run(cap);
+        ShardRunStats& s = stats_[0];
+        s.epochs = 1;
+        s.eventsFired = shards_[0]->eventsFired() - before;
+        s.runSeconds = secondsSince(start);
+        return;
+    }
+
+    // Starting epoch: the earliest pending event anywhere.
+    Tick start_time = kNoEvent;
+    for (Simulator* shard : shards_) {
+        const Tick next = shard->queue().nextTime();
+        if (next != kTickNever)
+            start_time = std::min(start_time, next);
+    }
+    if (start_time == kNoEvent || start_time > cap)
+        return;
+
+    const int n = static_cast<int>(shards_.size());
+    std::barrier<> exec_done(n);
+    std::barrier<> merge_done(n);
+    // Double-buffered min-reduction slot: epoch k publishes into
+    // next[k & 1]; the other slot is reset for epoch k+1 between
+    // the barriers, when no thread can still be reading it.
+    std::atomic<Tick> next_time[2] = {kNoEvent, kNoEvent};
+
+    auto worker = [&](int index) {
+        Simulator& shard = *shards_[index];
+        ShardRunStats& stat = stats_[index];
+        Tick epoch_start = start_time;
+        int parity = 0;
+
+        for (;;) {
+            const Tick window_end = lookahead_ == kTickNever
+                ? cap
+                : std::min(epoch_start + lookahead_ - 1, cap);
+
+            auto t0 = std::chrono::steady_clock::now();
+            const std::uint64_t before = shard.eventsFired();
+            shard.run(window_end);
+            stat.eventsFired += shard.eventsFired() - before;
+            stat.runSeconds += secondsSince(t0);
+
+            t0 = std::chrono::steady_clock::now();
+            exec_done.arrive_and_wait();
+            stat.blockedSeconds += secondsSince(t0);
+
+            next_time[1 - parity].store(kNoEvent,
+                                        std::memory_order_relaxed);
+            for (const Mailbox& mailbox : mailboxes_) {
+                if (mailbox.consumerShard == index)
+                    stat.mailboxItems += mailbox.flush();
+            }
+            stat.maxQueueDepth = std::max(
+                stat.maxQueueDepth,
+                static_cast<std::uint64_t>(shard.queue().size()));
+            stat.maxNearDepth = std::max(
+                stat.maxNearDepth,
+                static_cast<std::uint64_t>(shard.queue().nearSize()));
+            const Tick local_next = shard.queue().nextTime();
+            if (local_next != kTickNever)
+                atomicMinTick(next_time[parity], local_next);
+
+            t0 = std::chrono::steady_clock::now();
+            merge_done.arrive_and_wait();
+            stat.blockedSeconds += secondsSince(t0);
+
+            const Tick global_next =
+                next_time[parity].load(std::memory_order_relaxed);
+            parity = 1 - parity;
+            ++stat.epochs;
+
+            if (global_next == kNoEvent || global_next > cap)
+                break;
+            // Conservative invariant: everything at or before the
+            // window end fired, and mailbox arrivals land at least
+            // one lookahead past the epoch start.
+            MW_ASSERT(global_next > window_end);
+            epoch_start = global_next;
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(n - 1));
+    for (int i = 1; i < n; ++i)
+        threads.emplace_back(worker, i);
+    worker(0);
+    for (std::thread& thread : threads)
+        thread.join();
+}
+
+} // namespace mediaworm::sim

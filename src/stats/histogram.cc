@@ -33,6 +33,18 @@ Histogram::add(double x)
 }
 
 void
+Histogram::merge(const Histogram& other)
+{
+    MW_ASSERT(lo_ == other.lo_ && width_ == other.width_
+              && counts_.size() == other.counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    summary_.merge(other.summary_);
+}
+
+void
 Histogram::reset()
 {
     std::fill(counts_.begin(), counts_.end(), 0);

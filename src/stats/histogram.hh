@@ -31,6 +31,13 @@ class Histogram
     /** Discards all samples. */
     void reset();
 
+    /**
+     * Adds @p other 's samples to this histogram. Bucket counts sum
+     * exactly; the scalar summary uses the parallel Welford merge.
+     * Both histograms must share lo/width/bucket count.
+     */
+    void merge(const Histogram& other);
+
     /** Total samples, including under/overflow. */
     std::uint64_t count() const { return summary_.count(); }
 

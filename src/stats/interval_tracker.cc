@@ -22,6 +22,13 @@ IntervalTracker::resetMeasurement()
     intervals_.reset();
 }
 
+void
+IntervalTracker::mergeFrom(const IntervalTracker& other)
+{
+    intervals_.merge(other.intervals_);
+    framesDelivered_ += other.framesDelivered_;
+}
+
 double
 IntervalTracker::meanIntervalMs() const
 {

@@ -45,8 +45,20 @@ class IntervalTracker
     /** Stops measurement (deliveries still update baselines). */
     void disable() { enabled_ = false; }
 
+    /** True while measurement is running. */
+    bool enabled() const { return enabled_; }
+
     /** Clears measured intervals, keeping per-stream baselines. */
     void resetMeasurement();
+
+    /**
+     * Folds @p other 's aggregate statistics into this tracker:
+     * measured intervals (parallel Welford merge) and the delivered
+     * frame count. Per-stream baselines are not merged - the result
+     * is a read-only roll-up, used to combine per-node trackers in
+     * canonical node order (network/metrics.hh).
+     */
+    void mergeFrom(const IntervalTracker& other);
 
     /** Aggregate over all streams, in ticks. */
     const Accumulator& intervals() const { return intervals_; }

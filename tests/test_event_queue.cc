@@ -14,6 +14,7 @@
 
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
+#include "sim/simulator.hh"
 
 namespace {
 
@@ -315,6 +316,180 @@ TEST(EventQueueTiers, ClearResetsBothTiers)
     queue.schedule(b, 2);
     EXPECT_EQ(&queue.pop(), &b);
     EXPECT_EQ(&queue.pop(), &a);
+}
+
+// --- canonical tie-break keys ----------------------------------------------
+
+TEST(EventQueueCanonical, CanonicalKeysPrecedeCounterKeysAtSameTick)
+{
+    // Canonical keys live below kFirstDynamicSeq, so at one tick every
+    // canonical-key event must fire before every counter-keyed event,
+    // and canonical events must fire in key order - not in schedule
+    // order. This is the property the sharded executor relies on to
+    // merge cross-shard link events deterministically (sim/pdes.hh).
+    EventQueue queue;
+    std::vector<int> log;
+    RecordingEvent plain_a(&log, 100);
+    RecordingEvent plain_b(&log, 101);
+    RecordingEvent canon_hi(&log, 2);
+    RecordingEvent canon_lo(&log, 0);
+    RecordingEvent canon_mid(&log, 1);
+    canon_hi.setCanonicalSeq(2);
+    canon_lo.setCanonicalSeq(0);
+    canon_mid.setCanonicalSeq(1);
+
+    // Deliberately adversarial schedule order: counter-keyed events
+    // first, canonical keys descending.
+    const Tick when = 64;
+    queue.schedule(plain_a, when);
+    queue.schedule(plain_b, when);
+    queue.schedule(canon_hi, when);
+    queue.schedule(canon_lo, when);
+    queue.schedule(canon_mid, when);
+
+    while (!queue.empty())
+        queue.pop().fire();
+    EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 100, 101}));
+}
+
+TEST(EventQueueCanonical, KeySurvivesPopAndReschedule)
+{
+    // setCanonicalSeq() pins the key forever: after a pop or a
+    // reschedule the event must still sort by its canonical key, not
+    // by a freshly drawn counter value.
+    EventQueue queue;
+    RecordingEvent canon;
+    RecordingEvent plain;
+    canon.setCanonicalSeq(5);
+
+    queue.schedule(canon, 10);
+    EXPECT_EQ(&queue.pop(), &canon);
+    EXPECT_TRUE(canon.hasCanonicalSeq());
+
+    // Second round: the plain event is scheduled first, so a counter
+    // key would put it ahead; the canonical key must still win.
+    queue.schedule(plain, 20);
+    queue.schedule(canon, 20);
+    EXPECT_EQ(&queue.pop(), &canon);
+    EXPECT_EQ(&queue.pop(), &plain);
+
+    // And across reschedule() onto an occupied tick.
+    queue.schedule(plain, 30);
+    queue.schedule(canon, 40);
+    queue.reschedule(canon, 30);
+    EXPECT_EQ(&queue.pop(), &canon);
+    EXPECT_EQ(&queue.pop(), &plain);
+}
+
+TEST(EventQueueCanonical, CanonicalOrderHoldsAcrossTiers)
+{
+    // A counter-keyed event that overflowed to the far heap and a
+    // canonical-key event in the near ring share a tick; tier
+    // placement must not override the canonical-first order.
+    EventQueue queue;
+    RecordingEvent anchor;
+    RecordingEvent plain;
+    RecordingEvent canon;
+    canon.setCanonicalSeq(3);
+    const Tick when = kBeyondHorizon + 11;
+
+    queue.schedule(anchor, 0);
+    queue.schedule(plain, when); // beyond the window: far tier
+    EXPECT_EQ(queue.farSize(), 1u);
+    EXPECT_EQ(&queue.pop(), &anchor);
+    queue.schedule(canon, when); // window re-anchored: near tier
+    EXPECT_EQ(queue.nearSize(), 1u);
+
+    EXPECT_EQ(&queue.pop(), &canon);
+    EXPECT_EQ(&queue.pop(), &plain);
+}
+
+// --- shard-horizon windows --------------------------------------------------
+
+/**
+ * The sharded executor advances each shard with Simulator::run(T +
+ * W - 1): events exactly on the window edge belong to the window,
+ * events one past it must wait for the next epoch. A lookahead
+ * off-by-one here silently reorders cross-shard traffic, so the edge
+ * semantics are pinned down explicitly.
+ */
+TEST(EventQueueHorizon, EventOnTheWindowEdgeFiresInItsWindow)
+{
+    Simulator sim;
+    std::vector<int> log;
+    RecordingEvent before_edge(&log, 0);
+    RecordingEvent on_edge(&log, 1);
+    RecordingEvent past_edge(&log, 2);
+    const Tick window_end = 160'000 - 1; // one link delay of lookahead
+
+    sim.schedule(before_edge, window_end - 1);
+    sim.schedule(on_edge, window_end);
+    sim.schedule(past_edge, window_end + 1);
+
+    EXPECT_EQ(sim.run(window_end), 2u);
+    EXPECT_EQ(log, (std::vector<int>{0, 1}));
+    EXPECT_TRUE(past_edge.scheduled());
+    EXPECT_EQ(sim.now(), window_end);
+
+    EXPECT_EQ(sim.run(2 * window_end), 1u);
+    EXPECT_EQ(log, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueueHorizon, BoundedWindowsDrainAcrossTierBoundaries)
+{
+    // Drain a schedule that spans both tiers in fixed-width windows,
+    // the way PdesExecutor epochs do. Every event must fire inside
+    // the first window that covers it - no loss, no reordering, no
+    // leakage past a window edge - even when the window boundary cuts
+    // through the near/far handover.
+    Simulator sim;
+    struct Fired final : Event
+    {
+        void
+        fire() override
+        {
+            *fired_at = owner->now();
+        }
+        Simulator* owner = nullptr;
+        Tick* fired_at = nullptr;
+    };
+
+    constexpr int kCount = 48;
+    std::vector<Fired> events(kCount);
+    std::vector<Tick> fired_at(kCount, kTickNever);
+    std::vector<Tick> when(kCount);
+    Rng rng(0xcafe);
+    for (int i = 0; i < kCount; ++i) {
+        events[static_cast<std::size_t>(i)].owner = &sim;
+        events[static_cast<std::size_t>(i)].fired_at =
+            &fired_at[static_cast<std::size_t>(i)];
+        // Bimodal spread: half inside the initial near window, half
+        // far beyond it, so windowed draining forces tier crossings.
+        Tick t = static_cast<Tick>(rng.uniformInt(5000));
+        if (i % 2 == 0)
+            t += 2 * kBeyondHorizon;
+        when[static_cast<std::size_t>(i)] = t;
+        sim.schedule(events[static_cast<std::size_t>(i)], t);
+    }
+
+    const Tick horizon = 3 * kBeyondHorizon;
+    constexpr Tick kWindow = 100'000;
+    std::uint64_t fired = 0;
+    for (Tick end = kWindow - 1;
+         fired < static_cast<std::uint64_t>(kCount); end += kWindow) {
+        fired += sim.run(end);
+        for (int i = 0; i < kCount; ++i) {
+            const std::size_t n = static_cast<std::size_t>(i);
+            if (when[n] <= end)
+                EXPECT_EQ(fired_at[n], when[n])
+                    << "event " << i << " missed window ending " << end;
+            else
+                EXPECT_EQ(fired_at[n], kTickNever)
+                    << "event " << i << " leaked past window " << end;
+        }
+        ASSERT_LT(end, horizon) << "drain did not terminate";
+    }
+    EXPECT_TRUE(sim.queue().empty());
 }
 
 /**

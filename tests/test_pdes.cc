@@ -1,0 +1,413 @@
+/**
+ * @file
+ * Conservative-parallel execution tests.
+ *
+ * Three layers:
+ *
+ *  1. Partition planner units: single switch stays on one shard, a
+ *     mesh is cut into balanced contiguous strips, requested counts
+ *     clamp to the router count, auto mode follows the thread count.
+ *
+ *  2. PdesExecutor + cross-shard Link mechanics in isolation: a
+ *     hand-wired two-shard channel delivers flits and credits at
+ *     exactly the ticks the single-kernel link would, in order.
+ *
+ *  3. The headline determinism contract: for the golden miniature
+ *     configurations (the single-switch Fig-3 setup and the 2x2
+ *     fat-mesh Fig-9 setup, plus a 4x2 mesh that admits 8 shards),
+ *     deterministicHash() is identical across --shards in {1,2,4,8}.
+ *     This is what lets sharded runs substitute for the
+ *     single-threaded oracle everywhere.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "network/partition.hh"
+#include "router/link.hh"
+#include "sim/pdes.hh"
+#include "sim/simulator.hh"
+
+namespace {
+
+using namespace mediaworm;
+using namespace mediaworm::core;
+
+// --- Partition planner -----------------------------------------------------
+
+config::NetworkConfig
+meshConfig(int width, int height)
+{
+    config::NetworkConfig net;
+    net.topology = config::TopologyKind::FatMesh;
+    net.meshWidth = width;
+    net.meshHeight = height;
+    net.fatFactor = 2;
+    net.endpointsPerSwitch = 4;
+    return net;
+}
+
+TEST(Partition, SingleSwitchIsAlwaysTrivial)
+{
+    config::NetworkConfig net;
+    net.topology = config::TopologyKind::SingleSwitch;
+    const network::ShardPlan plan = network::planShards(net, 8, 16);
+    EXPECT_TRUE(plan.trivial());
+    EXPECT_EQ(plan.numShards, 1);
+}
+
+TEST(Partition, MeshSplitsIntoBalancedContiguousStrips)
+{
+    const network::ShardPlan plan =
+        network::planShards(meshConfig(4, 4), 4, 16);
+    ASSERT_EQ(plan.numShards, 4);
+    ASSERT_EQ(plan.routerShard.size(), 16u);
+    std::vector<int> per_shard(4, 0);
+    for (int r = 0; r < 16; ++r) {
+        const int shard = plan.shardOfRouter(r);
+        ++per_shard[static_cast<std::size_t>(shard)];
+        // Contiguous: shard ids never decrease along the row-major
+        // router index.
+        if (r > 0)
+            EXPECT_GE(shard, plan.shardOfRouter(r - 1));
+    }
+    for (int count : per_shard)
+        EXPECT_EQ(count, 4);
+}
+
+TEST(Partition, UnevenCountsStayBalanced)
+{
+    // 8 routers over 3 shards: sizes must be 3/3/2 in some order.
+    const network::ShardPlan plan =
+        network::planShards(meshConfig(4, 2), 3, 16);
+    ASSERT_EQ(plan.numShards, 3);
+    std::vector<int> per_shard(3, 0);
+    for (int r = 0; r < 8; ++r)
+        ++per_shard[static_cast<std::size_t>(plan.shardOfRouter(r))];
+    for (int count : per_shard) {
+        EXPECT_GE(count, 2);
+        EXPECT_LE(count, 3);
+    }
+}
+
+TEST(Partition, RequestClampsToRouterCount)
+{
+    const network::ShardPlan plan =
+        network::planShards(meshConfig(2, 2), 64, 16);
+    EXPECT_EQ(plan.numShards, 4);
+}
+
+TEST(Partition, AutoModeFollowsHardwareThreads)
+{
+    EXPECT_EQ(network::planShards(meshConfig(4, 4), 0, 8).numShards, 8);
+    EXPECT_EQ(network::planShards(meshConfig(2, 2), 0, 8).numShards, 4);
+    EXPECT_TRUE(network::planShards(meshConfig(4, 4), 0, 1).trivial());
+}
+
+// --- Executor + cross-shard link mechanics ---------------------------------
+
+/** Sink that acks every flit with a credit, like a real NI. */
+class CountingReceiver final : public router::FlitReceiver
+{
+  public:
+    CountingReceiver(sim::Simulator& simulator, router::Link& link)
+        : simulator_(simulator), link_(link)
+    {
+    }
+
+    void
+    receiveFlit(const router::Flit& flit, int vc) override
+    {
+        arrivals.push_back({simulator_.now(), flit.index, vc});
+        link_.sendCredit(vc);
+    }
+
+    struct Arrival
+    {
+        sim::Tick when;
+        int index;
+        int vc;
+    };
+    std::vector<Arrival> arrivals;
+
+  private:
+    sim::Simulator& simulator_;
+    router::Link& link_;
+};
+
+class CountingCredits final : public router::CreditReceiver
+{
+  public:
+    explicit CountingCredits(sim::Simulator& simulator)
+        : simulator_(simulator)
+    {
+    }
+
+    void
+    creditReturned(int vc) override
+    {
+        credits.push_back({simulator_.now(), vc});
+    }
+
+    struct Credit
+    {
+        sim::Tick when;
+        int vc;
+    };
+    std::vector<Credit> credits;
+
+  private:
+    sim::Simulator& simulator_;
+};
+
+router::Flit
+makeFlit(int index)
+{
+    router::Flit flit;
+    flit.index = index;
+    return flit;
+}
+
+TEST(PdesExecutor, CrossShardChannelDeliversOnSchedule)
+{
+    const sim::Tick delay = sim::nanoseconds(160);
+    sim::Simulator sender_sim(1);
+    sim::Simulator receiver_sim(2);
+
+    router::Link link(sender_sim, delay, "x",
+                      router::ChannelIds::forLinkIndex(0));
+    link.bindShards(sender_sim, receiver_sim);
+    ASSERT_TRUE(link.crossShard());
+
+    CountingReceiver receiver(receiver_sim, link);
+    CountingCredits credits(sender_sim);
+    link.connectReceiver(&receiver);
+    link.connectCreditReceiver(&credits);
+
+    // Sender-side process: inject three flits at t=0, 40ns, 80ns,
+    // all inside one lookahead window.
+    int sent = 0;
+    sim::CallbackEvent send_event(
+        [&] {
+            link.sendFlit(makeFlit(sent), sent % 2);
+            if (++sent < 3)
+                sender_sim.scheduleAfter(send_event,
+                                         sim::nanoseconds(40));
+        },
+        "send");
+    sender_sim.schedule(send_event, 0);
+
+    sim::PdesExecutor executor({&sender_sim, &receiver_sim}, delay);
+    executor.addMailbox(1, [&] { return link.flushFlitOutbox(); });
+    executor.addMailbox(0, [&] { return link.flushCreditOutbox(); });
+    executor.run(sim::microseconds(10));
+
+    ASSERT_EQ(receiver.arrivals.size(), 3u);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(receiver.arrivals[static_cast<std::size_t>(i)].when,
+                  static_cast<sim::Tick>(i) * sim::nanoseconds(40)
+                      + delay);
+        EXPECT_EQ(receiver.arrivals[static_cast<std::size_t>(i)].index,
+                  i);
+    }
+    // The sink acks each flit on delivery, so credits land one link
+    // delay later, preserving order and VC.
+    ASSERT_EQ(credits.credits.size(), 3u);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(credits.credits[static_cast<std::size_t>(i)].when,
+                  static_cast<sim::Tick>(i) * sim::nanoseconds(40)
+                      + 2 * delay);
+        EXPECT_EQ(credits.credits[static_cast<std::size_t>(i)].vc,
+                  i % 2);
+    }
+
+    const std::vector<sim::ShardRunStats>& stats = executor.stats();
+    ASSERT_EQ(stats.size(), 2u);
+    EXPECT_GT(stats[0].epochs, 0u);
+    EXPECT_EQ(stats[1].mailboxItems, 3u);  // flits into shard 1
+    EXPECT_EQ(stats[0].mailboxItems, 3u);  // credits back to shard 0
+}
+
+TEST(PdesExecutor, IndependentShardsFastForwardThroughIdleGaps)
+{
+    sim::Simulator a(1);
+    sim::Simulator b(2);
+    std::vector<sim::Tick> fired;
+    sim::CallbackEvent ea([&] { fired.push_back(a.now()); }, "a");
+    sim::CallbackEvent eb([&] { fired.push_back(b.now()); }, "b");
+    a.schedule(ea, sim::milliseconds(5));
+    b.schedule(eb, sim::milliseconds(9));
+
+    // Tiny lookahead + huge idle gaps: without fast-forward this
+    // would grind through millions of empty epochs.
+    sim::PdesExecutor executor({&a, &b}, sim::nanoseconds(160));
+    executor.run(sim::milliseconds(10));
+
+    EXPECT_EQ(fired.size(), 2u);
+    EXPECT_LE(executor.stats()[0].epochs, 4u);
+}
+
+// --- Whole-experiment shard invariance -------------------------------------
+
+/** Fig-3 miniature: 8-port single switch under the paper's mix. */
+ExperimentConfig
+fig3Miniature()
+{
+    ExperimentConfig cfg;
+    cfg.router.numPorts = 8;
+    cfg.router.numVcs = 16;
+    cfg.router.flitBufferDepth = 20;
+    cfg.router.scheduler = config::SchedulerKind::VirtualClock;
+    cfg.traffic.inputLoad = 0.9;
+    cfg.traffic.realTimeFraction = 0.8;
+    cfg.traffic.warmupFrames = 1;
+    cfg.traffic.measuredFrames = 2;
+    cfg.timeScale = 0.05;
+    cfg.seed = 42;
+    return cfg;
+}
+
+/** Fig-9 miniature: 2x2 fat mesh, mixed traffic. */
+ExperimentConfig
+fig9Miniature()
+{
+    ExperimentConfig cfg = fig3Miniature();
+    cfg.network.topology = config::TopologyKind::FatMesh;
+    cfg.network.meshWidth = 2;
+    cfg.network.meshHeight = 2;
+    cfg.network.fatFactor = 2;
+    cfg.network.endpointsPerSwitch = 4;
+    cfg.traffic.inputLoad = 0.7;
+    cfg.traffic.realTimeFraction = 0.6;
+    cfg.seed = 7;
+    return cfg;
+}
+
+/** 4x2 mesh: 8 routers, so every shard count in {1,2,4,8} is real. */
+ExperimentConfig
+wideMeshMiniature()
+{
+    ExperimentConfig cfg = fig9Miniature();
+    cfg.network.meshWidth = 4;
+    cfg.network.meshHeight = 2;
+    // Interior routers have three mesh directions here: 4 endpoint
+    // ports + 3 x fat 2 = 10 ports.
+    cfg.router.numPorts = 10;
+    cfg.seed = 11;
+    return cfg;
+}
+
+void
+expectShardInvariant(const ExperimentConfig& base)
+{
+    ExperimentConfig cfg = base;
+    cfg.shards = 1;
+    const ExperimentResult oracle = runExperiment(cfg);
+    ASSERT_GT(oracle.eventsFired, 0u);
+
+    for (int shards : {2, 4, 8}) {
+        cfg.shards = shards;
+        const ExperimentResult sharded = runExperiment(cfg);
+        EXPECT_EQ(sharded.deterministicHash(),
+                  oracle.deterministicHash())
+            << "shards=" << shards;
+        EXPECT_EQ(sharded.eventsFired, oracle.eventsFired)
+            << "shards=" << shards;
+        EXPECT_EQ(sharded.intervalSamples, oracle.intervalSamples)
+            << "shards=" << shards;
+    }
+}
+
+TEST(PdesDeterminism, Fig3MiniatureHashIsShardInvariant)
+{
+    // Single switch: every shard request resolves to the trivial
+    // plan, so this pins the request-handling path.
+    expectShardInvariant(fig3Miniature());
+}
+
+TEST(PdesDeterminism, Fig9MiniatureHashIsShardInvariant)
+{
+    expectShardInvariant(fig9Miniature());
+}
+
+TEST(PdesDeterminism, WideMeshHashIsShardInvariantThrough8Shards)
+{
+    expectShardInvariant(wideMeshMiniature());
+}
+
+TEST(PdesDeterminism, AutoShardCountIsAlsoInvariant)
+{
+    ExperimentConfig cfg = fig9Miniature();
+    cfg.shards = 1;
+    const ExperimentResult oracle = runExperiment(cfg);
+    cfg.shards = 0; // one shard per hardware thread, clamped
+    const ExperimentResult autos = runExperiment(cfg);
+    EXPECT_EQ(autos.deterministicHash(), oracle.deterministicHash());
+}
+
+TEST(PdesDeterminism, ShardedRunReportsExecutorStats)
+{
+    ExperimentConfig cfg = fig9Miniature();
+    cfg.shards = 4;
+    const ExperimentResult r = runExperiment(cfg);
+    ASSERT_NE(r.observations, nullptr);
+    ASSERT_TRUE(r.observations->hasShards);
+    ASSERT_EQ(r.observations->shards.size(), 4u);
+    std::uint64_t events = 0;
+    std::uint64_t mailbox_items = 0;
+    for (const sim::ShardRunStats& s : r.observations->shards) {
+        events += s.eventsFired;
+        mailbox_items += s.mailboxItems;
+        EXPECT_GT(s.epochs, 0u);
+        EXPECT_GT(s.maxQueueDepth, 0u);
+    }
+    EXPECT_EQ(events, r.eventsFired);
+    EXPECT_GT(mailbox_items, 0u);
+}
+
+TEST(PdesDeterminism, TelemetryMergesAcrossShardsWithoutPerturbing)
+{
+    ExperimentConfig cfg = fig9Miniature();
+    cfg.obs.telemetry.enabled = true;
+
+    cfg.shards = 1;
+    const ExperimentResult single = runExperiment(cfg);
+    cfg.shards = 4;
+    const ExperimentResult sharded = runExperiment(cfg);
+
+    // Telemetry on, sharded: the deterministic outputs still match.
+    EXPECT_EQ(sharded.deterministicHash(), single.deterministicHash());
+
+    ASSERT_NE(single.observations, nullptr);
+    ASSERT_NE(sharded.observations, nullptr);
+    const obs::TelemetryReport& a = single.observations->telemetry;
+    const obs::TelemetryReport& b = sharded.observations->telemetry;
+    ASSERT_EQ(a.streams.size(), b.streams.size());
+    EXPECT_EQ(a.worstStream, b.worstStream);
+    EXPECT_EQ(a.worstStddevMs, b.worstStddevMs);
+    for (std::size_t i = 0; i < a.streams.size(); ++i) {
+        const obs::StreamSeries& sa = a.streams[i];
+        const obs::StreamSeries& sb = b.streams[i];
+        EXPECT_EQ(sa.stream, sb.stream);
+        EXPECT_EQ(sa.frames, sb.frames);
+        EXPECT_EQ(sa.intervalCount, sb.intervalCount);
+        EXPECT_EQ(sa.meanIntervalMs, sb.meanIntervalMs);
+        EXPECT_EQ(sa.stddevIntervalMs, sb.stddevIntervalMs);
+        EXPECT_EQ(sa.messages, sb.messages);
+        EXPECT_EQ(sa.worstMessageDelayUs, sb.worstMessageDelayUs);
+        ASSERT_EQ(sa.samples.size(), sb.samples.size())
+            << "stream " << sa.stream.value();
+        for (std::size_t w = 0; w < sa.samples.size(); ++w) {
+            EXPECT_EQ(sa.samples[w].windowStart,
+                      sb.samples[w].windowStart);
+            EXPECT_EQ(sa.samples[w].frames, sb.samples[w].frames);
+            EXPECT_EQ(sa.samples[w].flits, sb.samples[w].flits);
+            EXPECT_EQ(sa.samples[w].intervalCount,
+                      sb.samples[w].intervalCount);
+        }
+    }
+}
+
+} // namespace

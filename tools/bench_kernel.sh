@@ -16,6 +16,12 @@
 # The headline number is BM_EndToEndExperiment's events/s counter:
 # whole-simulator throughput on a fixed small experiment. The other
 # benchmarks localize regressions (queue, RNG, arbitration, link).
+#
+# Each entry also records host metadata (logical core count, CPU
+# model) because the BM_EndToEndFatMeshShards/N rows measure parallel
+# shard scaling: their events/s is only meaningful relative to how
+# many cores the host actually had. Shard-scaling rows carry their
+# shard count in a "shards" field next to the timing.
 
 set -euo pipefail
 
@@ -48,11 +54,17 @@ else
     echo '{"benchmarks": []}' > "$arbiter_raw"
 fi
 
-python3 - "$raw" "$arbiter_raw" "$out_json" "$label" <<'EOF'
+cores=$(nproc)
+cpu_model=$(awk -F': ' '/^model name/ {print $2; exit}' /proc/cpuinfo \
+    2>/dev/null || true)
+cpu_model=${cpu_model:-unknown}
+
+python3 - "$raw" "$arbiter_raw" "$out_json" "$label" \
+    "$cores" "$cpu_model" <<'EOF'
 import json
 import sys
 
-raw_path, arbiter_path, out_path, label = sys.argv[1:5]
+raw_path, arbiter_path, out_path, label, cores, cpu_model = sys.argv[1:7]
 
 benchmarks = {}
 events_per_sec = None
@@ -66,6 +78,11 @@ for path in (raw_path, arbiter_path):
             entry["items_per_second"] = b["items_per_second"]
         if "events/s" in b:
             entry["events_per_second"] = b["events/s"]
+        # Shard-scaling rows (BM_EndToEndFatMeshShards/N[/real_time]):
+        # surface the shard count so readers need not parse names.
+        parts = b["name"].split("/")
+        if parts[0] == "BM_EndToEndFatMeshShards" and len(parts) > 1:
+            entry["shards"] = int(parts[1])
         benchmarks[b["name"]] = entry
         if b["name"] == "BM_EndToEndExperiment":
             events_per_sec = b.get("events/s")
@@ -82,6 +99,7 @@ doc["entries"] = [e for e in doc["entries"] if e["label"] != label]
 doc["entries"].append({
     "label": label,
     "events_per_second": events_per_sec,
+    "host": {"cores": int(cores), "cpu_model": cpu_model},
     "benchmarks": benchmarks,
 })
 

@@ -110,6 +110,7 @@ main(int argc, char** argv)
     int placement = 0;  // balanced
     int jobs = 1;
     int replications = 1;
+    int shards = 1;
     std::string loads_arg;
     std::string json_out;
     bool json_timing = false;
@@ -153,6 +154,11 @@ main(int argc, char** argv)
     parser.addInt("replications",
                   "seed replications per point (95% CIs)",
                   &replications, 1, 1000);
+    parser.addInt("shards",
+                  "parallel shards per experiment (fat-mesh only; "
+                  "0 = one per hardware thread; results are "
+                  "bit-identical for any value)",
+                  &shards, 0, 256);
     parser.addString("json-out", "write a JSON campaign artifact "
                                  "(schema mediaworm-campaign-v3)",
                      &json_out);
@@ -287,6 +293,7 @@ main(int argc, char** argv)
     core::Sweep sweep(base);
     sweep.setJobs(jobs);
     sweep.setReplications(replications);
+    sweep.setShards(shards);
     sweep.addLoadAxis(loads);
     sweep.run();
 
