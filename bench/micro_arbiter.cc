@@ -132,6 +132,100 @@ arbiterArgs(benchmark::internal::Benchmark* bench)
 BENCHMARK(BM_ArbiterKernelPick)->Apply(arbiterArgs);
 BENCHMARK(BM_LegacySchedulerPick)->Apply(arbiterArgs);
 
+/**
+ * SoA-vs-AoS layout A/B for one Virtual Clock arbitration round.
+ *
+ * The MuxArbiter stores its cached head fields as three parallel
+ * arrays (struct-of-arrays); before DESIGN.md section 13 they were a
+ * vector of HeadRecord structs embedded among the rest of the per-VC
+ * hot state. This pair isolates the layout effect alone: both
+ * variants run the identical (stamp, fifoSeq) lexicographic kernel
+ * over the same slot data, but the AoS variant strides through
+ * fat per-VC records sized like the old InputVc/OutputVc structs, so
+ * each comparison drags a full cache line of unrelated state.
+ */
+
+/** The pre-SoA layout: head fields embedded in a fat per-VC struct
+ *  (padding stands in for buffers, pointers and flags). */
+struct FatVcRecord
+{
+    Tick stamp = 0;
+    std::uint64_t fifoSeq = 0;
+    Tick vtick = router::kBestEffortVtick;
+    char padding[104]; // the rest of the old per-VC hot struct
+};
+
+void
+BM_ArbiterRoundAos(benchmark::State& state)
+{
+    const int num_vcs = static_cast<int>(state.range(0));
+    std::vector<FatVcRecord> slots(
+        static_cast<std::size_t>(num_vcs));
+    sim::Rng rng(23);
+    std::uint64_t seq = 0;
+    Tick now = 0;
+    for (auto& s : slots) {
+        s.stamp = static_cast<Tick>(rng.uniformInt(1000000));
+        s.fifoSeq = seq++;
+    }
+
+    const std::uint64_t mask = num_vcs >= 64
+        ? ~std::uint64_t{0}
+        : (std::uint64_t{1} << static_cast<unsigned>(num_vcs)) - 1;
+    for (auto _ : state) {
+        now += kCycle;
+        std::uint64_t m = mask;
+        int best = __builtin_ctzll(m);
+        m &= m - 1;
+        while (m != 0) {
+            const int slot = __builtin_ctzll(m);
+            m &= m - 1;
+            const FatVcRecord& c =
+                slots[static_cast<std::size_t>(slot)];
+            const FatVcRecord& b =
+                slots[static_cast<std::size_t>(best)];
+            if (c.stamp < b.stamp
+                || (c.stamp == b.stamp && c.fifoSeq < b.fifoSeq))
+                best = slot;
+        }
+        benchmark::DoNotOptimize(best);
+        FatVcRecord& won = slots[static_cast<std::size_t>(best)];
+        won.stamp = now + static_cast<Tick>(rng.uniformInt(1000000));
+        won.fifoSeq = seq++;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_ArbiterRoundSoa(benchmark::State& state)
+{
+    const int num_vcs = static_cast<int>(state.range(0));
+    MuxArbiter arb;
+    arb.init(config::SchedulerKind::VirtualClock, num_vcs);
+    sim::Rng rng(23);
+    std::uint64_t seq = 0;
+    Tick now = 0;
+    for (int v = 0; v < num_vcs; ++v) {
+        arb.setEligible(v,
+                        static_cast<Tick>(rng.uniformInt(1000000)),
+                        seq++, router::kBestEffortVtick);
+    }
+
+    for (auto _ : state) {
+        now += kCycle;
+        const int winner = arb.pick();
+        benchmark::DoNotOptimize(winner);
+        arb.setEligible(
+            winner,
+            now + static_cast<Tick>(rng.uniformInt(1000000)), seq++,
+            router::kBestEffortVtick);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_ArbiterRoundAos)->ArgName("vcs")->Arg(16)->Arg(64);
+BENCHMARK(BM_ArbiterRoundSoa)->ArgName("vcs")->Arg(16)->Arg(64);
+
 } // namespace
 
 BENCHMARK_MAIN();

@@ -223,6 +223,40 @@ BENCHMARK(BM_EndToEndExperimentTelemetry)
     ->Unit(benchmark::kMillisecond);
 
 /**
+ * Batched router-tick dispatch A/B (DESIGN.md section 13): the same
+ * small experiment with the legacy per-event loop (batched:0) and
+ * with one-virtual-call-per-router-tick batching plus lazy-tick
+ * elision (batched:1). Results are bit-identical either way
+ * (tests/test_determinism.cc); the events/s gap is the dispatch +
+ * elision win. The batched:1 row is gated against the committed
+ * baseline in CI.
+ */
+void
+BM_BatchedRouterTick(benchmark::State& state)
+{
+    const bool batched = state.range(0) != 0;
+    for (auto _ : state) {
+        core::ExperimentConfig cfg;
+        cfg.traffic.inputLoad = 0.6;
+        cfg.traffic.warmupFrames = 1;
+        cfg.traffic.measuredFrames = 2;
+        cfg.timeScale = 0.05;
+        cfg.batchedDispatch = batched;
+        const core::ExperimentResult result =
+            core::runExperiment(cfg);
+        benchmark::DoNotOptimize(result.eventsFired);
+        state.counters["events/s"] = benchmark::Counter(
+            static_cast<double>(result.eventsFired),
+            benchmark::Counter::kIsIterationInvariantRate);
+    }
+}
+BENCHMARK(BM_BatchedRouterTick)
+    ->ArgName("batched")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+/**
  * Conservative-PDES scaling: one 4x2 fat-mesh experiment partitioned
  * across N shards (Arg = ExperimentConfig::shards; 1 is the classic
  * single-threaded kernel and the determinism oracle - every arg

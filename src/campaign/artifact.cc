@@ -33,6 +33,7 @@ writeCounts(JsonWriter& json, const core::ExperimentResult& r)
     json.member("be_messages", r.beMessages);
     json.member("flits_delivered", r.flitsDelivered);
     json.member("events_fired", r.eventsFired);
+    json.member("elided_events", r.elidedEvents);
     json.member("rt_streams", static_cast<std::int64_t>(r.rtStreams));
     json.member("streams_per_node",
                 static_cast<std::int64_t>(r.streamsPerNode));

@@ -68,6 +68,8 @@ runExperiment(const ExperimentConfig& cfg)
             ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(s))));
         sims.push_back(extra_sims.back().get());
     }
+    for (sim::Simulator* shard : sims)
+        shard->setBatchedDispatch(cfg.batchedDispatch);
 
     network::MetricsHub metrics;
     sim::Rng net_rng = simulator.rng().split();
@@ -207,8 +209,12 @@ runExperiment(const ExperimentConfig& cfg)
     }
 
     ExperimentResult result;
-    for (sim::Simulator* shard : sims)
-        result.truncated |= !shard->queue().empty();
+    for (sim::Simulator* shard : sims) {
+        // An elided wakeup beyond the cap counts like the queued
+        // event the legacy path would have left behind.
+        result.truncated |=
+            !shard->queue().empty() || shard->lazyTickPending();
+    }
     if (result.truncated) {
         sim::warn("runExperiment: truncated at %s with %llu flits of "
                   "host backlog",
@@ -235,8 +241,11 @@ runExperiment(const ExperimentConfig& cfg)
     result.beMessages = metrics.beMessages();
     result.flitsDelivered = metrics.flitsDelivered();
     result.eventsFired = 0;
-    for (sim::Simulator* shard : sims)
+    result.elidedEvents = 0;
+    for (sim::Simulator* shard : sims) {
         result.eventsFired += shard->eventsFired();
+        result.elidedEvents += shard->elidedEvents();
+    }
     result.rtStreams = static_cast<int>(plan.streams.size());
     result.streamsPerNode = plan.streamsPerNode;
     // Simulator::run(cap) leaves every shard's clock at the cap, so

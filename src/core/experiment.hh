@@ -62,6 +62,18 @@ struct ExperimentConfig
     int shards = 1;
 
     /**
+     * Batched per-router-tick dispatch and lazy-tick elision
+     * (sim::BatchSink / sim::LazyTick). On (the default) the kernel
+     * coalesces same-tick events per router into one virtual
+     * dispatch and skips provably-no-op multiplexer wakeups; off
+     * restores the legacy per-event loop. Either setting produces
+     * bit-identical results - deterministicHash does not depend on
+     * it (tests/test_determinism.cc enforces this); the toggle
+     * exists for differential testing and benchmarking.
+     */
+    bool batchedDispatch = true;
+
+    /**
      * Observability: per-stream telemetry, flight recorder, event
      * trace. All off by default; enabling any of them changes no
      * deterministic output (see obs/observer.hh). A telemetry window
@@ -106,6 +118,12 @@ struct ExperimentResult
     std::uint64_t beMessages = 0;       ///< Best-effort deliveries.
     std::uint64_t flitsDelivered = 0;   ///< All flits at sinks.
     std::uint64_t eventsFired = 0;      ///< Kernel events executed.
+    /** Of eventsFired, no-op wakeups elided by sim::LazyTick: credited
+     *  (never popped or fired) so hashes match the per-event path
+     *  while the queue skips the traffic. Host-independent, but a
+     *  dispatch-mode knob, so - like timing - excluded from the
+     *  deterministic hash. */
+    std::uint64_t elidedEvents = 0;
 
     int rtStreams = 0;       ///< Real-time streams offered.
     int streamsPerNode = 0;  ///< Per-node stream count.

@@ -12,16 +12,45 @@ NetworkInterface::NetworkInterface(sim::Simulator& simulator,
       lane_(&metrics.lane(node.value())), name_(std::move(name)),
       cycleTime_(cfg.cycleTime()),
       vcs_(static_cast<std::size_t>(cfg.numVcs)),
+      credits_(static_cast<std::size_t>(cfg.numVcs), 0),
+      vclock_(static_cast<std::size_t>(cfg.numVcs)),
       muxEvent_(this, "NetworkInterface::mux")
 {
     arb_.init(cfg.injectionScheduler, cfg.numVcs);
+    muxEvent_.setBatchSink(this, 0);
+    simulator_.addLazyDrain(this);
 }
 
 void
 NetworkInterface::muxFired()
 {
-    muxBusy_ = false;
+    mux_.fired();
     serveMux();
+}
+
+void
+NetworkInterface::fireBatch(sim::Event& first)
+{
+    // The mux event is this sink's only member type; pull same-tick
+    // members straight from the live queue (see
+    // WormholeRouter::fireBatch for the ordering argument).
+    sim::Event* e = &first;
+    do {
+        muxFired();
+        e = simulator_.nextBatchMember(this);
+    } while (e != nullptr);
+}
+
+std::uint64_t
+NetworkInterface::flushLazy(sim::Tick until)
+{
+    return mux_.flush(until);
+}
+
+bool
+NetworkInterface::lazyPending() const
+{
+    return mux_.pending();
 }
 
 void
@@ -32,8 +61,8 @@ NetworkInterface::connectInjectionLink(router::Link& link,
     injectionLink_ = &link;
     routerBufferDepth_ = router_buffer_depth;
     link.connectCreditReceiver(this);
-    for (InjectionVc& vc : vcs_)
-        vc.credits = router_buffer_depth;
+    for (int& c : credits_)
+        c = router_buffer_depth;
 }
 
 void
@@ -68,7 +97,9 @@ NetworkInterface::injectMessage(const traffic::MessageDesc& message)
     // The injection multiplexer is a scheduling point like the
     // router's stage 5: stamp every flit with the Virtual Clock of
     // this VC lane (header installs the message's Vtick).
-    vc.vclock.beginMessage(message.vtick);
+    router::VirtualClockState& vclock =
+        vclock_[static_cast<std::size_t>(message.vcLane)];
+    vclock.beginMessage(message.vtick);
 
     router::Flit flit;
     flit.cls = message.cls;
@@ -88,7 +119,7 @@ NetworkInterface::injectMessage(const traffic::MessageDesc& message)
                                         : router::FlitType::Body;
         flit.endOfFrame =
             message.endOfFrame && flit.type == router::FlitType::Tail;
-        flit.stamp = vc.vclock.tick(now);
+        flit.stamp = vclock.tick(now);
         flit.arrivalSeq = nextArrivalSeq_++;
         vc.queue.push(flit);
     }
@@ -121,7 +152,7 @@ NetworkInterface::receiveFlit(const router::Flit& flit, int vc)
 void
 NetworkInterface::creditReturned(int vc)
 {
-    ++vcs_[static_cast<std::size_t>(vc)].credits;
+    ++credits_[static_cast<std::size_t>(vc)];
     refreshEligibility(vc);
     kickMux();
 }
@@ -139,13 +170,14 @@ void
 NetworkInterface::refreshEligibility(int vc_index)
 {
     InjectionVc& vc = vcs_[static_cast<std::size_t>(vc_index)];
-    bool ready = !vc.queue.empty() && vc.credits > 0;
+    const int credits = credits_[static_cast<std::size_t>(vc_index)];
+    bool ready = !vc.queue.empty() && credits > 0;
     if (ready
         && cfg_.switching == config::SwitchingKind::VirtualCutThrough) {
         // Virtual cut-through gates message launch on the router
         // input buffer holding the whole message.
         const router::Flit& head = vc.queue.front();
-        if (head.isHeader() && vc.credits < head.messageFlits)
+        if (head.isHeader() && credits < head.messageFlits)
             ready = false;
     }
     if (ready)
@@ -157,14 +189,14 @@ NetworkInterface::refreshEligibility(int vc_index)
 void
 NetworkInterface::kickMux()
 {
-    if (!muxBusy_)
+    if (mux_.kick(simulator_, muxEvent_))
         serveMux();
 }
 
 void
 NetworkInterface::serveMux()
 {
-    MW_DEBUG_ASSERT(!muxBusy_);
+    MW_DEBUG_ASSERT(!mux_.busy());
     MW_DEBUG_ASSERT(injectionLink_ != nullptr);
 
     if (!arb_.anyEligible())
@@ -186,11 +218,12 @@ NetworkInterface::serveMux()
                          v});
     }
     vc.queue.dropFront();
-    --vc.credits;
+    --credits_[static_cast<std::size_t>(v)];
     refreshEligibility(v);
 
-    muxBusy_ = true;
-    simulator_.scheduleAfter(muxEvent_, cycleTime_);
+    // Nothing eligible next cycle means a provably-idle wakeup (the
+    // anyEligible() gate above has no side effects): elide it.
+    mux_.arm(simulator_, muxEvent_, cycleTime_, !arb_.anyEligible());
 }
 
 } // namespace mediaworm::network

@@ -35,10 +35,20 @@
 
 namespace mediaworm::network {
 
-/** One endpoint's injection/ejection machinery. */
+/**
+ * One endpoint's injection/ejection machinery.
+ *
+ * Like the router, the NI participates in batched dispatch (its mux
+ * event carries an opcode and fires through fireBatch) and lazy-tick
+ * elision (an injection-mux wakeup with nothing eligible is skipped;
+ * sim::LazyDrain settles the accounting). Per-VC credits and Virtual
+ * Clock state live in flat arrays (DESIGN.md section 13).
+ */
 class NetworkInterface final : public traffic::Injector,
                                public router::FlitReceiver,
-                               public router::CreditReceiver
+                               public router::CreditReceiver,
+                               public sim::BatchSink,
+                               public sim::LazyDrain
 {
   public:
     /**
@@ -76,6 +86,14 @@ class NetworkInterface final : public traffic::Injector,
     // router::CreditReceiver (injection credits)
     void creditReturned(int vc) override;
 
+    // sim::BatchSink: the NI has a single event (the injection mux),
+    // so the batch loop needs no opcode switch.
+    void fireBatch(sim::Event& first) override;
+
+    // sim::LazyDrain: end-of-run accounting for elided mux wakeups.
+    std::uint64_t flushLazy(sim::Tick until) override;
+    bool lazyPending() const override;
+
     /** Messages queued at the host and not yet fully transmitted. */
     std::uint64_t backlogFlits() const;
 
@@ -86,11 +104,11 @@ class NetworkInterface final : public traffic::Injector,
     std::uint64_t flitsInjected() const { return flitsInjected_; }
 
   private:
+    /** Per-VC cold state; the hot scalars (credits, Virtual Clock)
+     *  live in the flat arrays below. */
     struct InjectionVc
     {
         router::FlitBuffer queue{0}; // unbounded host-side queue
-        int credits = 0;
-        router::VirtualClockState vclock;
     };
 
     void kickMux();
@@ -116,9 +134,12 @@ class NetworkInterface final : public traffic::Injector,
     sim::Tick cycleTime_;
 
     std::vector<InjectionVc> vcs_;
+    // Data-oriented per-VC hot state, indexed by VC lane.
+    std::vector<int> credits_;
+    std::vector<router::VirtualClockState> vclock_;
     router::MuxArbiter arb_; ///< Injection-mux eligibility + kernels.
     sim::MemberFuncEvent<&NetworkInterface::muxFired> muxEvent_;
-    bool muxBusy_ = false;
+    sim::LazyTick mux_; ///< Service-slot state; elides idle ticks.
     std::uint64_t nextArrivalSeq_ = 0;
 
     router::Link* injectionLink_ = nullptr;

@@ -10,8 +10,13 @@
  *  - a 64-bit *eligibility bitmask* with one bit per VC slot, set and
  *    cleared at the events that change eligibility (head enqueue/pop,
  *    credit return, VC grant/release), and
- *  - a cached *head record* (stamp, fifoSeq, vtick) per slot,
- *    refreshed whenever the slot's head flit changes,
+ *  - cached *head fields* per slot, split by access pattern: the
+ *    (stamp, fifoSeq) pair every tie-break compares lives in one
+ *    contiguous 16-byte-record array (Virtual Clock reads the pair
+ *    with a single stride-16 stream, FIFO the seq half of it), while
+ *    the WRR-only vtick sits in a separate array the other
+ *    disciplines never touch - refreshed whenever the slot's head
+ *    flit changes,
  *
  * and the winner is computed by a kernel templated on
  * config::SchedulerKind that iterates the set bits with ctz. The kind
@@ -70,8 +75,9 @@ class MuxArbiter
     {
         MW_ASSERT(num_slots >= 1 && num_slots <= 64);
         kind_ = kind;
-        heads_.assign(static_cast<std::size_t>(num_slots),
-                      HeadRecord{});
+        keys_.assign(static_cast<std::size_t>(num_slots), HeadKey{});
+        vticks_.assign(static_cast<std::size_t>(num_slots),
+                       kBestEffortVtick);
         if (kind_ == config::SchedulerKind::WeightedRoundRobin)
             deficit_.assign(static_cast<std::size_t>(num_slots), 0);
         mask_ = 0;
@@ -94,11 +100,14 @@ class MuxArbiter
         return (mask_ >> static_cast<unsigned>(slot)) & 1u;
     }
 
-    /** Cached head record of @p slot (valid while eligible). */
-    const HeadRecord&
+    /** Cached head fields of @p slot (valid while eligible),
+     *  gathered from the SoA arrays into a value. Diagnostics only -
+     *  the pick kernels read the arrays directly. */
+    HeadRecord
     head(int slot) const
     {
-        return heads_[static_cast<std::size_t>(slot)];
+        const auto s = static_cast<std::size_t>(slot);
+        return {keys_[s].stamp, keys_[s].fifoSeq, vticks_[s]};
     }
 
     /**
@@ -112,9 +121,11 @@ class MuxArbiter
     {
         MW_DEBUG_ASSERT(slot >= 0
                         && static_cast<std::size_t>(slot)
-                               < heads_.size());
-        heads_[static_cast<std::size_t>(slot)] = {stamp, fifo_seq,
-                                                  vtick};
+                               < keys_.size());
+        const auto s = static_cast<std::size_t>(slot);
+        keys_[s].stamp = stamp;
+        keys_[s].fifoSeq = fifo_seq;
+        vticks_[s] = vtick;
         mask_ |= std::uint64_t{1} << static_cast<unsigned>(slot);
     }
 
@@ -131,7 +142,7 @@ class MuxArbiter
     {
         MW_DEBUG_ASSERT(slot >= 0
                         && static_cast<std::size_t>(slot)
-                               < heads_.size());
+                               < keys_.size());
         mask_ &= ~(std::uint64_t{1} << static_cast<unsigned>(slot));
     }
 
@@ -194,27 +205,40 @@ class MuxArbiter
             lastSlot_ = slot;
             return slot;
         } else if constexpr (Kind == config::SchedulerKind::Fifo) {
+            // One pass over the seq halves of the key array.
             int best = lowestBit(m);
+            std::uint64_t best_seq =
+                keys_[static_cast<std::size_t>(best)].fifoSeq;
             m &= m - 1;
             while (m != 0) {
                 const int slot = lowestBit(m);
                 m &= m - 1;
-                if (head(slot).fifoSeq < head(best).fifoSeq)
+                const std::uint64_t seq =
+                    keys_[static_cast<std::size_t>(slot)].fifoSeq;
+                if (seq < best_seq) {
                     best = slot;
+                    best_seq = seq;
+                }
             }
             return best;
         } else if constexpr (Kind
                              == config::SchedulerKind::VirtualClock) {
+            // Lexicographic (stamp, fifoSeq): both fields of one
+            // 16-byte record, one contiguous stream.
             int best = lowestBit(m);
+            HeadKey best_key = keys_[static_cast<std::size_t>(best)];
             m &= m - 1;
             while (m != 0) {
                 const int slot = lowestBit(m);
                 m &= m - 1;
-                const HeadRecord& c = head(slot);
-                const HeadRecord& b = head(best);
-                if (c.stamp < b.stamp
-                    || (c.stamp == b.stamp && c.fifoSeq < b.fifoSeq))
+                const HeadKey key =
+                    keys_[static_cast<std::size_t>(slot)];
+                if (key.stamp < best_key.stamp
+                    || (key.stamp == best_key.stamp
+                        && key.fifoSeq < best_key.fifoSeq)) {
                     best = slot;
+                    best_key = key;
+                }
             }
             return best;
         } else {
@@ -250,7 +274,8 @@ class MuxArbiter
                 while (scan != 0) {
                     const int slot = lowestBit(scan);
                     scan &= scan - 1;
-                    const sim::Tick v = head(slot).vtick;
+                    const sim::Tick v =
+                        vticks_[static_cast<std::size_t>(slot)];
                     if (min_vtick == 0 || v < min_vtick)
                         min_vtick = v;
                 }
@@ -259,17 +284,29 @@ class MuxArbiter
                     const int slot = lowestBit(scan);
                     scan &= scan - 1;
                     deficit_[static_cast<std::size_t>(slot)] +=
-                        wrrWeight(min_vtick, head(slot).vtick);
+                        wrrWeight(
+                            min_vtick,
+                            vticks_[static_cast<std::size_t>(slot)]);
                 }
             }
             sim::panic("MuxArbiter: no WRR slot became eligible");
         }
     }
 
+    /** The (stamp, fifoSeq) tie-break pair of one slot's head flit;
+     *  16 bytes so four slots share a cache line. */
+    struct HeadKey
+    {
+        sim::Tick stamp = 0;
+        std::uint64_t fifoSeq = 0;
+    };
+
     std::uint64_t mask_ = 0;
     config::SchedulerKind kind_ = config::SchedulerKind::Fifo;
     int lastSlot_ = -1; ///< Rotation pointer (RoundRobin, WRR).
-    std::vector<HeadRecord> heads_;
+    // Cached head fields, split by access pattern (see file comment).
+    std::vector<HeadKey> keys_;
+    std::vector<sim::Tick> vticks_;  ///< WRR rate requests only.
     std::vector<std::uint64_t> deficit_; ///< WRR only; Q32.32.
 };
 

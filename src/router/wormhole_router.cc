@@ -1,5 +1,7 @@
 #include "router/wormhole_router.hh"
 
+#include <bit>
+
 #include "sim/logging.hh"
 
 namespace mediaworm::router {
@@ -23,6 +25,15 @@ WormholeRouter::WormholeRouter(sim::Simulator& simulator,
     creditReceivers_ = std::make_unique<PortCreditReceiver[]>(
         static_cast<std::size_t>(n));
 
+    const std::size_t total = static_cast<std::size_t>(n)
+        * static_cast<std::size_t>(m);
+    outCredits_.assign(total, 0);
+    outReserved_.assign(total, 0);
+    outOccupancy_.assign(total, 0);
+    outVclock_.assign(total, VirtualClockState{});
+    inVclock_.assign(total, VirtualClockState{});
+    allocatedMask_.assign(static_cast<std::size_t>(n), 0);
+
     for (int p = 0; p < n; ++p) {
         receivers_[static_cast<std::size_t>(p)].init(this, p);
         creditReceivers_[static_cast<std::size_t>(p)].init(this, p);
@@ -35,13 +46,16 @@ WormholeRouter::WormholeRouter(sim::Simulator& simulator,
             ivc.buffer = FlitBuffer(
                 static_cast<std::size_t>(cfg_.flitBufferDepth));
             ivc.routeEvent.init(this, p, v);
+            ivc.routeEvent.setBatchSink(this, kOpRouteComputed);
             ivc.serveEvent.init(this, p, v);
+            ivc.serveEvent.setBatchSink(this, kOpVcServe);
         }
         // The point-A arbiter only serves multiplexed crossbars, but
         // is initialised unconditionally so its mask state is always
         // well defined.
         ip.arb.init(cfg_.scheduler, m);
         ip.muxEvent.init(this, p);
+        ip.muxEvent.setBatchSink(this, kOpInputMux);
 
         OutputPort& op = outputAt(p);
         op.vcs.resize(static_cast<std::size_t>(m));
@@ -62,9 +76,12 @@ WormholeRouter::WormholeRouter(sim::Simulator& simulator,
                         : config::SchedulerKind::Fifo,
                     m);
         op.xbarEvent.init(this, p);
+        op.xbarEvent.setBatchSink(this, kOpXbarDeliver);
         op.muxEvent.init(this, p);
+        op.muxEvent.setBatchSink(this, kOpOutputMux);
     }
     scratchWaiters_.reserve(static_cast<std::size_t>(n * m));
+    simulator_.addLazyDrain(this);
 }
 
 void
@@ -85,8 +102,8 @@ WormholeRouter::connectOutputLink(int port, Link& link,
     op.link = &link;
     link.connectCreditReceiver(
         &creditReceivers_[static_cast<std::size_t>(port)]);
-    for (OutputVc& ovc : op.vcs)
-        ovc.credits = downstream_buffer_depth;
+    for (int v = 0; v < cfg_.numVcs; ++v)
+        outCredits_[vcIndex(port, v)] = downstream_buffer_depth;
 }
 
 void
@@ -106,11 +123,12 @@ WormholeRouter::outputLoad(int port) const
 {
     const OutputPort& op = outputAt(port);
     int load = op.xbarBusy ? 1 : 0;
-    for (const OutputVc& ovc : op.vcs) {
-        load += static_cast<int>(ovc.buffer.size()) + ovc.reservedSlots;
-        if (ovc.allocated)
-            ++load;
+    const std::size_t base = vcIndex(port, 0);
+    for (int v = 0; v < cfg_.numVcs; ++v) {
+        const std::size_t i = base + static_cast<std::size_t>(v);
+        load += outOccupancy_[i] + outReserved_[i];
     }
+    load += std::popcount(allocatedMask_[static_cast<std::size_t>(port)]);
     return load;
 }
 
@@ -124,13 +142,14 @@ WormholeRouter::flitArrived(int port, int vc, const Flit& flit)
     MW_ASSERT(!ivc.buffer.full());
 
     Flit stamped = flit;
+    VirtualClockState& vclock = inVclock_[vcIndex(port, vc)];
     if (stamped.isHeader()) {
         // The header carries the message's bandwidth request; install
         // it as this VC's Virtual Clock state (Section 3.3).
-        ivc.vclock.beginMessage(stamped.vtick);
+        vclock.beginMessage(stamped.vtick);
         ivc.vtick = stamped.vtick;
     }
-    stamped.stamp = ivc.vclock.tick(simulator_.now());
+    stamped.stamp = vclock.tick(simulator_.now());
     stamped.arrivalSeq = nextInputSeq_++;
     if (tracer_ != nullptr && tracer_->accepts(stamped.stream)) {
         tracer_->record({simulator_.now(),
@@ -163,9 +182,8 @@ WormholeRouter::creditArrived(int port, int vc)
                          sim::TracePoint::CreditReturn, sim::StreamId(),
                          0, 0, traceLocation_, port, vc});
     }
-    OutputPort& op = outputAt(port);
-    ++vcAt(op, vc).credits;
-    refreshOutputEligibility(op, vc);
+    ++outCredits_[vcIndex(port, vc)];
+    refreshOutputEligibility(port, vc);
     if (cfg_.switching == config::SwitchingKind::VirtualCutThrough)
         tryGrantNextWaiter(port, vc);
     kickOutputMux(port);
@@ -240,7 +258,10 @@ bool
 WormholeRouter::tryGrantNextWaiter(int out_port, int out_vc)
 {
     OutputVc& ovc = vcAt(outputAt(out_port), out_vc);
-    if (ovc.allocated || ovc.allocWaiters.empty())
+    const std::uint64_t vbit = std::uint64_t{1}
+        << static_cast<unsigned>(out_vc);
+    if ((allocatedMask_[static_cast<std::size_t>(out_port)] & vbit) != 0
+        || ovc.allocWaiters.empty())
         return false;
 
     const InputVcKey key = ovc.allocWaiters.front();
@@ -257,11 +278,11 @@ WormholeRouter::tryGrantNextWaiter(int out_port, int out_vc)
                        "flits) to fit the %d-flit VC buffers",
                        message_flits, cfg_.flitBufferDepth);
         }
-        if (ovc.credits < message_flits)
+        if (outCredits_[vcIndex(out_port, out_vc)] < message_flits)
             return false;
     }
     ovc.allocWaiters.pop_front();
-    ovc.allocated = true;
+    allocatedMask_[static_cast<std::size_t>(out_port)] |= vbit;
     grantOutputVc(key, out_port, out_vc);
     return true;
 }
@@ -275,6 +296,7 @@ WormholeRouter::grantOutputVc(InputVcKey key, int out_port, int out_vc)
     ivc.state = InputVcState::Active;
     ivc.outPortPtr = &outputAt(out_port);
     ivc.outVcPtr = &vcAt(*ivc.outPortPtr, out_vc);
+    ivc.outFlatIdx = vcIndex(out_port, out_vc);
     if (cfg_.crossbar == config::CrossbarKind::Multiplexed) {
         refreshInputEligibility(ip, key.vc);
         kickInputMux(key.port);
@@ -291,6 +313,7 @@ WormholeRouter::finishInputMessage(InputVcKey key)
     ivc.outVc = -1;
     ivc.outPortPtr = nullptr;
     ivc.outVcPtr = nullptr;
+    ivc.outFlatIdx = 0;
     if (!ivc.buffer.empty()) {
         // The next message's header is already queued behind the tail.
         startRouting(key.port, key.vc);
@@ -304,7 +327,8 @@ WormholeRouter::finishInputMessage(InputVcKey key)
 void
 WormholeRouter::kickInputMux(int port)
 {
-    if (!inputAt(port).muxBusy)
+    InputPort& ip = inputAt(port);
+    if (ip.mux.kick(simulator_, ip.muxEvent))
         serveInputMux(port);
 }
 
@@ -312,7 +336,7 @@ void
 WormholeRouter::serveInputMux(int port)
 {
     InputPort& ip = inputAt(port);
-    MW_DEBUG_ASSERT(!ip.muxBusy);
+    MW_DEBUG_ASSERT(!ip.mux.busy());
     MW_DEBUG_ASSERT(cfg_.crossbar == config::CrossbarKind::Multiplexed);
 
     // The arbiter mask holds every Active VC with a buffered head
@@ -329,7 +353,7 @@ WormholeRouter::serveInputMux(int port)
         OutputPort& op = *ivc.outPortPtr;
         OutputVc& ovc = *ivc.outVcPtr;
         if (ovc.buffer.space()
-            <= static_cast<std::size_t>(ovc.reservedSlots)) {
+            <= static_cast<std::size_t>(outReserved_[ivc.outFlatIdx])) {
             registerSpaceWaiter(ovc, {port, v});
             continue;
         }
@@ -350,8 +374,7 @@ WormholeRouter::serveInputMux(int port)
     // The flit is copied straight from the buffer head into the
     // crossbar register; no intermediate stack copy.
     OutputPort& op = *ivc.outPortPtr;
-    OutputVc& ovc = *ivc.outVcPtr;
-    ++ovc.reservedSlots;
+    ++outReserved_[ivc.outFlatIdx];
     MW_DEBUG_ASSERT(!op.xbarBusy);
     op.xbarBusy = true;
     op.xbarFlit = ivc.buffer.front();
@@ -370,14 +393,16 @@ WormholeRouter::serveInputMux(int port)
     // head; re-derive its bit once the dust settles.
     refreshInputEligibility(ip, v);
 
-    ip.muxBusy = true;
-    simulator_.scheduleAfter(ip.muxEvent, cycle());
+    // An empty mask means next cycle's wakeup is provably a no-op
+    // (the serve loop above has no side effects on an empty mask), so
+    // LazyTick elides it unless something raises a bit first.
+    ip.mux.arm(simulator_, ip.muxEvent, cycle(), ip.arb.mask() == 0);
 }
 
 void
 WormholeRouter::inputMuxFired(int port)
 {
-    inputAt(port).muxBusy = false;
+    inputAt(port).mux.fired();
     serveInputMux(port);
 }
 
@@ -399,12 +424,12 @@ WormholeRouter::serveInputVc(int port, int vc)
         return;
     OutputVc& ovc = *ivc.outVcPtr;
     if (ovc.buffer.space()
-        <= static_cast<std::size_t>(ovc.reservedSlots)) {
+        <= static_cast<std::size_t>(outReserved_[ivc.outFlatIdx])) {
         registerSpaceWaiter(ovc, {port, vc});
         return;
     }
 
-    ++ovc.reservedSlots;
+    ++outReserved_[ivc.outFlatIdx];
     ivc.inFlight = ivc.buffer.front();
     ivc.buffer.dropFront();
     ivc.inFlightOutPort = ivc.outPort;
@@ -463,19 +488,22 @@ WormholeRouter::depositIntoOutputVc(int out_port, int out_vc,
 {
     OutputPort& op = outputAt(out_port);
     OutputVc& ovc = vcAt(op, out_vc);
-    MW_DEBUG_ASSERT(ovc.reservedSlots > 0);
-    --ovc.reservedSlots;
+    const std::size_t idx = vcIndex(out_port, out_vc);
+    MW_DEBUG_ASSERT(outReserved_[idx] > 0);
+    --outReserved_[idx];
 
     // Point-C stamping: relevant when the configured discipline runs
     // at the VC output multiplexer (full crossbars). Stamped in
     // place — the caller's flit is dead after the push below.
+    VirtualClockState& vclock = outVclock_[idx];
     if (flit.isHeader())
-        ovc.vclock.beginMessage(flit.vtick);
-    flit.stamp = ovc.vclock.tick(simulator_.now());
+        vclock.beginMessage(flit.vtick);
+    flit.stamp = vclock.tick(simulator_.now());
     flit.arrivalSeq = op.nextArrivalSeq++;
     MW_DEBUG_ASSERT(!ovc.buffer.full());
     ovc.buffer.push(flit);
-    refreshOutputEligibility(op, out_vc);
+    ++outOccupancy_[idx];
+    refreshOutputEligibility(out_port, out_vc);
     kickOutputMux(out_port);
 }
 
@@ -484,7 +512,8 @@ WormholeRouter::depositIntoOutputVc(int out_port, int out_vc,
 void
 WormholeRouter::kickOutputMux(int port)
 {
-    if (!outputAt(port).muxBusy)
+    OutputPort& op = outputAt(port);
+    if (op.mux.kick(simulator_, op.muxEvent))
         serveOutputMux(port);
 }
 
@@ -492,7 +521,7 @@ void
 WormholeRouter::serveOutputMux(int port)
 {
     OutputPort& op = outputAt(port);
-    MW_DEBUG_ASSERT(!op.muxBusy);
+    MW_DEBUG_ASSERT(!op.mux.busy());
     MW_DEBUG_ASSERT(op.link != nullptr);
 
     // Point-C eligibility (buffered flit + credit) is maintained
@@ -518,8 +547,10 @@ WormholeRouter::serveOutputMux(int port)
                          port, v});
     }
     ovc.buffer.dropFront();
-    --ovc.credits;
-    refreshOutputEligibility(op, v);
+    const std::size_t idx = vcIndex(port, v);
+    --outCredits_[idx];
+    --outOccupancy_[idx];
+    refreshOutputEligibility(port, v);
     wakeSpaceWaiters(ovc);
 
     if (is_tail) {
@@ -527,19 +558,22 @@ WormholeRouter::serveOutputMux(int port)
         // to the next waiting message (stage-3 arbitration order;
         // virtual cut-through additionally gates on downstream
         // buffer space).
-        ovc.vclock.endMessage();
-        ovc.allocated = false;
+        outVclock_[idx].endMessage();
+        allocatedMask_[static_cast<std::size_t>(port)] &=
+            ~(std::uint64_t{1} << static_cast<unsigned>(v));
         tryGrantNextWaiter(port, v);
     }
 
-    op.muxBusy = true;
-    simulator_.scheduleAfter(op.muxEvent, cycle());
+    // An empty eligibility mask means next cycle's wakeup would do
+    // nothing (the anyEligible() gate above returns before any side
+    // effect), so LazyTick elides it.
+    op.mux.arm(simulator_, op.muxEvent, cycle(), !op.arb.anyEligible());
 }
 
 void
 WormholeRouter::outputMuxFired(int port)
 {
-    outputAt(port).muxBusy = false;
+    outputAt(port).mux.fired();
     serveOutputMux(port);
 }
 
@@ -577,6 +611,77 @@ WormholeRouter::wakeSpaceWaiters(OutputVc& ovc)
             kickInputVcServer(key.port, key.vc);
     }
     scratchWaiters_.clear();
+}
+
+// --- batched dispatch (DESIGN.md section 13) --------------------------------
+
+void
+WormholeRouter::fireBatch(sim::Event& first)
+{
+    // One virtual call covers every same-tick event targeting this
+    // router. Members are pulled from the live queue one at a time
+    // (Simulator::nextBatchMember), so events inserted mid-batch —
+    // e.g. a lazily-elided mux wakeup re-materialized by a kick —
+    // fire in exact (when, seq) order.
+    sim::Event* e = &first;
+    do {
+        switch (static_cast<BatchOp>(e->batchOp())) {
+        case kOpRouteComputed: {
+            auto* ev =
+                static_cast<VcEvent<&WormholeRouter::routeComputed>*>(e);
+            routeComputed(ev->port, ev->vc);
+            break;
+        }
+        case kOpVcServe: {
+            auto* ev =
+                static_cast<VcEvent<&WormholeRouter::vcServeFired>*>(e);
+            vcServeFired(ev->port, ev->vc);
+            break;
+        }
+        case kOpInputMux: {
+            auto* ev =
+                static_cast<PortEvent<&WormholeRouter::inputMuxFired>*>(
+                    e);
+            inputMuxFired(ev->port);
+            break;
+        }
+        case kOpXbarDeliver: {
+            auto* ev =
+                static_cast<PortEvent<&WormholeRouter::xbarDeliver>*>(e);
+            xbarDeliver(ev->port);
+            break;
+        }
+        case kOpOutputMux: {
+            auto* ev =
+                static_cast<PortEvent<&WormholeRouter::outputMuxFired>*>(
+                    e);
+            outputMuxFired(ev->port);
+            break;
+        }
+        }
+        e = simulator_.nextBatchMember(this);
+    } while (e != nullptr);
+}
+
+std::uint64_t
+WormholeRouter::flushLazy(sim::Tick until)
+{
+    std::uint64_t credited = 0;
+    for (int p = 0; p < cfg_.numPorts; ++p) {
+        credited += inputAt(p).mux.flush(until);
+        credited += outputAt(p).mux.flush(until);
+    }
+    return credited;
+}
+
+bool
+WormholeRouter::lazyPending() const
+{
+    for (int p = 0; p < cfg_.numPorts; ++p) {
+        if (inputAt(p).mux.pending() || outputAt(p).mux.pending())
+            return true;
+    }
+    return false;
 }
 
 // --- diagnostics ----------------------------------------------------------------
@@ -670,19 +775,28 @@ WormholeRouter::checkInvariants() const
         const OutputPort& op = outputAt(p);
         for (int v = 0; v < cfg_.numVcs; ++v) {
             const OutputVc& ovc = vcAt(op, v);
-            MW_CHECK(ovc.reservedSlots >= 0);
+            const std::size_t i = vcIndex(p, v);
+            MW_CHECK(outReserved_[i] >= 0);
             MW_CHECK(ovc.buffer.size()
-                          + static_cast<std::size_t>(ovc.reservedSlots)
+                          + static_cast<std::size_t>(outReserved_[i])
                       <= ovc.buffer.capacity());
-            MW_CHECK(ovc.credits >= 0);
-            if (!ovc.allocated) {
+            MW_CHECK(outCredits_[i] >= 0);
+            // SoA occupancy mirrors the buffer it shadows.
+            MW_CHECK(outOccupancy_[i]
+                      == static_cast<int>(ovc.buffer.size()));
+            const bool allocated =
+                (allocatedMask_[static_cast<std::size_t>(p)]
+                 >> static_cast<unsigned>(v))
+                & 1;
+            if (!allocated) {
                 // Wormhole grants immediately on release; only the
                 // cut-through space gate may leave waiters parked.
                 if (cfg_.switching == config::SwitchingKind::Wormhole)
                     MW_CHECK(ovc.allocWaiters.empty());
                 MW_CHECK(ovc.buffer.empty());
             }
-            const bool ready = !ovc.buffer.empty() && ovc.credits > 0;
+            const bool ready =
+                !ovc.buffer.empty() && outCredits_[i] > 0;
             MW_CHECK(op.arb.eligible(v) == ready);
             if (ready) {
                 const Flit& head = ovc.buffer.front();
@@ -690,6 +804,13 @@ WormholeRouter::checkInvariants() const
                 MW_CHECK(op.arb.head(v).fifoSeq == head.arrivalSeq);
                 MW_CHECK(op.arb.head(v).vtick == head.vtick);
             }
+        }
+        {
+            // The incremental refreshes must keep the arbiter mask
+            // equal to the one-pass SoA derivation.
+            const int v = -1;
+            (void)v;
+            MW_CHECK(op.arb.mask() == computeOutputMask(p));
         }
     }
 }

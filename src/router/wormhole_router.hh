@@ -79,8 +79,21 @@ using RouteFunction = std::function<RouteCandidates(sim::NodeId dest)>;
  */
 using RouteTable = std::vector<RouteCandidates>;
 
-/** An 8x8-class pipelined wormhole router with pluggable scheduling. */
-class WormholeRouter
+/**
+ * An 8x8-class pipelined wormhole router with pluggable scheduling.
+ *
+ * Hot-path organization (DESIGN.md section 13): the router is a
+ * sim::BatchSink - all its events carry an opcode and the kernel
+ * makes one virtual fireBatch() call per same-tick batch instead of
+ * one per event - and a sim::LazyDrain - idle multiplexer wakeups
+ * are elided via sim::LazyTick. Per-VC scalars read by the serve
+ * loops (output credits, reserved slots, occupancy, Virtual Clock
+ * state, allocation bits) live in flat struct-of-arrays members
+ * indexed [port * numVcs + vc], so one arbiter round touches a few
+ * contiguous cache lines instead of pointer-chasing through fat
+ * per-VC structs.
+ */
+class WormholeRouter : public sim::BatchSink, public sim::LazyDrain
 {
   public:
     /**
@@ -144,6 +157,14 @@ class WormholeRouter
 
     /** Runtime sanity check: verifies queue/credit invariants. */
     void checkInvariants() const;
+
+    // sim::BatchSink: one virtual dispatch per same-tick batch; the
+    // members fan out through a direct switch on their opcode.
+    void fireBatch(sim::Event& first) override;
+
+    // sim::LazyDrain: end-of-run accounting for elided mux wakeups.
+    std::uint64_t flushLazy(sim::Tick until) override;
+    bool lazyPending() const override;
 
     /**
      * Test-only: corrupts the state of input VC (@p port, @p vc) so
@@ -220,6 +241,19 @@ class WormholeRouter
     void outputMuxFired(int port);
 
     /**
+     * Opcodes for batched dispatch: fireBatch() switches on the
+     * member event's opcode and casts to its concrete type, replacing
+     * the per-event virtual fire() with a direct call.
+     */
+    enum BatchOp : std::uint8_t {
+        kOpRouteComputed, ///< VcEvent<&routeComputed>
+        kOpVcServe,       ///< VcEvent<&vcServeFired>
+        kOpInputMux,      ///< PortEvent<&inputMuxFired>
+        kOpXbarDeliver,   ///< PortEvent<&xbarDeliver>
+        kOpOutputMux,     ///< PortEvent<&outputMuxFired>
+    };
+
+    /**
      * Intrusive typed event calling a (port) router method; a direct
      * call on fire(), with no std::function erasure or allocation.
      */
@@ -275,10 +309,12 @@ class WormholeRouter
         // Direct pointers to the granted output port/VC, valid while
         // state == Active (ports and their VC vectors never move
         // after construction). The input-mux gate loop runs once per
-        // ready VC per mux round; these save the index arithmetic.
+        // ready VC per mux round; these save the index arithmetic,
+        // and outFlatIdx is the matching [port * numVcs + vc] index
+        // into the output-side SoA arrays.
         OutputPort* outPortPtr = nullptr;
         OutputVc* outVcPtr = nullptr;
-        VirtualClockState vclock; ///< Point-A stamping state.
+        std::size_t outFlatIdx = 0;
         sim::Tick vtick = kBestEffortVtick; ///< Current message's rate.
         /// Fires when stages 2-3 finish.
         VcEvent<&WormholeRouter::routeComputed> routeEvent;
@@ -301,18 +337,20 @@ class WormholeRouter
         // flit; the serve-time space/crossbar gates prune further.
         MuxArbiter arb;
         PortEvent<&WormholeRouter::inputMuxFired> muxEvent;
-        bool muxBusy = false;
+        sim::LazyTick mux; ///< Service-slot state; elides idle ticks.
     };
 
+    /**
+     * Output-VC cold state. The hot scalars the serve loops read
+     * (credits, reserved slots, occupancy, Virtual Clock state,
+     * allocation) live in the flat SoA arrays below, indexed
+     * [port * numVcs + vc].
+     */
     struct OutputVc
     {
         FlitBuffer buffer;
-        int credits = 0;        ///< Downstream buffer slots available.
-        int reservedSlots = 0;  ///< Claimed by flits in the crossbar.
-        bool allocated = false; ///< Held by a message (wormhole).
         Ring<InputVcKey> allocWaiters;
         std::vector<InputVcKey> spaceWaiters;
-        VirtualClockState vclock; ///< Point-C stamping state.
     };
 
     struct OutputPort
@@ -329,7 +367,7 @@ class WormholeRouter
         // Eligibility bit v = VC v has a buffered flit and a credit.
         MuxArbiter arb;
         PortEvent<&WormholeRouter::outputMuxFired> muxEvent;
-        bool muxBusy = false;
+        sim::LazyTick mux; ///< Service-slot state; elides idle ticks.
         std::uint64_t nextArrivalSeq = 0;
     };
 
@@ -398,13 +436,34 @@ class WormholeRouter
 
     /** Output bit v = (buffer non-empty && credits > 0). */
     void
-    refreshOutputEligibility(OutputPort& op, int vc)
+    refreshOutputEligibility(int port, int vc)
     {
+        OutputPort& op = outputAt(port);
         const OutputVc& ovc = vcAt(op, vc);
-        if (!ovc.buffer.empty() && ovc.credits > 0)
+        if (!ovc.buffer.empty() && outCredits_[vcIndex(port, vc)] > 0)
             op.arb.setEligible(vc, ovc.buffer.front());
         else
             op.arb.clearEligible(vc);
+    }
+
+    /**
+     * Re-derives output port @p port 's whole eligibility mask in one
+     * pass over the SoA occupancy/credit arrays - a handful of
+     * contiguous cache lines for any VC count. The incremental
+     * refreshes above keep the arbiter's mask equal to this at every
+     * quiescent point; checkInvariants() asserts exactly that.
+     */
+    std::uint64_t
+    computeOutputMask(int port) const
+    {
+        const std::size_t base = vcIndex(port, 0);
+        std::uint64_t mask = 0;
+        for (int v = 0; v < cfg_.numVcs; ++v) {
+            const std::size_t i = base + static_cast<std::size_t>(v);
+            if (outOccupancy_[i] > 0 && outCredits_[i] > 0)
+                mask |= std::uint64_t{1} << static_cast<unsigned>(v);
+        }
+        return mask;
     }
 
     // --- indexing helpers (keep signed port/vc ids out of the
@@ -450,6 +509,15 @@ class WormholeRouter
         return op.vcs[static_cast<std::size_t>(vc)];
     }
 
+    /** Flat [port * numVcs + vc] index into the per-VC SoA arrays. */
+    std::size_t
+    vcIndex(int port, int vc) const
+    {
+        return static_cast<std::size_t>(port)
+            * static_cast<std::size_t>(cfg_.numVcs)
+            + static_cast<std::size_t>(vc);
+    }
+
     sim::Tick cycle() const { return cycleTime_; }
 
     sim::Simulator& simulator_;
@@ -465,6 +533,28 @@ class WormholeRouter
     std::unique_ptr<OutputPort[]> outputs_;
     std::unique_ptr<PortReceiver[]> receivers_;
     std::unique_ptr<PortCreditReceiver[]> creditReceivers_;
+
+    // --- data-oriented per-VC hot state (DESIGN.md section 13) ------------
+    // Flat [port * numVcs + vc] arrays for the scalars the serve
+    // loops and the fat-channel load signal read every round; the
+    // cold per-VC state (buffers, waiter lists) stays in the structs.
+
+    /** Downstream buffer slots available per output VC. */
+    std::vector<int> outCredits_;
+    /** Output-buffer slots claimed by flits in the crossbar. */
+    std::vector<int> outReserved_;
+    /** Mirror of each output VC buffer's size (checked in
+     *  checkInvariants); keeps outputLoad()/computeOutputMask() on
+     *  the SoA arrays only. */
+    std::vector<int> outOccupancy_;
+    /** Point-C Virtual Clock stamping state per output VC. */
+    std::vector<VirtualClockState> outVclock_;
+    /** Point-A Virtual Clock stamping state per input VC. */
+    std::vector<VirtualClockState> inVclock_;
+    /** Per-port allocation bitmask: bit v = output VC v held by a
+     *  message (replaces a bool strewn across fat structs; popcount
+     *  gives outputLoad its allocation term in one instruction). */
+    std::vector<std::uint64_t> allocatedMask_;
 
     std::uint64_t nextInputSeq_ = 0;
     std::vector<InputVcKey> scratchWaiters_; ///< wakeSpaceWaiters scratch.

@@ -4,14 +4,6 @@
 
 namespace mediaworm::sim {
 
-namespace {
-
-constexpr std::size_t kBucketMask = EventQueue::kNumBuckets - 1;
-static_assert((EventQueue::kNumBuckets & kBucketMask) == 0,
-              "bucket count must be a power of two");
-
-} // namespace
-
 Event::~Event()
 {
     MW_ASSERT(!scheduled());
@@ -19,113 +11,9 @@ Event::~Event()
 
 EventQueue::EventQueue() : buckets_(kNumBuckets) {}
 
-bool
-EventQueue::before(const Event& a, const Event& b) const
-{
-    if (a.when_ != b.when_)
-        return a.when_ < b.when_;
-    return a.seq_ < b.seq_;
-}
-
-// --- near tier --------------------------------------------------------------
-
-bool
-EventQueue::tryScheduleNear(Event& event, std::int64_t bucket_number)
-{
-    // An empty near tier can re-anchor its window anywhere.
-    if (nearCount_ == 0)
-        cursorBucket_ = bucket_number;
-    else if (bucket_number < cursorBucket_
-             || bucket_number
-                 >= cursorBucket_
-                     + static_cast<std::int64_t>(kNumBuckets)) {
-        return false;
-    }
-
-    Bucket& bucket =
-        buckets_[static_cast<std::size_t>(bucket_number) & kBucketMask];
-
-    // Sorted insert from the tail under the full (when, seq) order.
-    // A counter-keyed event carries the largest seq, so for it this
-    // stops at the last event with when_ <= event.when_ - the tail
-    // check is the dominant case; a canonical-key event (seq below
-    // the counter range) may walk past same-tick counter-keyed
-    // events to its key slot.
-    Event* at = bucket.tail;
-    int scanned = 0;
-    while (at != nullptr && before(event, *at)) {
-        if (++scanned > kMaxInsertScan)
-            return false; // Awkward insert; the heap takes it.
-        at = at->nearPrev_;
-    }
-
-    event.nearPrev_ = at;
-    if (at != nullptr) {
-        event.nearNext_ = at->nearNext_;
-        at->nearNext_ = &event;
-    } else {
-        event.nearNext_ = bucket.head;
-        bucket.head = &event;
-    }
-    if (event.nearNext_ != nullptr)
-        event.nearNext_->nearPrev_ = &event;
-    else
-        bucket.tail = &event;
-
-    event.heapIndex_ = Event::kInNearTier;
-    ++nearCount_;
-    return true;
-}
-
-void
-EventQueue::unlinkNear(Event& event)
-{
-    Bucket& bucket = buckets_[static_cast<std::size_t>(
-                                  event.when_ >> kBucketShift)
-                              & kBucketMask];
-    if (event.nearPrev_ != nullptr)
-        event.nearPrev_->nearNext_ = event.nearNext_;
-    else
-        bucket.head = event.nearNext_;
-    if (event.nearNext_ != nullptr)
-        event.nearNext_->nearPrev_ = event.nearPrev_;
-    else
-        bucket.tail = event.nearPrev_;
-    event.nearPrev_ = nullptr;
-    event.nearNext_ = nullptr;
-    event.heapIndex_ = Event::kUnscheduled;
-    --nearCount_;
-}
-
-Event*
-EventQueue::nearFront() const
-{
-    if (nearCount_ == 0)
-        return nullptr;
-    // All near events live within kNumBuckets of the cursor, so this
-    // terminates; the cursor only ever moves forward, so the scan
-    // cost amortizes to one bucket visit per bucket of elapsed time.
-    while (buckets_[static_cast<std::size_t>(cursorBucket_)
-                    & kBucketMask]
-               .head
-           == nullptr) {
-        ++cursorBucket_;
-    }
-    return buckets_[static_cast<std::size_t>(cursorBucket_)
-                    & kBucketMask]
-        .head;
-}
-
-Event*
-EventQueue::earliest() const
-{
-    Event* near = nearFront();
-    if (near == nullptr)
-        return heap_.empty() ? nullptr : heap_.front();
-    if (heap_.empty() || before(*near, *heap_.front()))
-        return near;
-    return heap_.front();
-}
+// The near-tier hot path (tryScheduleNear, unlinkNear, nearFront,
+// earliest, schedule, pop variants) lives inline in the header; this
+// file keeps the far-tier heap and the cold maintenance entry points.
 
 // --- far tier ---------------------------------------------------------------
 
@@ -183,6 +71,7 @@ EventQueue::descheduleFar(Event& event)
     const auto index = static_cast<std::size_t>(event.heapIndex_);
     MW_ASSERT(index < heap_.size() && heap_[index] == &event);
     event.heapIndex_ = Event::kUnscheduled;
+    noteRemoved(event);
     Event* last = heap_.back();
     heap_.pop_back();
     if (last == &event)
@@ -196,17 +85,18 @@ EventQueue::descheduleFar(Event& event)
 // --- public API -------------------------------------------------------------
 
 void
-EventQueue::schedule(Event& event, Tick when)
+EventQueue::scheduleReserved(Event& event, Tick when,
+                             std::uint64_t seq)
 {
     MW_ASSERT(!event.scheduled());
     MW_ASSERT(when >= 0);
+    MW_ASSERT(!event.canonicalSeq_);
+    MW_ASSERT(seq >= kFirstDynamicSeq && seq < nextSeq_);
     event.when_ = when;
-    if (event.canonicalSeq_)
-        MW_ASSERT(event.seq_ < kFirstDynamicSeq);
-    else
-        event.seq_ = nextSeq_++;
+    event.seq_ = seq;
     if (!tryScheduleNear(event, when >> kBucketShift))
         scheduleFar(event);
+    noteScheduled(event);
 }
 
 void
@@ -227,25 +117,6 @@ EventQueue::reschedule(Event& event, Tick when)
     schedule(event, when);
 }
 
-Tick
-EventQueue::nextTime() const
-{
-    const Event* event = earliest();
-    return event == nullptr ? kTickNever : event->when_;
-}
-
-Event&
-EventQueue::pop()
-{
-    Event* event = earliest();
-    MW_ASSERT(event != nullptr);
-    if (event->heapIndex_ == Event::kInNearTier)
-        unlinkNear(*event);
-    else
-        descheduleFar(*event);
-    return *event;
-}
-
 void
 EventQueue::clear()
 {
@@ -261,10 +132,12 @@ EventQueue::clear()
         bucket.head = nullptr;
         bucket.tail = nullptr;
     }
+    occupied_.fill(0);
     nearCount_ = 0;
     for (Event* event : heap_)
         event->heapIndex_ = Event::kUnscheduled;
     heap_.clear();
+    front_ = nullptr;
 }
 
 } // namespace mediaworm::sim

@@ -78,8 +78,14 @@ PdesExecutor::run(Tick cap)
         if (next != kTickNever)
             start_time = std::min(start_time, next);
     }
-    if (start_time == kNoEvent || start_time > cap)
+    if (start_time == kNoEvent || start_time > cap) {
+        // No queued work, but elided wakeups at or before the cap
+        // would have fired as no-ops in the legacy path; settle them
+        // so eventsFired matches.
+        for (std::size_t i = 0; i < shards_.size(); ++i)
+            stats_[i].eventsFired += shards_[i]->settleLazy(cap);
         return;
+    }
 
     const int n = static_cast<int>(shards_.size());
     std::barrier<> exec_done(n);
@@ -143,6 +149,14 @@ PdesExecutor::run(Tick cap)
             MW_ASSERT(global_next > window_end);
             epoch_start = global_next;
         }
+
+        // The loop stops once no *queued* event remains at or before
+        // the cap, but elided no-op wakeups (sim::LazyTick) between
+        // the final window and the cap are invisible to the
+        // min-reduction; the legacy path would have kept running
+        // epochs to fire them. Settle them here so per-shard stats
+        // and eventsFired stay bit-identical.
+        stat.eventsFired += shard.settleLazy(cap);
     };
 
     std::vector<std::thread> threads;

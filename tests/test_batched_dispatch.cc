@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Unit tests for batched per-sink event dispatch and lazy-tick
+ * elision (DESIGN.md section 13).
+ *
+ * The contract under test: with batching on, the kernel makes one
+ * BatchSink::fireBatch() call per (tick, sink) group but fires the
+ * members in exactly the same (when, seq) order as the legacy
+ * per-event loop - including events inserted mid-batch, events that
+ * migrated from the far (heap) tier into the calendar ring, and
+ * batches split by a run() horizon. LazyTick must elide only wakeups
+ * that are provable no-ops and credit them at the times the legacy
+ * path would have fired them.
+ */
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+
+namespace {
+
+using namespace mediaworm::sim;
+
+/** A batch sink that logs the firing order of its labeled events. */
+class RecordingSink final : public BatchSink
+{
+  public:
+    struct LabeledEvent final : Event
+    {
+        RecordingSink* sink = nullptr;
+        int label = 0;
+        void fire() override { sink->fired(label); }
+        const char* name() const override { return "LabeledEvent"; }
+    };
+
+    explicit RecordingSink(Simulator& sim) : sim_(sim) {}
+
+    /** Makes event @p i of this sink carry @p label. */
+    LabeledEvent&
+    event(std::size_t i, int label)
+    {
+        LabeledEvent& e = events_.at(i);
+        e.sink = this;
+        e.label = label;
+        e.setBatchSink(this, 0);
+        return e;
+    }
+
+    void
+    fireBatch(Event& first) override
+    {
+        ++batches_;
+        Event* e = &first;
+        do {
+            e->fire();
+            e = sim_.nextBatchMember(this);
+        } while (e != nullptr);
+    }
+
+    void
+    fired(int label)
+    {
+        order_.push_back({sim_.now(), label});
+    }
+
+    const std::vector<std::pair<Tick, int>>& order() const
+    {
+        return order_;
+    }
+    int batches() const { return batches_; }
+
+  private:
+    Simulator& sim_;
+    // Fixed storage: events are intrusive queue nodes and must never
+    // move while scheduled.
+    std::array<LabeledEvent, 16> events_;
+    std::vector<std::pair<Tick, int>> order_;
+    int batches_ = 0;
+};
+
+TEST(BatchedDispatch, CoalescesSameTickEventsIntoOneBatch)
+{
+    Simulator sim;
+    RecordingSink sink(sim);
+    for (int i = 0; i < 8; ++i)
+        sim.schedule(sink.event(static_cast<std::size_t>(i), i), 100);
+    sim.runToCompletion();
+
+    EXPECT_EQ(sink.batches(), 1);
+    ASSERT_EQ(sink.order().size(), 8u);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(sink.order()[static_cast<std::size_t>(i)],
+                  (std::pair<Tick, int>{100, i}));
+    }
+    EXPECT_EQ(sim.eventsFired(), 8u);
+}
+
+TEST(BatchedDispatch, ForeignEventEndsTheBatch)
+{
+    Simulator sim;
+    RecordingSink a(sim);
+    RecordingSink b(sim);
+    sim.schedule(a.event(0, 0), 50);
+    sim.schedule(b.event(0, 100), 50);
+    sim.schedule(a.event(1, 1), 50);
+    sim.runToCompletion();
+
+    // Schedule order fixes the seq order a(0), b(100), a(1): sink a's
+    // first batch must stop at b's event, then a second batch fires
+    // a(1) - coalescing never reorders across a foreign member.
+    EXPECT_EQ(a.batches(), 2);
+    EXPECT_EQ(b.batches(), 1);
+    ASSERT_EQ(a.order().size(), 2u);
+    EXPECT_EQ(a.order()[0].second, 0);
+    EXPECT_EQ(a.order()[1].second, 1);
+}
+
+/**
+ * Service order is (when, seq) even when members entered through
+ * different tiers: events scheduled far in the future live in the
+ * heap tier until the clock approaches, then migrate into the
+ * calendar ring. Batching must not disturb the total order around
+ * that crossing.
+ */
+TEST(BatchedDispatch, PreservesServiceOrderAcrossTierCrossings)
+{
+    Simulator sim;
+    RecordingSink sink(sim);
+    // Far beyond the calendar ring's span (2^22 ticks), so these
+    // start in the heap tier ...
+    const Tick far = Tick{1} << 26;
+    sim.schedule(sink.event(0, 0), far);
+    sim.schedule(sink.event(1, 1), far);
+    // ... while these start in the near ring.
+    sim.schedule(sink.event(2, 2), 10);
+    sim.schedule(sink.event(3, 3), 10);
+    sim.runToCompletion();
+
+    ASSERT_EQ(sink.order().size(), 4u);
+    EXPECT_EQ(sink.order()[0], (std::pair<Tick, int>{10, 2}));
+    EXPECT_EQ(sink.order()[1], (std::pair<Tick, int>{10, 3}));
+    EXPECT_EQ(sink.order()[2], (std::pair<Tick, int>{far, 0}));
+    EXPECT_EQ(sink.order()[3], (std::pair<Tick, int>{far, 1}));
+    EXPECT_EQ(sink.batches(), 2);
+}
+
+/**
+ * A batch split by a run() horizon (the PDES shard window boundary)
+ * must fire members at the horizon and hold everything later,
+ * resuming in order on the next window.
+ */
+TEST(BatchedDispatch, RunHorizonSplitsBatchInOrder)
+{
+    Simulator sim;
+    RecordingSink sink(sim);
+    sim.schedule(sink.event(0, 0), 100);
+    sim.schedule(sink.event(1, 1), 100);
+    sim.schedule(sink.event(2, 2), 101);
+
+    sim.run(100);
+    ASSERT_EQ(sink.order().size(), 2u);
+    EXPECT_EQ(sink.order()[0].second, 0);
+    EXPECT_EQ(sink.order()[1].second, 1);
+
+    sim.run(200);
+    ASSERT_EQ(sink.order().size(), 3u);
+    EXPECT_EQ(sink.order()[2], (std::pair<Tick, int>{101, 2}));
+}
+
+/** A sink whose first event schedules a same-tick sibling mid-batch. */
+class SelfExtendingSink final : public BatchSink
+{
+  public:
+    explicit SelfExtendingSink(Simulator& sim) : sim_(sim)
+    {
+        for (int i = 0; i < 3; ++i) {
+            events_[static_cast<std::size_t>(i)].sink = this;
+            events_[static_cast<std::size_t>(i)].label = i;
+            events_[static_cast<std::size_t>(i)].setBatchSink(this, 0);
+        }
+    }
+
+    struct LabeledEvent final : Event
+    {
+        SelfExtendingSink* sink = nullptr;
+        int label = 0;
+        void fire() override { sink->fired(label); }
+        const char* name() const override { return "SelfExtending"; }
+    };
+
+    void
+    fireBatch(Event& first) override
+    {
+        Event* e = &first;
+        do {
+            e->fire();
+            e = sim_.nextBatchMember(this);
+        } while (e != nullptr);
+    }
+
+    void
+    fired(int label)
+    {
+        order_.push_back(label);
+        if (label == 0)
+            sim_.schedule(events_[2], sim_.now()); // same tick, new seq
+    }
+
+    LabeledEvent events_[3];
+    std::vector<int> order_;
+
+  private:
+    Simulator& sim_;
+};
+
+TEST(BatchedDispatch, MidBatchInsertionFiresWithinTheBatch)
+{
+    Simulator sim;
+    SelfExtendingSink sink(sim);
+    sim.schedule(sink.events_[0], 100);
+    sim.schedule(sink.events_[1], 100);
+    sim.runToCompletion();
+
+    // Event 2 is scheduled while 0 fires, so its seq places it after
+    // 1; pulling members off the live queue picks it up in exactly
+    // that position.
+    EXPECT_EQ(sink.order_, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(sim.eventsFired(), 3u);
+}
+
+// --- LazyTick ---------------------------------------------------------------
+
+TEST(LazyTick, ElidedWakeupIsCreditedByRunAtItsDueTime)
+{
+    Simulator sim;
+    CallbackEvent wakeup([] { FAIL() << "elided wakeup must not fire"; });
+    LazyTick tick;
+
+    tick.arm(sim, wakeup, 5, /*maskEmpty=*/true);
+    EXPECT_TRUE(tick.busy());
+    EXPECT_TRUE(tick.pending());
+    EXPECT_TRUE(sim.queue().empty());
+
+    // Not yet due: the wakeup stays pending across an earlier run ...
+    struct Drain final : LazyDrain
+    {
+        LazyTick* t;
+        std::uint64_t flushLazy(Tick until) override
+        {
+            return t->flush(until);
+        }
+        bool lazyPending() const override { return t->pending(); }
+    } drain;
+    drain.t = &tick;
+    sim.addLazyDrain(&drain);
+
+    sim.run(4);
+    EXPECT_TRUE(tick.pending());
+    EXPECT_EQ(sim.eventsFired(), 0u);
+
+    // ... and is credited as a fired no-op once the window covers it.
+    sim.run(10);
+    EXPECT_FALSE(tick.pending());
+    EXPECT_EQ(sim.eventsFired(), 1u);
+    EXPECT_EQ(sim.elidedEvents(), 1u);
+}
+
+TEST(LazyTick, KickBeforeDueTimeRematerializesAtExactPosition)
+{
+    Simulator sim;
+    std::vector<int> order;
+    CallbackEvent wakeup([&] { order.push_back(0); });
+    LazyTick tick;
+
+    // Reserve the wakeup's seq first, then schedule a later rival at
+    // the same tick: the rematerialized wakeup must still fire first.
+    tick.arm(sim, wakeup, 5, /*maskEmpty=*/true);
+    CallbackEvent rival([&] { order.push_back(1); });
+    sim.schedule(rival, 5);
+
+    EXPECT_FALSE(tick.kick(sim, wakeup)); // still ahead: rearmed
+    EXPECT_TRUE(tick.busy());
+    EXPECT_FALSE(tick.pending());
+
+    sim.runToCompletion();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+    EXPECT_EQ(sim.eventsFired(), 2u);
+    EXPECT_EQ(sim.elidedEvents(), 0u);
+}
+
+TEST(LazyTick, KickAfterDueKeyCreditsAndServesInline)
+{
+    Simulator sim;
+    LazyTick tick;
+    CallbackEvent wakeup([] { FAIL() << "credited wakeup must not fire"; });
+
+    bool kicked_ready = false;
+    CallbackEvent trigger([&] {
+        // At this point the firing event's seq is beyond the
+        // wakeup's reserved seq (same tick, reserved earlier), so the
+        // legacy path would already have fired the no-op wakeup:
+        // kick() credits it and tells the caller to serve inline.
+        kicked_ready = tick.kick(sim, wakeup);
+    });
+    tick.arm(sim, wakeup, 5, /*maskEmpty=*/true);
+    sim.schedule(trigger, 5);
+    sim.runToCompletion();
+
+    EXPECT_TRUE(kicked_ready);
+    EXPECT_FALSE(tick.busy());
+    EXPECT_EQ(sim.eventsFired(), 2u); // trigger + credited wakeup
+    EXPECT_EQ(sim.elidedEvents(), 1u);
+}
+
+TEST(LazyTick, DisabledBatchingFallsBackToRealSchedule)
+{
+    Simulator sim;
+    sim.setBatchedDispatch(false);
+    int fired = 0;
+    CallbackEvent wakeup([&] { ++fired; });
+    LazyTick tick;
+    tick.arm(sim, wakeup, 5, /*maskEmpty=*/true);
+    EXPECT_FALSE(tick.pending()); // really scheduled, not elided
+    sim.runToCompletion();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.elidedEvents(), 0u);
+}
+
+} // namespace
