@@ -257,6 +257,45 @@ BENCHMARK(BM_BatchedRouterTick)
     ->Unit(benchmark::kMillisecond);
 
 /**
+ * Idle-epoch fast-forward A/B (DESIGN.md section 14): a nearly idle
+ * router (2% offered load) whose simulated time is dominated by
+ * empty stretches between frames. With fastforward:0 the kernel
+ * still walks every lazy-elision drain scan on the legacy path;
+ * with fastforward:1 the O(1) lazy index lets the clock jump
+ * straight between real events. Results are bit-identical either
+ * way (tests/test_determinism.cc); the wall-time gap is the pure
+ * fast-forward win, and the skipped_ticks counter shows how much
+ * simulated time never touched the calendar ring.
+ */
+void
+BM_IdleEpochFastForward(benchmark::State& state)
+{
+    const bool fast_forward = state.range(0) != 0;
+    for (auto _ : state) {
+        core::ExperimentConfig cfg;
+        cfg.traffic.inputLoad = 0.02;
+        cfg.traffic.realTimeFraction = 1.0;
+        cfg.traffic.warmupFrames = 1;
+        cfg.traffic.measuredFrames = 2;
+        cfg.timeScale = 0.05;
+        cfg.fastForward = fast_forward;
+        const core::ExperimentResult result =
+            core::runExperiment(cfg);
+        benchmark::DoNotOptimize(result.eventsFired);
+        state.counters["events/s"] = benchmark::Counter(
+            static_cast<double>(result.eventsFired),
+            benchmark::Counter::kIsIterationInvariantRate);
+        state.counters["skipped_ticks"] = benchmark::Counter(
+            static_cast<double>(result.idleTicksSkipped));
+    }
+}
+BENCHMARK(BM_IdleEpochFastForward)
+    ->ArgName("fastforward")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+/**
  * Conservative-PDES scaling: one 4x2 fat-mesh experiment partitioned
  * across N shards (Arg = ExperimentConfig::shards; 1 is the classic
  * single-threaded kernel and the determinism oracle - every arg

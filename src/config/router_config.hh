@@ -83,6 +83,15 @@ struct RouterConfig
      */
     SchedulerKind injectionScheduler = SchedulerKind::Fifo;
 
+    /**
+     * Opts the arbiters (router and NI) into the vectorized pick
+     * kernels where the build compiled them in (router/simd.hh).
+     * Winner selection is bit-identical with the flag on or off; the
+     * toggle exists for differential determinism tests and kernel
+     * A/B benchmarks.
+     */
+    bool simdArbiter = true;
+
     /** Stages 1-3 traversed by a header before switch allocation. */
     int headerPipelineCycles = 3;
     /** Stage-1 latency paid by body/tail flits (bypass path). */

@@ -68,8 +68,10 @@ runExperiment(const ExperimentConfig& cfg)
             ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(s))));
         sims.push_back(extra_sims.back().get());
     }
-    for (sim::Simulator* shard : sims)
+    for (sim::Simulator* shard : sims) {
         shard->setBatchedDispatch(cfg.batchedDispatch);
+        shard->setFastForward(cfg.fastForward);
+    }
 
     network::MetricsHub metrics;
     sim::Rng net_rng = simulator.rng().split();
@@ -242,9 +244,11 @@ runExperiment(const ExperimentConfig& cfg)
     result.flitsDelivered = metrics.flitsDelivered();
     result.eventsFired = 0;
     result.elidedEvents = 0;
+    result.idleTicksSkipped = 0;
     for (sim::Simulator* shard : sims) {
         result.eventsFired += shard->eventsFired();
         result.elidedEvents += shard->elidedEvents();
+        result.idleTicksSkipped += shard->idleTicksSkipped();
     }
     result.rtStreams = static_cast<int>(plan.streams.size());
     result.streamsPerNode = plan.streamsPerNode;

@@ -74,6 +74,17 @@ struct ExperimentConfig
     bool batchedDispatch = true;
 
     /**
+     * Idle-epoch fast-forward (sim::Simulator::setFastForward). On
+     * (the default) the kernel keeps an O(1) index over elided
+     * wakeups so fully idle stretches of simulated time are jumped
+     * analytically instead of scanned per drain; off restores the
+     * legacy always-scan path. Either setting produces bit-identical
+     * results - deterministicHash does not depend on it
+     * (tests/test_determinism.cc enforces this).
+     */
+    bool fastForward = true;
+
+    /**
      * Observability: per-stream telemetry, flight recorder, event
      * trace. All off by default; enabling any of them changes no
      * deterministic output (see obs/observer.hh). A telemetry window
@@ -124,6 +135,13 @@ struct ExperimentResult
      *  dispatch-mode knob, so - like timing - excluded from the
      *  deterministic hash. */
     std::uint64_t elidedEvents = 0;
+    /** Simulated ticks the kernel clock jumped over without touching
+     *  the calendar ring (idle gaps between events, plus the tail up
+     *  to the cap), summed over shards. Purely a reporting counter:
+     *  it depends on the shard count (each shard skips its own local
+     *  gaps), so - unlike eventsFired - it is excluded from the
+     *  deterministic hash. */
+    std::uint64_t idleTicksSkipped = 0;
 
     int rtStreams = 0;       ///< Real-time streams offered.
     int streamsPerNode = 0;  ///< Per-node stream count.

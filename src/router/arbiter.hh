@@ -1,28 +1,38 @@
 /**
  * @file
- * Incremental multiplexer arbitration (DESIGN.md section 9).
+ * Incremental multiplexer arbitration (DESIGN.md sections 9 and 14).
  *
- * A MuxArbiter replaces the rebuild-and-scan pattern around the
- * virtual Scheduler classes on the per-flit hot path: instead of
- * collecting a std::vector<Candidate> by scanning every VC and then
- * paying a virtual pick() that scans it again, each multiplexer keeps
+ * Two arbiter front-ends share one set of pick kernels:
+ *
+ *  - MuxArbiter: a single multiplexer's state (the network
+ *    interface's injection mux, and the reference shape the
+ *    differential fuzz in tests/test_arbiter.cc exercises);
+ *  - MultiPortArbiter: every multiplexer of one router in flat
+ *    struct-of-arrays storage - one 64-bit eligibility mask per port
+ *    and one contiguous, 4-record-padded HeadKey array - so a
+ *    router's serve paths touch a handful of shared cache lines and
+ *    the whole-router sweep (peekAll) evaluates all ports in one
+ *    call.
+ *
+ * Each multiplexer keeps
  *
  *  - a 64-bit *eligibility bitmask* with one bit per VC slot, set and
  *    cleared at the events that change eligibility (head enqueue/pop,
  *    credit return, VC grant/release), and
  *  - cached *head fields* per slot, split by access pattern: the
  *    (stamp, fifoSeq) pair every tie-break compares lives in one
- *    contiguous 16-byte-record array (Virtual Clock reads the pair
- *    with a single stride-16 stream, FIFO the seq half of it), while
- *    the WRR-only vtick sits in a separate array the other
+ *    contiguous 16-byte-record array (router/simd.hh's HeadKey),
+ *    while the WRR-only vtick sits in a separate array the other
  *    disciplines never touch - refreshed whenever the slot's head
- *    flit changes,
+ *    flit changes.
  *
- * and the winner is computed by a kernel templated on
- * config::SchedulerKind that iterates the set bits with ctz. The kind
- * is fixed at construction; pick() dispatches through a four-way
- * switch on it, which the compiler turns into direct, inlinable calls
- * - no virtual dispatch and no per-round allocation.
+ * The winner is computed by kernels selected on config::SchedulerKind
+ * through a four-way switch the compiler turns into direct, inlinable
+ * calls - no virtual dispatch and no per-round allocation. The
+ * stateless disciplines (FIFO, Virtual Clock) additionally dispatch
+ * between the scalar ctz enumeration and the vectorized kernels in
+ * simd.hh on the eligible-slot count (kSimdMinEligible); both return
+ * the same winner, so the choice has no behavioral footprint.
  *
  * Winner selection is bit-identical to the legacy Scheduler classes
  * (kept in scheduler.hh as the reference implementation): the legacy
@@ -37,12 +47,14 @@
 #ifndef MEDIAWORM_ROUTER_ARBITER_HH
 #define MEDIAWORM_ROUTER_ARBITER_HH
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
 #include "config/router_config.hh"
 #include "router/flit.hh"
 #include "router/scheduler.hh"
+#include "router/simd.hh"
 #include "sim/logging.hh"
 #include "sim/time.hh"
 
@@ -56,6 +68,160 @@ struct HeadRecord
     sim::Tick vtick = kBestEffortVtick; ///< Rate request.
 };
 
+// --- shared pick kernels ----------------------------------------------------
+// Free functions over raw slot arrays, so both arbiter front-ends and
+// the benchmarks drive the exact same code. All take the pruned mask
+// @p m (non-zero) and enumerate set bits in ascending slot order.
+
+namespace arb {
+
+inline int
+lowestBit(std::uint64_t m)
+{
+    return __builtin_ctzll(m);
+}
+
+/** Smallest eligible slot strictly above @p last_slot, wrapping to
+ *  the smallest eligible slot; updates the rotation pointer. */
+inline int
+pickRoundRobin(std::uint64_t m, int& last_slot)
+{
+    const std::uint64_t above =
+        last_slot >= 63
+            ? 0
+            : m & (~std::uint64_t{0}
+                   << static_cast<unsigned>(last_slot + 1));
+    const int slot = lowestBit(above != 0 ? above : m);
+    last_slot = slot;
+    return slot;
+}
+
+/** One pass over the seq halves of the key array. */
+inline int
+pickFifoScalar(std::uint64_t m, const HeadKey* keys)
+{
+    int best = lowestBit(m);
+    std::uint64_t best_seq = keys[best].fifoSeq;
+    m &= m - 1;
+    while (m != 0) {
+        const int slot = lowestBit(m);
+        m &= m - 1;
+        const std::uint64_t seq = keys[slot].fifoSeq;
+        if (seq < best_seq) {
+            best = slot;
+            best_seq = seq;
+        }
+    }
+    return best;
+}
+
+/** Lexicographic (stamp, fifoSeq): both fields of one 16-byte
+ *  record, one contiguous stream. */
+inline int
+pickVirtualClockScalar(std::uint64_t m, const HeadKey* keys)
+{
+    int best = lowestBit(m);
+    HeadKey best_key = keys[best];
+    m &= m - 1;
+    while (m != 0) {
+        const int slot = lowestBit(m);
+        m &= m - 1;
+        const HeadKey key = keys[slot];
+        if (key.stamp < best_key.stamp
+            || (key.stamp == best_key.stamp
+                && key.fifoSeq < best_key.fifoSeq)) {
+            best = slot;
+            best_key = key;
+        }
+    }
+    return best;
+}
+
+/**
+ * Deficit round robin in Q32.32 fixed point (see wrrWeight in
+ * scheduler.hh). Two rounds at most: the replenish pass credits the
+ * fastest eligible slot with exactly one quantum.
+ */
+inline int
+pickWrr(std::uint64_t m, const sim::Tick* vticks,
+        std::uint64_t* deficit, int& last_slot)
+{
+    for (int round = 0; round < 2; ++round) {
+        std::uint64_t scan = m;
+        std::uint64_t best_deficit = 0;
+        int best = -1;
+        while (scan != 0) {
+            const int slot = lowestBit(scan);
+            scan &= scan - 1;
+            const std::uint64_t d = deficit[slot];
+            if (d >= kWrrQuantum && (best == -1 || d > best_deficit)) {
+                best_deficit = d;
+                best = slot;
+            }
+        }
+        if (best != -1) {
+            deficit[best] -= kWrrQuantum;
+            last_slot = best;
+            return best;
+        }
+        sim::Tick min_vtick = 0;
+        scan = m;
+        while (scan != 0) {
+            const int slot = lowestBit(scan);
+            scan &= scan - 1;
+            const sim::Tick v = vticks[slot];
+            if (min_vtick == 0 || v < min_vtick)
+                min_vtick = v;
+        }
+        scan = m;
+        while (scan != 0) {
+            const int slot = lowestBit(scan);
+            scan &= scan - 1;
+            deficit[slot] += wrrWeight(min_vtick, vticks[slot]);
+        }
+    }
+    sim::panic("arbiter: no WRR slot became eligible");
+}
+
+/** FIFO pick with scalar/SIMD dispatch on the eligible count. */
+inline int
+pickFifo(std::uint64_t m, const HeadKey* keys, int num_slots,
+         bool use_simd)
+{
+#if MW_SIMD_COMPILED
+    if (use_simd && std::popcount(m) >= kSimdMinEligible)
+        return simd::pickFifo(m, keys, num_slots);
+#else
+    (void)num_slots;
+    (void)use_simd;
+#endif
+    return pickFifoScalar(m, keys);
+}
+
+/** Virtual Clock pick with scalar/SIMD dispatch. */
+inline int
+pickVirtualClock(std::uint64_t m, const HeadKey* keys, int num_slots,
+                 bool use_simd)
+{
+#if MW_SIMD_COMPILED
+    if (use_simd && std::popcount(m) >= kSimdMinEligible)
+        return simd::pickVirtualClock(m, keys, num_slots);
+#else
+    (void)num_slots;
+    (void)use_simd;
+#endif
+    return pickVirtualClockScalar(m, keys);
+}
+
+/** Key arrays are padded to whole 4-record SIMD groups. */
+inline std::size_t
+paddedSlots(int num_slots)
+{
+    return (static_cast<std::size_t>(num_slots) + 3) & ~std::size_t{3};
+}
+
+} // namespace arb
+
 /**
  * Per-multiplexer arbitration state: eligibility bitmask, cached head
  * records and the rotation/deficit state of the stateful disciplines.
@@ -68,14 +234,18 @@ class MuxArbiter
     /**
      * Fixes the discipline and slot count. @p num_slots must be at
      * most 64 (one bitmask bit per VC; RouterConfig::validate
-     * enforces the same bound on numVcs).
+     * enforces the same bound on numVcs). @p use_simd opts the
+     * stateless disciplines into the vectorized kernels where
+     * compiled in; winners are identical either way.
      */
     void
-    init(config::SchedulerKind kind, int num_slots)
+    init(config::SchedulerKind kind, int num_slots, bool use_simd = true)
     {
         MW_ASSERT(num_slots >= 1 && num_slots <= 64);
         kind_ = kind;
-        keys_.assign(static_cast<std::size_t>(num_slots), HeadKey{});
+        numSlots_ = num_slots;
+        simd_ = use_simd && MW_SIMD_COMPILED != 0;
+        keys_.assign(arb::paddedSlots(num_slots), HeadKey{});
         vticks_.assign(static_cast<std::size_t>(num_slots),
                        kBestEffortVtick);
         if (kind_ == config::SchedulerKind::WeightedRoundRobin)
@@ -119,9 +289,7 @@ class MuxArbiter
     setEligible(int slot, sim::Tick stamp, std::uint64_t fifo_seq,
                 sim::Tick vtick)
     {
-        MW_DEBUG_ASSERT(slot >= 0
-                        && static_cast<std::size_t>(slot)
-                               < keys_.size());
+        MW_DEBUG_ASSERT(slot >= 0 && slot < numSlots_);
         const auto s = static_cast<std::size_t>(slot);
         keys_[s].stamp = stamp;
         keys_[s].fifoSeq = fifo_seq;
@@ -140,9 +308,7 @@ class MuxArbiter
     void
     clearEligible(int slot)
     {
-        MW_DEBUG_ASSERT(slot >= 0
-                        && static_cast<std::size_t>(slot)
-                               < keys_.size());
+        MW_DEBUG_ASSERT(slot >= 0 && slot < numSlots_);
         mask_ &= ~(std::uint64_t{1} << static_cast<unsigned>(slot));
     }
 
@@ -164,150 +330,225 @@ class MuxArbiter
         MW_DEBUG_ASSERT(m != 0 && (m & ~mask_) == 0);
         switch (kind_) {
           case config::SchedulerKind::Fifo:
-            return kernel<config::SchedulerKind::Fifo>(m);
+            return arb::pickFifo(m, keys_.data(), numSlots_, simd_);
           case config::SchedulerKind::RoundRobin:
-            return kernel<config::SchedulerKind::RoundRobin>(m);
+            return arb::pickRoundRobin(m, lastSlot_);
           case config::SchedulerKind::VirtualClock:
-            return kernel<config::SchedulerKind::VirtualClock>(m);
+            return arb::pickVirtualClock(m, keys_.data(), numSlots_,
+                                         simd_);
           case config::SchedulerKind::WeightedRoundRobin:
-            return kernel<config::SchedulerKind::WeightedRoundRobin>(
-                m);
+            return arb::pickWrr(m, vticks_.data(), deficit_.data(),
+                                lastSlot_);
         }
         sim::panic("MuxArbiter: unknown scheduler kind");
     }
 
   private:
-    static int
-    lowestBit(std::uint64_t m)
-    {
-        return __builtin_ctzll(m);
-    }
-
-    /**
-     * The arbitration kernel for discipline @p Kind: one pass over
-     * the set bits of @p m in ascending slot order. Mirrors the
-     * corresponding Scheduler::pick() exactly; see the file comment
-     * for why the iteration order makes the two bit-identical.
-     */
-    template <config::SchedulerKind Kind>
-    int
-    kernel(std::uint64_t m)
-    {
-        if constexpr (Kind == config::SchedulerKind::RoundRobin) {
-            // Smallest slot strictly above the previous winner,
-            // wrapping to the smallest eligible slot.
-            const std::uint64_t above =
-                lastSlot_ >= 63
-                    ? 0
-                    : m & (~std::uint64_t{0}
-                           << static_cast<unsigned>(lastSlot_ + 1));
-            const int slot = lowestBit(above != 0 ? above : m);
-            lastSlot_ = slot;
-            return slot;
-        } else if constexpr (Kind == config::SchedulerKind::Fifo) {
-            // One pass over the seq halves of the key array.
-            int best = lowestBit(m);
-            std::uint64_t best_seq =
-                keys_[static_cast<std::size_t>(best)].fifoSeq;
-            m &= m - 1;
-            while (m != 0) {
-                const int slot = lowestBit(m);
-                m &= m - 1;
-                const std::uint64_t seq =
-                    keys_[static_cast<std::size_t>(slot)].fifoSeq;
-                if (seq < best_seq) {
-                    best = slot;
-                    best_seq = seq;
-                }
-            }
-            return best;
-        } else if constexpr (Kind
-                             == config::SchedulerKind::VirtualClock) {
-            // Lexicographic (stamp, fifoSeq): both fields of one
-            // 16-byte record, one contiguous stream.
-            int best = lowestBit(m);
-            HeadKey best_key = keys_[static_cast<std::size_t>(best)];
-            m &= m - 1;
-            while (m != 0) {
-                const int slot = lowestBit(m);
-                m &= m - 1;
-                const HeadKey key =
-                    keys_[static_cast<std::size_t>(slot)];
-                if (key.stamp < best_key.stamp
-                    || (key.stamp == best_key.stamp
-                        && key.fifoSeq < best_key.fifoSeq)) {
-                    best = slot;
-                    best_key = key;
-                }
-            }
-            return best;
-        } else {
-            static_assert(
-                Kind == config::SchedulerKind::WeightedRoundRobin);
-            // Deficit round robin in Q32.32 fixed point (see
-            // wrrWeight in scheduler.hh). Two rounds at most: the
-            // replenish pass credits the fastest eligible slot with
-            // exactly one quantum.
-            for (int round = 0; round < 2; ++round) {
-                std::uint64_t scan = m;
-                std::uint64_t best_deficit = 0;
-                int best = -1;
-                while (scan != 0) {
-                    const int slot = lowestBit(scan);
-                    scan &= scan - 1;
-                    const std::uint64_t d =
-                        deficit_[static_cast<std::size_t>(slot)];
-                    if (d >= kWrrQuantum
-                        && (best == -1 || d > best_deficit)) {
-                        best_deficit = d;
-                        best = slot;
-                    }
-                }
-                if (best != -1) {
-                    deficit_[static_cast<std::size_t>(best)] -=
-                        kWrrQuantum;
-                    lastSlot_ = best;
-                    return best;
-                }
-                sim::Tick min_vtick = 0;
-                scan = m;
-                while (scan != 0) {
-                    const int slot = lowestBit(scan);
-                    scan &= scan - 1;
-                    const sim::Tick v =
-                        vticks_[static_cast<std::size_t>(slot)];
-                    if (min_vtick == 0 || v < min_vtick)
-                        min_vtick = v;
-                }
-                scan = m;
-                while (scan != 0) {
-                    const int slot = lowestBit(scan);
-                    scan &= scan - 1;
-                    deficit_[static_cast<std::size_t>(slot)] +=
-                        wrrWeight(
-                            min_vtick,
-                            vticks_[static_cast<std::size_t>(slot)]);
-                }
-            }
-            sim::panic("MuxArbiter: no WRR slot became eligible");
-        }
-    }
-
-    /** The (stamp, fifoSeq) tie-break pair of one slot's head flit;
-     *  16 bytes so four slots share a cache line. */
-    struct HeadKey
-    {
-        sim::Tick stamp = 0;
-        std::uint64_t fifoSeq = 0;
-    };
-
     std::uint64_t mask_ = 0;
     config::SchedulerKind kind_ = config::SchedulerKind::Fifo;
+    int numSlots_ = 0;
+    bool simd_ = false;
     int lastSlot_ = -1; ///< Rotation pointer (RoundRobin, WRR).
     // Cached head fields, split by access pattern (see file comment).
     std::vector<HeadKey> keys_;
     std::vector<sim::Tick> vticks_;  ///< WRR rate requests only.
     std::vector<std::uint64_t> deficit_; ///< WRR only; Q32.32.
+};
+
+/**
+ * All multiplexers of one router in flat struct-of-arrays storage
+ * (DESIGN.md section 14): masks_[p] is port p's eligibility bitmask
+ * and keys_[p * stride + v] its slot v head key, with the stride
+ * padded to whole 4-record SIMD groups. One instance serves a
+ * router's input muxes and another its output muxes, replacing the
+ * per-port MuxArbiter members - the serve loops index two shared
+ * arrays instead of chasing per-port objects, and whole-router
+ * queries (peekAll, the invariant cross-check) sweep the arrays in
+ * one call.
+ *
+ * Picks remain per-port operations invoked in the exact event order
+ * the batched dispatcher pulls them in: a serve's side effects
+ * (crossbar occupancy, credits, seq reservations) feed the very next
+ * port's gates, so precomputing winners across ports would reorder
+ * the simulation. The one-pass sweep is therefore exposed through the
+ * side-effect-free peekAll() - used by diagnostics, invariants and
+ * the arbitration benchmarks - while the serve paths call
+ * pick()/pickMasked() per port through the same kernels.
+ */
+class MultiPortArbiter
+{
+  public:
+    MultiPortArbiter() = default;
+
+    /** Fixes discipline, port count and per-port slot count; see
+     *  MuxArbiter::init() for the SIMD opt-in. */
+    void
+    init(config::SchedulerKind kind, int num_ports, int num_slots,
+         bool use_simd = true)
+    {
+        MW_ASSERT(num_ports >= 1 && num_ports <= 64);
+        MW_ASSERT(num_slots >= 1 && num_slots <= 64);
+        kind_ = kind;
+        numPorts_ = num_ports;
+        numSlots_ = num_slots;
+        stride_ = arb::paddedSlots(num_slots);
+        simd_ = use_simd && MW_SIMD_COMPILED != 0;
+        const auto ports = static_cast<std::size_t>(num_ports);
+        masks_.assign(ports, 0);
+        keys_.assign(ports * stride_, HeadKey{});
+        vticks_.assign(ports * stride_, kBestEffortVtick);
+        if (kind_ == config::SchedulerKind::WeightedRoundRobin)
+            deficit_.assign(ports * stride_, 0);
+        lastSlot_.assign(ports, -1);
+    }
+
+    /** The discipline every port of this arbiter dispatches to. */
+    config::SchedulerKind kind() const { return kind_; }
+
+    /** True when at least one of @p port 's slots is eligible. */
+    bool
+    anyEligible(int port) const
+    {
+        return masks_[static_cast<std::size_t>(port)] != 0;
+    }
+
+    /** Port @p port 's eligibility bitmask (bit v = slot v). */
+    std::uint64_t
+    mask(int port) const
+    {
+        return masks_[static_cast<std::size_t>(port)];
+    }
+
+    /** True when slot @p slot of @p port is eligible. */
+    bool
+    eligible(int port, int slot) const
+    {
+        return (mask(port) >> static_cast<unsigned>(slot)) & 1u;
+    }
+
+    /** Cached head fields (diagnostics; see MuxArbiter::head). */
+    HeadRecord
+    head(int port, int slot) const
+    {
+        const std::size_t i = base(port) + static_cast<std::size_t>(slot);
+        return {keys_[i].stamp, keys_[i].fifoSeq, vticks_[i]};
+    }
+
+    /** Marks (@p port, @p slot) eligible and caches its head fields. */
+    void
+    setEligible(int port, int slot, sim::Tick stamp,
+                std::uint64_t fifo_seq, sim::Tick vtick)
+    {
+        MW_DEBUG_ASSERT(port >= 0 && port < numPorts_);
+        MW_DEBUG_ASSERT(slot >= 0 && slot < numSlots_);
+        const std::size_t i = base(port) + static_cast<std::size_t>(slot);
+        keys_[i].stamp = stamp;
+        keys_[i].fifoSeq = fifo_seq;
+        vticks_[i] = vtick;
+        masks_[static_cast<std::size_t>(port)] |=
+            std::uint64_t{1} << static_cast<unsigned>(slot);
+    }
+
+    /** Convenience overload reading the fields from a head flit. */
+    void
+    setEligible(int port, int slot, const Flit& head)
+    {
+        setEligible(port, slot, head.stamp, head.arrivalSeq,
+                    head.vtick);
+    }
+
+    /** Clears (@p port, @p slot)'s eligibility bit (idempotent). */
+    void
+    clearEligible(int port, int slot)
+    {
+        MW_DEBUG_ASSERT(port >= 0 && port < numPorts_);
+        MW_DEBUG_ASSERT(slot >= 0 && slot < numSlots_);
+        masks_[static_cast<std::size_t>(port)] &=
+            ~(std::uint64_t{1} << static_cast<unsigned>(slot));
+    }
+
+    /** Picks @p port 's winner among all its eligible slots. */
+    int pick(int port) { return pickMasked(port, mask(port)); }
+
+    /** As pick(), restricted to @p m (a subset of the port's mask). */
+    int
+    pickMasked(int port, std::uint64_t m)
+    {
+        MW_DEBUG_ASSERT(m != 0 && (m & ~mask(port)) == 0);
+        const HeadKey* keys = keys_.data() + base(port);
+        switch (kind_) {
+          case config::SchedulerKind::Fifo:
+            return arb::pickFifo(m, keys, numSlots_, simd_);
+          case config::SchedulerKind::RoundRobin:
+            return arb::pickRoundRobin(
+                m, lastSlot_[static_cast<std::size_t>(port)]);
+          case config::SchedulerKind::VirtualClock:
+            return arb::pickVirtualClock(m, keys, numSlots_, simd_);
+          case config::SchedulerKind::WeightedRoundRobin:
+            return arb::pickWrr(
+                m, vticks_.data() + base(port),
+                deficit_.data() + base(port),
+                lastSlot_[static_cast<std::size_t>(port)]);
+        }
+        sim::panic("MultiPortArbiter: unknown scheduler kind");
+    }
+
+    /** True for disciplines whose pick has no side effects, making
+     *  peekMasked()/peekAll() well defined. */
+    bool
+    statelessKind() const
+    {
+        return kind_ == config::SchedulerKind::Fifo
+            || kind_ == config::SchedulerKind::VirtualClock;
+    }
+
+    /**
+     * The winner pickMasked() would return, without updating any
+     * state. Stateless disciplines only.
+     */
+    int
+    peekMasked(int port, std::uint64_t m) const
+    {
+        MW_DEBUG_ASSERT(statelessKind());
+        MW_DEBUG_ASSERT(m != 0 && (m & ~mask(port)) == 0);
+        const HeadKey* keys = keys_.data() + base(port);
+        if (kind_ == config::SchedulerKind::Fifo)
+            return arb::pickFifo(m, keys, numSlots_, simd_);
+        return arb::pickVirtualClock(m, keys, numSlots_, simd_);
+    }
+
+    /**
+     * One-pass whole-router sweep: writes each port's would-be winner
+     * to @p winners[port], -1 where the port has no eligible slot.
+     * Side-effect free (stateless disciplines only); the diagnostics
+     * and benchmark entry point for the vectorized kernels.
+     */
+    void
+    peekAll(int* winners) const
+    {
+        for (int p = 0; p < numPorts_; ++p) {
+            const std::uint64_t m = mask(p);
+            winners[p] = m == 0 ? -1 : peekMasked(p, m);
+        }
+    }
+
+  private:
+    std::size_t
+    base(int port) const
+    {
+        return static_cast<std::size_t>(port) * stride_;
+    }
+
+    config::SchedulerKind kind_ = config::SchedulerKind::Fifo;
+    int numPorts_ = 0;
+    int numSlots_ = 0;
+    std::size_t stride_ = 0;
+    bool simd_ = false;
+    std::vector<std::uint64_t> masks_;
+    std::vector<HeadKey> keys_;
+    std::vector<sim::Tick> vticks_;  ///< WRR rate requests only.
+    std::vector<std::uint64_t> deficit_; ///< WRR only; Q32.32.
+    std::vector<int> lastSlot_; ///< Rotation pointers (RR, WRR).
 };
 
 } // namespace mediaworm::router

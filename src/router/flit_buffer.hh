@@ -50,8 +50,13 @@ class FlitBuffer
     /** True if at capacity (never for unbounded buffers). */
     bool full() const { return capacity_ != 0 && size_ == capacity_; }
 
-    /** Appends a flit; the buffer must not be full. */
-    void
+    /**
+     * Appends a flit; the buffer must not be full. Returns a
+     * reference to the stored copy (valid until the next push/pop),
+     * so callers that stamp arrival fields can write them in place
+     * instead of staging the flit through a stack temporary.
+     */
+    Flit&
     push(const Flit& flit)
     {
         MW_DEBUG_ASSERT(!full());
@@ -69,6 +74,7 @@ class FlitBuffer
             tail -= ring_.size();
         ring_[tail] = flit;
         ++size_;
+        return ring_[tail];
     }
 
     /** The oldest flit; the buffer must not be empty. */

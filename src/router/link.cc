@@ -137,9 +137,13 @@ Link::deliverFlits()
 {
     const sim::Tick now = receiverSim_->now();
     while (!flitPipe_.empty() && flitPipe_.front().deliverAt <= now) {
-        InFlightFlit entry = flitPipe_.front();
-        flitPipe_.pop_front();
+        // Deliver by reference: nothing reached from receiveFlit()
+        // pushes onto this link's flit pipe (only the upstream output
+        // mux sends here, via a scheduled event), so the front entry
+        // stays put until the pop below - no ~112-byte stack copy.
+        const InFlightFlit& entry = flitPipe_.front();
         receiver_->receiveFlit(entry.flit, entry.vc);
+        flitPipe_.pop_front();
     }
     if (!flitPipe_.empty())
         receiverSim_->schedule(flitEvent_, flitPipe_.front().deliverAt);

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Vectorized arbitration pick kernels (DESIGN.md section 14).
+ *
+ * Portable SIMD via the GCC/Clang vector extensions - no intrinsics
+ * headers, so the same code compiles to SSE/AVX on x86 and NEON on
+ * arm64. The kernels are built when the MEDIAWORM_SIMD configure
+ * option defines MW_SIMD (and the compiler supports
+ * __builtin_shufflevector); otherwise MW_SIMD_COMPILED stays 0 and
+ * the arbiters always run the scalar kernels in arbiter.hh.
+ *
+ * Winner selection is bit-identical to the scalar kernels: slots are
+ * processed in ascending order within each residue class, a lane's
+ * running best is replaced only on a strictly smaller key, and the
+ * final horizontal reduce breaks full-key ties toward the smaller
+ * slot - exactly the order a ctz enumeration visits. Ineligible
+ * lanes are blended to (INT64_MAX, INT64_MAX) sentinels, which no
+ * real key reaches: Virtual Clock stamps saturate at kBestEffortVtick
+ * (INT64_MAX / 4, router/virtual_clock.hh) and arrival seqs are far
+ * below 2^63.
+ */
+
+#ifndef MEDIAWORM_ROUTER_SIMD_HH
+#define MEDIAWORM_ROUTER_SIMD_HH
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/time.hh"
+
+namespace mediaworm::router {
+
+/**
+ * The (stamp, fifoSeq) tie-break pair of one slot's head flit; 16
+ * bytes so four slots share a cache line and one 32-byte vector load
+ * covers two. Shared by the scalar kernels (arbiter.hh) and the
+ * vectorized ones below.
+ */
+struct HeadKey
+{
+    sim::Tick stamp = 0;
+    std::uint64_t fifoSeq = 0;
+};
+
+/**
+ * Eligible-slot count at which the pick dispatch switches from the
+ * ctz enumeration to the vectorized kernel. Sparse masks (the common
+ * case at moderate load) finish faster slot-by-slot; wide masks - the
+ * high-VC shapes where the scalar SoA round regressed - amortize the
+ * fixed per-group vector cost. Either kernel returns the same winner,
+ * so the threshold is pure tuning with no behavioral footprint.
+ */
+inline constexpr int kSimdMinEligible = 8;
+
+// The kernels hinge on packed 64-bit integer compares. Baseline
+// x86-64 (SSE2) has no pcmpgtq, and GCC's element-wise emulation of
+// it is 4-6x *slower* than the scalar ctz enumeration - measured on
+// the reference container - so the vector path is only compiled where
+// the target ISA provides real 64-bit lane compares: AVX2 on x86
+// (the MEDIAWORM_SIMD configure option adds -mavx2) or AArch64 NEON
+// (cmgt.2d is baseline there). Anywhere else the arbiters silently
+// keep the scalar kernels, which pick bit-identical winners.
+#if defined(MW_SIMD)                                                   \
+    && (defined(__clang__) || (defined(__GNUC__) && __GNUC__ >= 12))  \
+    && (defined(__AVX2__) || defined(__aarch64__))
+#define MW_SIMD_COMPILED 1
+#else
+#define MW_SIMD_COMPILED 0
+#endif
+
+#if MW_SIMD_COMPILED
+
+namespace simd {
+
+typedef std::int64_t I64x4 __attribute__((vector_size(32)));
+
+inline I64x4
+broadcast(std::int64_t v)
+{
+    return I64x4{v, v, v, v};
+}
+
+/** Lane-blend masks indexed by a 4-bit eligibility nibble. */
+inline constexpr I64x4 kNibbleMask[16] = {
+    I64x4{0, 0, 0, 0},    I64x4{-1, 0, 0, 0},
+    I64x4{0, -1, 0, 0},   I64x4{-1, -1, 0, 0},
+    I64x4{0, 0, -1, 0},   I64x4{-1, 0, -1, 0},
+    I64x4{0, -1, -1, 0},  I64x4{-1, -1, -1, 0},
+    I64x4{0, 0, 0, -1},   I64x4{-1, 0, 0, -1},
+    I64x4{0, -1, 0, -1},  I64x4{-1, -1, 0, -1},
+    I64x4{0, 0, -1, -1},  I64x4{-1, 0, -1, -1},
+    I64x4{0, -1, -1, -1}, I64x4{-1, -1, -1, -1},
+};
+
+/**
+ * Loads four consecutive HeadKey records and de-interleaves them into
+ * a stamp vector and a seq vector (two 32-byte loads + two shuffles).
+ * The caller guarantees 4-record alignment of the *count* (arrays are
+ * padded to a multiple of four records), not of the address.
+ */
+inline void
+load4(const HeadKey* k, I64x4& stamps, I64x4& seqs)
+{
+    I64x4 a; // s0 f0 s1 f1
+    I64x4 b; // s2 f2 s3 f3
+    __builtin_memcpy(&a, k, sizeof(a));
+    __builtin_memcpy(&b, k + 2, sizeof(b));
+    stamps = __builtin_shufflevector(a, b, 0, 2, 4, 6);
+    seqs = __builtin_shufflevector(a, b, 1, 3, 5, 7);
+}
+
+/**
+ * Vertical 4-lane tournament followed by a horizontal reduce. @p Fifo
+ * selects the smallest fifoSeq; otherwise the lexicographically
+ * smallest (stamp, fifoSeq). @p m must be non-zero and confined to
+ * the first @p num_slots bits.
+ */
+template <bool Fifo>
+inline int
+pickKernel(std::uint64_t m, const HeadKey* keys, int num_slots)
+{
+    constexpr std::int64_t kMax =
+        std::numeric_limits<std::int64_t>::max();
+    const I64x4 maxv = broadcast(kMax);
+    I64x4 best_stamp = maxv;
+    I64x4 best_seq = maxv;
+    I64x4 best_slot = broadcast(0);
+    const int groups = (num_slots + 3) >> 2;
+    for (int g = 0; g < groups; ++g) {
+        const unsigned nib =
+            static_cast<unsigned>(m >> (4 * g)) & 0xFu;
+        if (nib == 0)
+            continue;
+        I64x4 stamps;
+        I64x4 seqs;
+        load4(keys + 4 * g, stamps, seqs);
+        const I64x4 elig = kNibbleMask[nib];
+        seqs = (seqs & elig) | (maxv & ~elig);
+        I64x4 lt;
+        if constexpr (Fifo) {
+            lt = seqs < best_seq;
+        } else {
+            stamps = (stamps & elig) | (maxv & ~elig);
+            lt = (stamps < best_stamp)
+                | ((stamps == best_stamp) & (seqs < best_seq));
+            best_stamp = (stamps & lt) | (best_stamp & ~lt);
+        }
+        const I64x4 slot = broadcast(4 * g) + I64x4{0, 1, 2, 3};
+        best_seq = (seqs & lt) | (best_seq & ~lt);
+        best_slot = (slot & lt) | (best_slot & ~lt);
+    }
+    // Horizontal reduce. A (kMax, kMax) lane never saw an eligible
+    // slot (real keys stay below the sentinels); full-key ties across
+    // lanes resolve to the smaller slot, matching ascending scalar
+    // enumeration.
+    int best = -1;
+    std::int64_t bs = kMax;
+    std::int64_t bq = kMax;
+    for (int lane = 0; lane < 4; ++lane) {
+        const std::int64_t s = Fifo ? 0 : best_stamp[lane];
+        const std::int64_t q = best_seq[lane];
+        if (q == kMax && (Fifo || s == kMax))
+            continue;
+        const auto slot = static_cast<int>(best_slot[lane]);
+        const bool smaller =
+            s < bs || (s == bs && (q < bq || (q == bq && slot < best)));
+        if (best == -1 || smaller) {
+            best = slot;
+            bs = s;
+            bq = q;
+        }
+    }
+    return best;
+}
+
+/** Smallest arrival seq among the eligible slots (FIFO discipline). */
+inline int
+pickFifo(std::uint64_t m, const HeadKey* keys, int num_slots)
+{
+    return pickKernel<true>(m, keys, num_slots);
+}
+
+/** Lexicographically smallest (stamp, fifoSeq) - Virtual Clock. */
+inline int
+pickVirtualClock(std::uint64_t m, const HeadKey* keys, int num_slots)
+{
+    return pickKernel<false>(m, keys, num_slots);
+}
+
+} // namespace simd
+
+#endif // MW_SIMD_COMPILED
+
+} // namespace mediaworm::router
+
+#endif // MEDIAWORM_ROUTER_SIMD_HH

@@ -33,6 +33,7 @@ WormholeRouter::WormholeRouter(sim::Simulator& simulator,
     outVclock_.assign(total, VirtualClockState{});
     inVclock_.assign(total, VirtualClockState{});
     allocatedMask_.assign(static_cast<std::size_t>(n), 0);
+    xbarWaiters_.assign(static_cast<std::size_t>(n), 0);
 
     for (int p = 0; p < n; ++p) {
         receivers_[static_cast<std::size_t>(p)].init(this, p);
@@ -50,10 +51,6 @@ WormholeRouter::WormholeRouter(sim::Simulator& simulator,
             ivc.serveEvent.init(this, p, v);
             ivc.serveEvent.setBatchSink(this, kOpVcServe);
         }
-        // The point-A arbiter only serves multiplexed crossbars, but
-        // is initialised unconditionally so its mask state is always
-        // well defined.
-        ip.arb.init(cfg_.scheduler, m);
         ip.muxEvent.init(this, p);
         ip.muxEvent.setBatchSink(this, kOpInputMux);
 
@@ -68,18 +65,21 @@ WormholeRouter::WormholeRouter(sim::Simulator& simulator,
                 Ring<InputVcKey>(static_cast<std::size_t>(n * m));
             ovc.spaceWaiters.reserve(static_cast<std::size_t>(n * m));
         }
-        // Point C uses the configured discipline for full crossbars
-        // (where it is the only flit-level contention point) and
-        // FIFO otherwise, matching Section 3.3's placement argument.
-        op.arb.init(cfg_.crossbar == config::CrossbarKind::Full
-                        ? cfg_.scheduler
-                        : config::SchedulerKind::Fifo,
-                    m);
         op.xbarEvent.init(this, p);
         op.xbarEvent.setBatchSink(this, kOpXbarDeliver);
         op.muxEvent.init(this, p);
         op.muxEvent.setBatchSink(this, kOpOutputMux);
     }
+    // The point-A arbiter only serves multiplexed crossbars, but is
+    // initialised unconditionally so its mask state is always well
+    // defined. Point C uses the configured discipline for full
+    // crossbars (where it is the only flit-level contention point)
+    // and FIFO otherwise, matching Section 3.3's placement argument.
+    inputArb_.init(cfg_.scheduler, n, m, cfg_.simdArbiter);
+    outputArb_.init(cfg_.crossbar == config::CrossbarKind::Full
+                        ? cfg_.scheduler
+                        : config::SchedulerKind::Fifo,
+                    n, m, cfg_.simdArbiter);
     scratchWaiters_.reserve(static_cast<std::size_t>(n * m));
     simulator_.addLazyDrain(this);
 }
@@ -121,8 +121,8 @@ WormholeRouter::setRouteTable(RouteTable table)
 int
 WormholeRouter::outputLoad(int port) const
 {
-    const OutputPort& op = outputAt(port);
-    int load = op.xbarBusy ? 1 : 0;
+    int load = static_cast<int>(
+        (xbarBusyMask_ >> static_cast<unsigned>(port)) & 1);
     const std::size_t base = vcIndex(port, 0);
     for (int v = 0; v < cfg_.numVcs; ++v) {
         const std::size_t i = base + static_cast<std::size_t>(v);
@@ -141,7 +141,10 @@ WormholeRouter::flitArrived(int port, int vc, const Flit& flit)
     InputVc& ivc = vcAt(ip, vc);
     MW_ASSERT(!ivc.buffer.full());
 
-    Flit stamped = flit;
+    // Push first, stamp in place: the buffer hands back the stored
+    // slot, so the arrival fields land directly in ring memory
+    // instead of staging the ~96-byte flit through a stack temporary.
+    Flit& stamped = ivc.buffer.push(flit);
     VirtualClockState& vclock = inVclock_[vcIndex(port, vc)];
     if (stamped.isHeader()) {
         // The header carries the message's bandwidth request; install
@@ -157,14 +160,13 @@ WormholeRouter::flitArrived(int port, int vc, const Flit& flit)
                          stamped.message, stamped.index,
                          traceLocation_, port, vc});
     }
-    ivc.buffer.push(stamped);
 
     if (ivc.state == InputVcState::Idle) {
         MW_ASSERT(stamped.isHeader());
         startRouting(port, vc);
     } else if (ivc.state == InputVcState::Active) {
         if (cfg_.crossbar == config::CrossbarKind::Multiplexed) {
-            refreshInputEligibility(ip, vc);
+            refreshInputEligibility(port, vc);
             kickInputMux(port);
         } else {
             kickInputVcServer(port, vc);
@@ -298,7 +300,7 @@ WormholeRouter::grantOutputVc(InputVcKey key, int out_port, int out_vc)
     ivc.outVcPtr = &vcAt(*ivc.outPortPtr, out_vc);
     ivc.outFlatIdx = vcIndex(out_port, out_vc);
     if (cfg_.crossbar == config::CrossbarKind::Multiplexed) {
-        refreshInputEligibility(ip, key.vc);
+        refreshInputEligibility(key.port, key.vc);
         kickInputMux(key.port);
     } else {
         kickInputVcServer(key.port, key.vc);
@@ -344,22 +346,25 @@ WormholeRouter::serveInputMux(int port)
     // here (they depend on other ports' state), pruning the mask and
     // parking blocked VCs on the matching wait list. Bits are walked
     // in ascending VC order, exactly like the scan this replaces.
-    std::uint64_t pending = ip.arb.mask();
+    // Both gates read SoA state only - the downstream-space test uses
+    // the occupancy mirror (output buffers all have flitBufferDepth
+    // capacity) and the crossbar test one bit of xbarBusyMask_ - so
+    // the common path never dereferences the granted port/VC structs.
+    const int depth = cfg_.flitBufferDepth;
+    std::uint64_t pending = inputArb_.mask(port);
     std::uint64_t serveable = 0;
     while (pending != 0) {
         const int v = __builtin_ctzll(pending);
         pending &= pending - 1;
         InputVc& ivc = vcAt(ip, v);
-        OutputPort& op = *ivc.outPortPtr;
-        OutputVc& ovc = *ivc.outVcPtr;
-        if (ovc.buffer.space()
-            <= static_cast<std::size_t>(outReserved_[ivc.outFlatIdx])) {
-            registerSpaceWaiter(ovc, {port, v});
+        const std::size_t idx = ivc.outFlatIdx;
+        if (depth - outOccupancy_[idx] <= outReserved_[idx]) {
+            registerSpaceWaiter(*ivc.outVcPtr, {port, v});
             continue;
         }
-        if (op.xbarBusy) {
-            op.xbarWaiters |= std::uint64_t{1}
-                << static_cast<unsigned>(port);
+        if ((xbarBusyMask_ >> static_cast<unsigned>(ivc.outPort)) & 1) {
+            xbarWaiters_[static_cast<std::size_t>(ivc.outPort)] |=
+                std::uint64_t{1} << static_cast<unsigned>(port);
             continue;
         }
         serveable |= std::uint64_t{1} << static_cast<unsigned>(v);
@@ -367,7 +372,7 @@ WormholeRouter::serveInputMux(int port)
     if (serveable == 0)
         return;
 
-    const int v = ip.arb.pickMasked(serveable);
+    const int v = inputArb_.pickMasked(port, serveable);
     InputVc& ivc = vcAt(ip, v);
 
     // Dispatch the head flit into the crossbar (point B server).
@@ -375,8 +380,11 @@ WormholeRouter::serveInputMux(int port)
     // crossbar register; no intermediate stack copy.
     OutputPort& op = *ivc.outPortPtr;
     ++outReserved_[ivc.outFlatIdx];
-    MW_DEBUG_ASSERT(!op.xbarBusy);
-    op.xbarBusy = true;
+    MW_DEBUG_ASSERT(
+        ((xbarBusyMask_ >> static_cast<unsigned>(ivc.outPort)) & 1)
+        == 0);
+    xbarBusyMask_ |= std::uint64_t{1}
+        << static_cast<unsigned>(ivc.outPort);
     op.xbarFlit = ivc.buffer.front();
     op.xbarFlitVc = ivc.outVc;
     ivc.buffer.dropFront();
@@ -391,12 +399,13 @@ WormholeRouter::serveInputMux(int port)
         finishInputMessage({port, v});
     // The pop (and, for tails, the VC release) changed this slot's
     // head; re-derive its bit once the dust settles.
-    refreshInputEligibility(ip, v);
+    refreshInputEligibility(port, v);
 
     // An empty mask means next cycle's wakeup is provably a no-op
     // (the serve loop above has no side effects on an empty mask), so
     // LazyTick elides it unless something raises a bit first.
-    ip.mux.arm(simulator_, ip.muxEvent, cycle(), ip.arb.mask() == 0);
+    ip.mux.arm(simulator_, ip.muxEvent, cycle(),
+               inputArb_.mask(port) == 0);
 }
 
 void
@@ -463,9 +472,11 @@ void
 WormholeRouter::xbarDeliver(int out_port)
 {
     OutputPort& op = outputAt(out_port);
-    MW_DEBUG_ASSERT(op.xbarBusy);
+    MW_DEBUG_ASSERT(
+        ((xbarBusyMask_ >> static_cast<unsigned>(out_port)) & 1) == 1);
     const int out_vc = op.xbarFlitVc;
-    op.xbarBusy = false;
+    xbarBusyMask_ &=
+        ~(std::uint64_t{1} << static_cast<unsigned>(out_port));
     op.xbarFlitVc = -1;
     // The crossbar register is dead once deposited (the deposit
     // copies it into the output buffer before any nested serve can
@@ -473,8 +484,8 @@ WormholeRouter::xbarDeliver(int out_port)
     depositIntoOutputVc(out_port, out_vc, op.xbarFlit);
 
     // Wake input multiplexers blocked on this crossbar output.
-    std::uint64_t waiters = op.xbarWaiters;
-    op.xbarWaiters = 0;
+    std::uint64_t waiters = xbarWaiters_[static_cast<std::size_t>(out_port)];
+    xbarWaiters_[static_cast<std::size_t>(out_port)] = 0;
     while (waiters != 0) {
         const int p = __builtin_ctzll(waiters);
         waiters &= waiters - 1;
@@ -527,10 +538,10 @@ WormholeRouter::serveOutputMux(int port)
     // Point-C eligibility (buffered flit + credit) is maintained
     // incrementally at deposit/credit/send time, so an idle kick is
     // one mask test instead of a VC scan.
-    if (!op.arb.anyEligible())
+    if (!outputArb_.anyEligible(port))
         return;
 
-    const int v = op.arb.pick();
+    const int v = outputArb_.pick(port);
     OutputVc& ovc = vcAt(op, v);
 
     // The link copies the flit into its in-flight queue (delivery is
@@ -567,7 +578,8 @@ WormholeRouter::serveOutputMux(int port)
     // An empty eligibility mask means next cycle's wakeup would do
     // nothing (the anyEligible() gate above returns before any side
     // effect), so LazyTick elides it.
-    op.mux.arm(simulator_, op.muxEvent, cycle(), !op.arb.anyEligible());
+    op.mux.arm(simulator_, op.muxEvent, cycle(),
+               !outputArb_.anyEligible(port));
 }
 
 void
@@ -762,13 +774,13 @@ WormholeRouter::checkInvariants() const
                 const bool ready =
                     ivc.state == InputVcState::Active
                     && !ivc.buffer.empty();
-                MW_CHECK(ip.arb.eligible(v) == ready);
+                MW_CHECK(inputArb_.eligible(p, v) == ready);
                 if (ready) {
                     const Flit& head = ivc.buffer.front();
-                    MW_CHECK(ip.arb.head(v).stamp == head.stamp);
-                    MW_CHECK(ip.arb.head(v).fifoSeq
+                    MW_CHECK(inputArb_.head(p, v).stamp == head.stamp);
+                    MW_CHECK(inputArb_.head(p, v).fifoSeq
                               == head.arrivalSeq);
-                    MW_CHECK(ip.arb.head(v).vtick == head.vtick);
+                    MW_CHECK(inputArb_.head(p, v).vtick == head.vtick);
                 }
             }
         }
@@ -797,12 +809,12 @@ WormholeRouter::checkInvariants() const
             }
             const bool ready =
                 !ovc.buffer.empty() && outCredits_[i] > 0;
-            MW_CHECK(op.arb.eligible(v) == ready);
+            MW_CHECK(outputArb_.eligible(p, v) == ready);
             if (ready) {
                 const Flit& head = ovc.buffer.front();
-                MW_CHECK(op.arb.head(v).stamp == head.stamp);
-                MW_CHECK(op.arb.head(v).fifoSeq == head.arrivalSeq);
-                MW_CHECK(op.arb.head(v).vtick == head.vtick);
+                MW_CHECK(outputArb_.head(p, v).stamp == head.stamp);
+                MW_CHECK(outputArb_.head(p, v).fifoSeq == head.arrivalSeq);
+                MW_CHECK(outputArb_.head(p, v).vtick == head.vtick);
             }
         }
         {
@@ -810,7 +822,24 @@ WormholeRouter::checkInvariants() const
             // equal to the one-pass SoA derivation.
             const int v = -1;
             (void)v;
-            MW_CHECK(op.arb.mask() == computeOutputMask(p));
+            MW_CHECK(outputArb_.mask(p) == computeOutputMask(p));
+        }
+    }
+    // One-pass sweep consistency: for stateless disciplines the
+    // vectorized all-ports peek must agree with the per-port pick
+    // the serve paths would make (DESIGN.md section 14).
+    const MultiPortArbiter* const sweeps[] = {&inputArb_, &outputArb_};
+    for (const MultiPortArbiter* arb : sweeps) {
+        if (!arb->statelessKind())
+            continue;
+        int winners[64];
+        arb->peekAll(winners);
+        for (int p = 0; p < cfg_.numPorts; ++p) {
+            const int v = -1;
+            (void)v;
+            const std::uint64_t m = arb->mask(p);
+            MW_CHECK(winners[p]
+                      == (m == 0 ? -1 : arb->peekMasked(p, m)));
         }
     }
 }

@@ -332,10 +332,11 @@ class WormholeRouter : public sim::BatchSink, public sim::LazyDrain
         // Fixed array: InputVc embeds events and cannot be moved.
         std::unique_ptr<InputVc[]> vcs;
         Link* link = nullptr; ///< For returning credits upstream.
-        // Point A: the crossbar input multiplexer (multiplexed mode).
-        // Eligibility bit v = VC v is Active with a buffered head
-        // flit; the serve-time space/crossbar gates prune further.
-        MuxArbiter arb;
+        // Point A (multiplexed mode) arbitration state lives in the
+        // router-level inputArb_ (one MultiPortArbiter across all
+        // input muxes); eligibility bit v = VC v is Active with a
+        // buffered head flit; the serve-time space/crossbar gates
+        // prune further.
         PortEvent<&WormholeRouter::inputMuxFired> muxEvent;
         sim::LazyTick mux; ///< Service-slot state; elides idle ticks.
     };
@@ -358,14 +359,15 @@ class WormholeRouter : public sim::BatchSink, public sim::LazyDrain
         std::vector<OutputVc> vcs;
         Link* link = nullptr;
         // Point B: the crossbar output port (capacity-one server).
-        bool xbarBusy = false;
+        // Its busy bit lives in the router-level xbarBusyMask_ (and
+        // the blocked-mux set in xbarWaiters_), so the input-mux gate
+        // loop tests it without dereferencing this struct.
         Flit xbarFlit;
         int xbarFlitVc = -1;
         PortEvent<&WormholeRouter::xbarDeliver> xbarEvent;
-        std::uint64_t xbarWaiters = 0; ///< Bitmask of blocked muxes.
-        // Point C: the VC output multiplexer driving the link.
+        // Point C: the VC output multiplexer driving the link; its
+        // arbitration state lives in the router-level outputArb_.
         // Eligibility bit v = VC v has a buffered flit and a credit.
-        MuxArbiter arb;
         PortEvent<&WormholeRouter::outputMuxFired> muxEvent;
         sim::LazyTick mux; ///< Service-slot state; elides idle ticks.
         std::uint64_t nextArrivalSeq = 0;
@@ -425,25 +427,24 @@ class WormholeRouter : public sim::BatchSink, public sim::LazyDrain
 
     /** Input bit v = (state == Active && buffer non-empty). */
     void
-    refreshInputEligibility(InputPort& ip, int vc)
+    refreshInputEligibility(int port, int vc)
     {
-        const InputVc& ivc = vcAt(ip, vc);
+        const InputVc& ivc = vcAt(inputAt(port), vc);
         if (ivc.state == InputVcState::Active && !ivc.buffer.empty())
-            ip.arb.setEligible(vc, ivc.buffer.front());
+            inputArb_.setEligible(port, vc, ivc.buffer.front());
         else
-            ip.arb.clearEligible(vc);
+            inputArb_.clearEligible(port, vc);
     }
 
     /** Output bit v = (buffer non-empty && credits > 0). */
     void
     refreshOutputEligibility(int port, int vc)
     {
-        OutputPort& op = outputAt(port);
-        const OutputVc& ovc = vcAt(op, vc);
+        const OutputVc& ovc = vcAt(outputAt(port), vc);
         if (!ovc.buffer.empty() && outCredits_[vcIndex(port, vc)] > 0)
-            op.arb.setEligible(vc, ovc.buffer.front());
+            outputArb_.setEligible(port, vc, ovc.buffer.front());
         else
-            op.arb.clearEligible(vc);
+            outputArb_.clearEligible(port, vc);
     }
 
     /**
@@ -555,6 +556,20 @@ class WormholeRouter : public sim::BatchSink, public sim::LazyDrain
      *  message (replaces a bool strewn across fat structs; popcount
      *  gives outputLoad its allocation term in one instruction). */
     std::vector<std::uint64_t> allocatedMask_;
+    // One-pass arbitration (DESIGN.md section 14): all point-A and
+    // point-C multiplexers of this router share two MultiPortArbiter
+    // instances - per-port masks and 4-padded HeadKey rows in flat
+    // arrays - so the serve loops and the whole-router sweeps index
+    // shared storage instead of per-port objects.
+    MultiPortArbiter inputArb_;  ///< Point A, one mux per input port.
+    MultiPortArbiter outputArb_; ///< Point C, one mux per output port.
+    /** Bit p = output port p's crossbar server holds a flit. The gate
+     *  loop in serveInputMux() tests every candidate VC's crossbar
+     *  availability against this one word. */
+    std::uint64_t xbarBusyMask_ = 0;
+    /** Per-output-port bitmask of input muxes blocked on its crossbar
+     *  server; drained (and cleared) by xbarDeliver(). */
+    std::vector<std::uint64_t> xbarWaiters_;
 
     std::uint64_t nextInputSeq_ = 0;
     std::vector<InputVcKey> scratchWaiters_; ///< wakeSpaceWaiters scratch.

@@ -270,32 +270,58 @@ EventQueue::tryScheduleNear(Event& event, std::int64_t bucket_number)
     Bucket& bucket =
         buckets_[static_cast<std::size_t>(bucket_number) & mask];
 
-    // Sorted insert from the tail under the full (when, seq) order.
-    // A counter-keyed event carries the largest seq, so for it this
-    // stops at the last event with when_ <= event.when_ - the tail
-    // check is the dominant case; a canonical-key event (seq below
-    // the counter range) may walk past same-tick counter-keyed
-    // events to its key slot.
-    Event* at = bucket.tail;
-    int scanned = 0;
-    while (at != nullptr && before(event, *at)) {
-        if (++scanned > kMaxInsertScan)
-            return false; // Awkward insert; the heap takes it.
-        at = at->nearPrev_;
-    }
-
-    event.nearPrev_ = at;
-    if (at != nullptr) {
-        event.nearNext_ = at->nearNext_;
-        at->nearNext_ = &event;
+    // Sorted insert under the full (when, seq) order, entered from
+    // the end where the event's key lives. A counter-keyed event
+    // carries the largest seq, so a tail-first walk stops at the
+    // last event with when_ <= event.when_ - usually immediately. A
+    // canonical-key event (seq below the counter range) precedes
+    // every same-tick counter-keyed event, so it walks head-first
+    // instead: past earlier ticks and earlier canonical keys only,
+    // never through a same-tick batch. (Tail-first for those used to
+    // exhaust kMaxInsertScan against busy ticks and bounce the
+    // link-delivery events - two per flit - to the far heap.)
+    if (event.canonicalSeq_) {
+        Event* at = bucket.head;
+        int scanned = 0;
+        while (at != nullptr && before(*at, event)) {
+            if (++scanned > kMaxInsertScan)
+                return false; // Awkward insert; the heap takes it.
+            at = at->nearNext_;
+        }
+        // Insert immediately before `at` (or at the tail).
+        event.nearNext_ = at;
+        if (at != nullptr) {
+            event.nearPrev_ = at->nearPrev_;
+            at->nearPrev_ = &event;
+        } else {
+            event.nearPrev_ = bucket.tail;
+            bucket.tail = &event;
+        }
+        if (event.nearPrev_ != nullptr)
+            event.nearPrev_->nearNext_ = &event;
+        else
+            bucket.head = &event;
     } else {
-        event.nearNext_ = bucket.head;
-        bucket.head = &event;
+        Event* at = bucket.tail;
+        int scanned = 0;
+        while (at != nullptr && before(event, *at)) {
+            if (++scanned > kMaxInsertScan)
+                return false; // Awkward insert; the heap takes it.
+            at = at->nearPrev_;
+        }
+        event.nearPrev_ = at;
+        if (at != nullptr) {
+            event.nearNext_ = at->nearNext_;
+            at->nearNext_ = &event;
+        } else {
+            event.nearNext_ = bucket.head;
+            bucket.head = &event;
+        }
+        if (event.nearNext_ != nullptr)
+            event.nearNext_->nearPrev_ = &event;
+        else
+            bucket.tail = &event;
     }
-    if (event.nearNext_ != nullptr)
-        event.nearNext_->nearPrev_ = &event;
-    else
-        bucket.tail = &event;
 
     event.heapIndex_ = Event::kInNearTier;
     ++nearCount_;
@@ -313,12 +339,13 @@ EventQueue::unlinkNear(Event& event)
                                  event.when_ >> kBucketShift)
                              & mask;
     Bucket& bucket = buckets_[slot];
+    Event* const succ = event.nearNext_;
     if (event.nearPrev_ != nullptr)
-        event.nearPrev_->nearNext_ = event.nearNext_;
+        event.nearPrev_->nearNext_ = succ;
     else
-        bucket.head = event.nearNext_;
-    if (event.nearNext_ != nullptr)
-        event.nearNext_->nearPrev_ = event.nearPrev_;
+        bucket.head = succ;
+    if (succ != nullptr)
+        succ->nearPrev_ = event.nearPrev_;
     else
         bucket.tail = event.nearPrev_;
     event.nearPrev_ = nullptr;
@@ -327,7 +354,23 @@ EventQueue::unlinkNear(Event& event)
     --nearCount_;
     if (bucket.head == nullptr)
         occupied_[slot >> 6] &= ~(1ULL << (slot & 63));
-    noteRemoved(event);
+    // O(1) front repair: when the removed event was the cached front
+    // it was the global minimum, so its in-bucket successor - if any -
+    // is the new near-tier minimum (every other near event sits after
+    // it in this sorted bucket or in a later-time bucket). Compare
+    // against the far-tier top and cache the winner, instead of
+    // dropping the cache and paying a full bitmap rescan on the next
+    // peek. An empty successor means the near minimum moved to a
+    // later bucket; fall back to the lazy recompute.
+    if (front_ == &event) {
+        if (succ != nullptr) {
+            front_ = (heap_.empty() || before(*succ, *heap_.front()))
+                         ? succ
+                         : heap_.front();
+        } else {
+            front_ = nullptr;
+        }
+    }
 }
 
 inline Event*

@@ -147,6 +147,15 @@ PdesExecutor::run(Tick cap)
             // window end fired, and mailbox arrivals land at least
             // one lookahead past the epoch start.
             MW_ASSERT(global_next > window_end);
+            if (global_next > window_end + 1) {
+                // The min-reduction already fast-forwards: the next
+                // epoch starts at the global next event, not at
+                // window_end + 1, so every fully idle window in
+                // between is never entered. Count the jump.
+                ++stat.fastForwardEpochs;
+                stat.fastForwardTicks += static_cast<std::uint64_t>(
+                    global_next - (window_end + 1));
+            }
             epoch_start = global_next;
         }
 

@@ -58,6 +58,12 @@ struct ShardRunStats
     std::uint64_t maxNearDepth = 0;
     /** Items this shard's consumed mailboxes delivered to it. */
     std::uint64_t mailboxItems = 0;
+    /** Epoch transitions that jumped past at least one fully idle
+     *  lookahead window (global next event beyond window_end + 1). */
+    std::uint64_t fastForwardEpochs = 0;
+    /** Ticks skipped by those jumps; intra-window idle ticks are
+     *  counted by each shard's Simulator::idleTicksSkipped(). */
+    std::uint64_t fastForwardTicks = 0;
     /** Wall time spent executing local events. */
     double runSeconds = 0.0;
     /** Wall time spent blocked on the epoch barriers (waiting for

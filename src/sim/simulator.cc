@@ -44,6 +44,11 @@ Simulator::run(Tick until)
         if (event == nullptr)
             break;
         MW_DEBUG_ASSERT(event->when() >= now_);
+        // Reporting only (hash-excluded): idle ticks jumped over
+        // between consecutive events.
+        if (event->when() > now_)
+            idleTicksSkipped_ +=
+                static_cast<std::uint64_t>(event->when() - now_) - 1;
         now_ = event->when();
         curSeq_ = event->seq();
         ++eventsFired_;
@@ -55,8 +60,10 @@ Simulator::run(Tick until)
             // the sink pulls further members via nextBatchMember().
             sink->fireBatch(*event);
     }
-    if (now_ < until)
+    if (now_ < until) {
+        idleTicksSkipped_ += static_cast<std::uint64_t>(until - now_);
         now_ = until;
+    }
     // Settle elided no-op wakeups whose time fell inside this window:
     // the legacy path would have fired them (as no-ops) before
     // returning, so the credit must land inside this run() for
@@ -79,6 +86,10 @@ Simulator::runToCompletion()
 bool
 Simulator::lazyTickPending() const
 {
+    // The settle index tracks the outstanding count exactly; the
+    // per-drain scan remains as the legacy differential path.
+    if (fastForward_)
+        return lazyCount_ != 0;
     for (const LazyDrain* drain : lazyDrains_) {
         if (drain->lazyPending())
             return true;

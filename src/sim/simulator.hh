@@ -11,6 +11,7 @@
 #ifndef MEDIAWORM_SIM_SIMULATOR_HH
 #define MEDIAWORM_SIM_SIMULATOR_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -178,6 +179,29 @@ class Simulator
      */
     std::uint64_t elidedEvents() const { return elidedEvents_; }
 
+    /**
+     * Enables/disables the idle-epoch fast-forward bookkeeping
+     * (default on): the O(1) lazy-wakeup settle index that lets run()
+     * and the PDES epoch loop skip the per-drain scan when no elided
+     * wakeup can mature in the window, plus the skipped-tick
+     * accounting. Off restores the always-scan legacy path; results
+     * are bit-identical either way - the toggle exists for the
+     * differential determinism goldens.
+     */
+    void setFastForward(bool on) { fastForward_ = on; }
+
+    /** True if fast-forward bookkeeping is enabled. */
+    bool fastForward() const { return fastForward_; }
+
+    /**
+     * Idle ticks the clock jumped over instead of draining: for every
+     * inter-event gap, the ticks strictly between the previous and
+     * next event (plus the final jump to the run() horizon). A pure
+     * reporting counter - it depends on how the simulation is sharded
+     * and is excluded from deterministic hashes.
+     */
+    std::uint64_t idleTicksSkipped() const { return idleTicksSkipped_; }
+
     /** Registers @p drain for end-of-run lazy-wakeup accounting. */
     void addLazyDrain(LazyDrain* drain) { lazyDrains_.push_back(drain); }
 
@@ -195,10 +219,24 @@ class Simulator
     {
         if (!batched_)
             return 0;
+        // Fast-forward fast path: the (count, min-readyAt) index
+        // proves no elided wakeup matures by `until`, so the whole
+        // per-drain scan - O(ports) across every component, paid once
+        // per PDES epoch - collapses to this one comparison.
+        if (fastForward_ && (lazyCount_ == 0 || lazyMin_ > until))
+            return 0;
         std::uint64_t credited = 0;
         for (LazyDrain* drain : lazyDrains_)
             credited += drain->flushLazy(until);
         creditElided(credited);
+        MW_DEBUG_ASSERT(lazyCount_ >= credited);
+        lazyCount_ -= credited;
+        // Everything at or before `until` was just flushed, so the
+        // surviving minimum is past the window; kTickNever when the
+        // index is empty.
+        lazyMin_ = lazyCount_ == 0
+                       ? kTickNever
+                       : std::max(lazyMin_, until + 1);
         return credited;
     }
 
@@ -208,15 +246,45 @@ class Simulator
   private:
     friend class LazyTick;
 
+    /** A LazyTick elided a wakeup maturing at @p readyAt. */
+    void
+    noteLazyArmed(Tick readyAt)
+    {
+        ++lazyCount_;
+        if (readyAt < lazyMin_)
+            lazyMin_ = readyAt;
+    }
+
+    /** A LazyTick settled one elided wakeup (kick credit or rearm).
+     *  lazyMin_ stays a conservative lower bound; it re-tightens at
+     *  the next settleLazy(). */
+    void
+    noteLazySettled()
+    {
+        MW_DEBUG_ASSERT(lazyCount_ > 0);
+        if (--lazyCount_ == 0)
+            lazyMin_ = kTickNever;
+    }
+
     EventQueue queue_;
     Rng rng_;
     Tick now_ = 0;
     std::uint64_t eventsFired_ = 0;
     std::uint64_t elidedEvents_ = 0;
+    std::uint64_t idleTicksSkipped_ = 0;
     /** Tie-break key of the event currently being fired. */
     std::uint64_t curSeq_ = 0;
     bool batched_ = true;
+    bool fastForward_ = true;
     std::vector<LazyDrain*> lazyDrains_;
+    /**
+     * Fast-forward settle index over every registered drain's elided
+     * wakeups: exact outstanding count, plus a conservative-low bound
+     * on the earliest readyAt (never above the true minimum, so the
+     * settleLazy() fast path can only err toward scanning).
+     */
+    std::uint64_t lazyCount_ = 0;
+    Tick lazyMin_ = kTickNever;
 };
 
 /**
@@ -265,6 +333,7 @@ class LazyTick
             readyAt_ = sim.now() + delay;
             seq_ = sim.reserveSeq();
             state_ = State::Lazy;
+            sim.noteLazyArmed(readyAt_);
         } else {
             sim.scheduleAfter(event, delay);
             state_ = State::Armed;
@@ -289,6 +358,7 @@ class LazyTick
         case State::Armed:
             return false;
         case State::Lazy:
+            sim.noteLazySettled();
             if (sim.keyAlreadyFired(readyAt_, seq_)) {
                 sim.creditElided(1);
                 state_ = State::Idle;

@@ -404,6 +404,40 @@ TEST(EventQueueCanonical, CanonicalOrderHoldsAcrossTiers)
     EXPECT_EQ(&queue.pop(), &plain);
 }
 
+TEST(EventQueueCanonical, CanonicalInsertStaysNearAgainstDeepSameTickBatch)
+{
+    // A canonical-key event belongs ahead of every same-tick
+    // counter-keyed event, so its insert walks from the bucket head
+    // and terminates immediately - it must never exhaust the bounded
+    // scan against a deep same-tick batch and bounce to the far
+    // heap. (Link flit/credit events are canonical-keyed; before the
+    // head-first walk they degraded to heap traffic exactly on the
+    // busiest ticks.)
+    EventQueue queue;
+    std::vector<std::unique_ptr<RecordingEvent>> batch;
+    const Tick when = 64;
+    for (int i = 0; i < 48; ++i) {
+        batch.push_back(std::make_unique<RecordingEvent>());
+        queue.schedule(*batch.back(), when);
+    }
+    ASSERT_EQ(queue.farSize(), 0u);
+
+    std::vector<int> log;
+    RecordingEvent canon_b(&log, 1);
+    RecordingEvent canon_a(&log, 0);
+    canon_b.setCanonicalSeq(11);
+    canon_a.setCanonicalSeq(10);
+    queue.schedule(canon_b, when);
+    queue.schedule(canon_a, when); // head walk passes one canonical
+    EXPECT_EQ(queue.farSize(), 0u)
+        << "canonical insert exhausted the bounded scan";
+
+    EXPECT_EQ(&queue.pop(), &canon_a);
+    EXPECT_EQ(&queue.pop(), &canon_b);
+    for (int i = 0; i < 48; ++i)
+        EXPECT_EQ(&queue.pop(), batch[static_cast<std::size_t>(i)].get());
+}
+
 // --- shard-horizon windows --------------------------------------------------
 
 /**

@@ -129,4 +129,155 @@ TEST(Simulator, ZeroDelaySelfScheduleFiresSameTime)
     EXPECT_EQ(simulator.now(), 5);
 }
 
+/*
+ * Idle-epoch fast-forward (DESIGN.md section 14): the skipped-tick
+ * accounting and the O(1) lazy settle index, including the edge
+ * cases where an elided wakeup's readyAt lands inside a stretch of
+ * simulated time the clock jumped over.
+ */
+
+TEST(Simulator, IdleTicksSkippedCountsInterEventGapsAndTail)
+{
+    Simulator simulator;
+    CallbackEvent a([] {});
+    CallbackEvent b([] {});
+    simulator.schedule(a, 10);
+    simulator.schedule(b, 1000);
+    simulator.run(2000);
+    // Ticks 1..9 (9), 11..999 (989) and 1001..2000 (1000) never
+    // touched the ring.
+    EXPECT_EQ(simulator.idleTicksSkipped(), 9u + 989u + 1000u);
+    EXPECT_EQ(simulator.now(), 2000);
+}
+
+TEST(Simulator, IdleTicksSkippedSameTickEventsCountOnce)
+{
+    Simulator simulator;
+    CallbackEvent a([] {});
+    CallbackEvent b([] {});
+    simulator.schedule(a, 50);
+    simulator.schedule(b, 50);
+    simulator.run(50);
+    EXPECT_EQ(simulator.idleTicksSkipped(), 49u);
+    EXPECT_EQ(simulator.eventsFired(), 2u);
+}
+
+TEST(Simulator, EmptySimulationTerminatesAndSkipsToHorizon)
+{
+    Simulator simulator;
+    simulator.run(123456);
+    EXPECT_EQ(simulator.now(), 123456);
+    EXPECT_EQ(simulator.idleTicksSkipped(), 123456u);
+    EXPECT_EQ(simulator.eventsFired(), 0u);
+    // settleLazy on an empty index is the O(1) fast path.
+    EXPECT_EQ(simulator.settleLazy(123456), 0u);
+    EXPECT_FALSE(simulator.lazyTickPending());
+}
+
+/** Minimal LazyDrain component: one elidable service slot, as the
+ *  router/NI multiplexers use it. */
+class OneSlotMux final : public LazyDrain
+{
+  public:
+    explicit OneSlotMux(Simulator& sim) : sim_(sim)
+    {
+        event_.setCallback([this] {
+            tick_.fired();
+            ++fires_;
+        });
+        sim_.addLazyDrain(this);
+    }
+
+    std::uint64_t flushLazy(Tick until) override
+    {
+        return tick_.flush(until);
+    }
+    bool lazyPending() const override { return tick_.pending(); }
+
+    Simulator& sim_;
+    CallbackEvent event_;
+    LazyTick tick_;
+    int fires_ = 0;
+};
+
+TEST(Simulator, LazyKickInsideSkippedEpochCreditsElidedWakeup)
+{
+    Simulator simulator;
+    OneSlotMux mux(simulator);
+
+    // Elide a wakeup maturing at t=100 (empty arbitration mask).
+    mux.tick_.arm(simulator, mux.event_, 100, /*maskEmpty=*/true);
+    EXPECT_TRUE(mux.tick_.pending());
+
+    // Nothing matures by t=50: the settle fast path must not scan
+    // the wakeup away.
+    simulator.run(50);
+    EXPECT_TRUE(mux.tick_.pending());
+    EXPECT_EQ(simulator.elidedEvents(), 0u);
+
+    // A real event at t=200 makes the clock jump clear over the
+    // elided wakeup's readyAt=100. Kicking from inside that event
+    // must recognise the wakeup as already-fired (it would have run
+    // as a no-op at t=100 in the legacy order) and credit it.
+    bool serve_inline = false;
+    CallbackEvent wake([&] {
+        serve_inline = mux.tick_.kick(simulator, mux.event_);
+    });
+    simulator.schedule(wake, 200);
+    simulator.run(300);
+
+    EXPECT_TRUE(serve_inline);
+    EXPECT_FALSE(mux.tick_.pending());
+    EXPECT_EQ(simulator.elidedEvents(), 1u);
+    EXPECT_EQ(mux.fires_, 0) << "the elided wakeup must never fire";
+    // eventsFired counts the credited no-op plus the kicking event.
+    EXPECT_EQ(simulator.eventsFired(), 2u);
+}
+
+TEST(Simulator, LazyKickAheadOfClockRematerializesExactly)
+{
+    Simulator simulator;
+    OneSlotMux mux(simulator);
+
+    mux.tick_.arm(simulator, mux.event_, 100, /*maskEmpty=*/true);
+
+    // Kick at t=30, before the wakeup matures: it must re-enter the
+    // queue at its original (when, seq) and fire at exactly t=100.
+    bool serve_inline = true;
+    CallbackEvent early([&] {
+        serve_inline = mux.tick_.kick(simulator, mux.event_);
+    });
+    simulator.schedule(early, 30);
+    simulator.run(300);
+
+    EXPECT_FALSE(serve_inline);
+    EXPECT_EQ(mux.fires_, 1);
+    EXPECT_EQ(simulator.elidedEvents(), 0u);
+}
+
+TEST(Simulator, SettleLazyCreditsMaturedWakeupsAtRunEnd)
+{
+    for (const bool fast_forward : {true, false}) {
+        Simulator simulator;
+        simulator.setFastForward(fast_forward);
+        OneSlotMux mux(simulator);
+
+        mux.tick_.arm(simulator, mux.event_, 100, /*maskEmpty=*/true);
+        // run() settles matured wakeups on its way out; the legacy
+        // and fast-forward paths must agree exactly.
+        simulator.run(150);
+        EXPECT_EQ(simulator.elidedEvents(), 1u) << fast_forward;
+        EXPECT_EQ(simulator.eventsFired(), 1u) << fast_forward;
+        EXPECT_FALSE(mux.tick_.pending());
+        EXPECT_FALSE(simulator.lazyTickPending());
+
+        // A second arm beyond the horizon stays pending (the run
+        // would report truncation), in both modes.
+        mux.tick_.arm(simulator, mux.event_, 500, /*maskEmpty=*/true);
+        simulator.run(200);
+        EXPECT_TRUE(simulator.lazyTickPending()) << fast_forward;
+        EXPECT_EQ(simulator.elidedEvents(), 1u) << fast_forward;
+    }
+}
+
 } // namespace

@@ -59,12 +59,58 @@ cpu_model=$(awk -F': ' '/^model name/ {print $2; exit}' /proc/cpuinfo \
     2>/dev/null || true)
 cpu_model=${cpu_model:-unknown}
 
+# Frequency-management state: numbers taken under "powersave" or with
+# turbo enabled are not comparable run-to-run, so record both.
+governor=$(cat /sys/devices/system/cpu/cpu0/cpufreq/scaling_governor \
+    2>/dev/null || true)
+governor=${governor:-unknown}
+if [ -r /sys/devices/system/cpu/intel_pstate/no_turbo ]; then
+    case $(cat /sys/devices/system/cpu/intel_pstate/no_turbo) in
+        0) turbo=on ;;
+        1) turbo=off ;;
+        *) turbo=unknown ;;
+    esac
+elif [ -r /sys/devices/system/cpu/cpufreq/boost ]; then
+    case $(cat /sys/devices/system/cpu/cpufreq/boost) in
+        1) turbo=on ;;
+        0) turbo=off ;;
+        *) turbo=unknown ;;
+    esac
+else
+    turbo=unknown
+fi
+
+# Compiler and optimization flags from the build tree's cache, so an
+# entry accidentally measured on a Debug tree is self-incriminating.
+cache="$build_dir/CMakeCache.txt"
+cache_var() {
+    sed -n "s/^$1:[^=]*=//p" "$cache" 2>/dev/null | head -n1
+}
+build_type=$(cache_var CMAKE_BUILD_TYPE)
+build_type=${build_type:-unknown}
+case "$build_type" in
+    Release) type_flags=$(cache_var CMAKE_CXX_FLAGS_RELEASE) ;;
+    RelWithDebInfo) type_flags=$(cache_var CMAKE_CXX_FLAGS_RELWITHDEBINFO) ;;
+    Debug) type_flags=$(cache_var CMAKE_CXX_FLAGS_DEBUG) ;;
+    *) type_flags= ;;
+esac
+compiler_flags=$(echo "$(cache_var CMAKE_CXX_FLAGS) $type_flags" \
+    | xargs || true)
+compiler=$(cache_var CMAKE_CXX_COMPILER)
+compiler=${compiler:-unknown}
+# MEDIAWORM_SIMD=ON adds -mavx2 via add_compile_options, which the
+# cached CMAKE_CXX_FLAGS does not show - record the option itself.
+simd=$(cache_var MEDIAWORM_SIMD)
+simd=${simd:-unknown}
+
 python3 - "$raw" "$arbiter_raw" "$out_json" "$label" \
-    "$cores" "$cpu_model" <<'EOF'
+    "$cores" "$cpu_model" "$governor" "$turbo" "$build_type" \
+    "$compiler" "$compiler_flags" "$simd" <<'EOF'
 import json
 import sys
 
-raw_path, arbiter_path, out_path, label, cores, cpu_model = sys.argv[1:7]
+(raw_path, arbiter_path, out_path, label, cores, cpu_model, governor,
+ turbo, build_type, compiler, compiler_flags, simd) = sys.argv[1:13]
 
 benchmarks = {}
 events_per_sec = None
@@ -95,11 +141,38 @@ except FileNotFoundError:
            "headline": "BM_EndToEndExperiment events_per_second",
            "entries": []}
 
-doc["entries"] = [e for e in doc["entries"] if e["label"] != label]
+host = {
+    "cores": int(cores),
+    "cpu_model": cpu_model,
+    "governor": governor,
+    "turbo": turbo,
+    "build_type": build_type,
+    "compiler": compiler,
+    "compiler_flags": compiler_flags,
+    "simd": simd,
+}
+
+# Cross-host comparisons are the main way this trend file misleads:
+# warn when the machine state differs from the most recent prior
+# entry (the de-facto baseline the new numbers will be read against).
+prior = [e for e in doc["entries"] if e["label"] != label]
+if prior:
+    base = prior[-1].get("host", {})
+    for key in ("cpu_model", "cores", "governor", "turbo",
+                "build_type", "compiler_flags", "simd"):
+        theirs = base.get(key)
+        ours = host.get(key)
+        if theirs is not None and theirs != ours:
+            print(f"warning: host {key} differs from baseline entry "
+                  f"'{prior[-1]['label']}': {theirs!r} -> {ours!r}; "
+                  "events/s ratios across these entries are not "
+                  "meaningful", file=sys.stderr)
+
+doc["entries"] = prior
 doc["entries"].append({
     "label": label,
     "events_per_second": events_per_sec,
-    "host": {"cores": int(cores), "cpu_model": cpu_model},
+    "host": host,
     "benchmarks": benchmarks,
 })
 

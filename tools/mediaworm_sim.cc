@@ -121,6 +121,8 @@ main(int argc, char** argv)
     bool flight_recorder = false;
     bool bounds_flag = false;
     bool provision_mode = false;
+    bool no_fast_forward = false;
+    bool no_simd = false;
     double sla_ms = 33.0;
     std::string trace_out;
 
@@ -207,6 +209,16 @@ main(int argc, char** argv)
                      "chrome://tracing) of the first point's flit "
                      "events",
                      &trace_out);
+    parser.addFlag("no-fast-forward",
+                   "disable idle-epoch fast-forward (legacy "
+                   "always-scan kernel path; results are "
+                   "bit-identical either way)",
+                   &no_fast_forward);
+    parser.addFlag("no-simd",
+                   "disable the vectorized arbitration kernels "
+                   "(scalar picks; results are bit-identical "
+                   "either way)",
+                   &no_simd);
     parser.addFlag("flight-recorder",
                    "arm the crash-time flight recorder (dumps the "
                    "recent event trail to stderr on an assertion "
@@ -262,6 +274,8 @@ main(int argc, char** argv)
     base.obs.flightRecorder = flight_recorder;
     base.obs.trace = !trace_out.empty();
     base.calculus.enabled = bounds_flag || provision_mode;
+    base.fastForward = !no_fast_forward;
+    base.router.simdArbiter = !no_simd;
 
     if (provision_mode) {
         calculus::ProvisionRequest request;
@@ -417,6 +431,16 @@ main(int argc, char** argv)
                             r.framesDelivered),
                         static_cast<unsigned long long>(
                             r.flitsDelivered));
+            // Reporting-only counters (shard-dependent, so they stay
+            // out of the deterministic JSON artifact): how much work
+            // the lazy-elision and idle-epoch fast-forward machinery
+            // avoided (DESIGN.md sections 13-14).
+            std::printf("elided wakeups: %llu\nidle ticks skipped: "
+                        "%llu\n",
+                        static_cast<unsigned long long>(
+                            r.elidedEvents),
+                        static_cast<unsigned long long>(
+                            r.idleTicksSkipped));
         }
     }
     return 0;
