@@ -223,6 +223,37 @@ BENCHMARK(BM_EndToEndExperimentTelemetry)
     ->Unit(benchmark::kMillisecond);
 
 /**
+ * Multi-hop end-to-end row on the topology-graph path: a 4x4 torus
+ * under dimension-order routing with dateline VC classes, the shape
+ * the Fig-3/5/9 multi-hop comparisons run on. Tracks the cost of
+ * table-routed wormhole traversal (route table lookups, VC-class
+ * mapping, per-hop credit loops) the single-switch headline never
+ * exercises. Gated against the committed baseline in CI.
+ */
+void
+BM_EndToEndTorus(benchmark::State& state)
+{
+    for (auto _ : state) {
+        core::ExperimentConfig cfg;
+        cfg.network.topology = config::TopologyKind::Torus;
+        cfg.network.meshWidth = 4;
+        cfg.network.meshHeight = 4;
+        cfg.network.endpointsPerSwitch = 1;
+        cfg.traffic.inputLoad = 0.6;
+        cfg.traffic.warmupFrames = 1;
+        cfg.traffic.measuredFrames = 2;
+        cfg.timeScale = 0.05;
+        const core::ExperimentResult result =
+            core::runExperiment(cfg);
+        benchmark::DoNotOptimize(result.eventsFired);
+        state.counters["events/s"] = benchmark::Counter(
+            static_cast<double>(result.eventsFired),
+            benchmark::Counter::kIsIterationInvariantRate);
+    }
+}
+BENCHMARK(BM_EndToEndTorus)->Unit(benchmark::kMillisecond);
+
+/**
  * Batched router-tick dispatch A/B (DESIGN.md section 13): the same
  * small experiment with the legacy per-event loop (batched:0) and
  * with one-virtual-call-per-router-tick batching plus lazy-tick

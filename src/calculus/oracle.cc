@@ -39,6 +39,11 @@ struct Flow
     ArrivalCurve source;
     double stampRateFlitsPerUs = 0.0; ///< 1/Vtick; 0 for best-effort.
     int vcLane = -1;
+    /** True when vcLane identifies the physical VC FIFO. Multi-class
+     *  routing folds lanes (out_vc = class x lanes + lane % lanes),
+     *  so distinct lanes may share a FIFO and the lane-exact
+     *  stamp-rate argument no longer applies. */
+    bool laneExact = true;
     bool rt = false;
     int streamIndex = -1; ///< Into the input stream table; -1 for BE.
 
@@ -109,7 +114,7 @@ candidateCurves(const std::vector<Flow>& flows, int i,
     out[0] = residual(point.capacityFlitsPerUs, blind,
                       point.fixedLatencyUs);
     out[1] = ServiceCurve::none();
-    if (!drop_be)
+    if (!drop_be || !target.laneExact)
         return;
 
     // Stamp-rate branch: per-lane stamp rates must fit the capacity
@@ -231,17 +236,48 @@ computeBounds(const config::RouterConfig& router,
     const int num_nodes = net.totalNodes(router.numPorts);
     const StreamEnvelope envelope =
         rtStreamEnvelope(router, traffic, oracle);
+    const RouteModel model(router, net);
 
+    // Adaptive routing has no static path to analyse: report every
+    // stream unbounded (hop counts stay exact - minimal routing).
+    if (!model.analyzable()) {
+        report.streams.reserve(streams.size());
+        for (const traffic::Stream& s : streams) {
+            StreamBound b;
+            b.stream = s.id;
+            b.src = s.src;
+            b.dst = s.dst;
+            b.hops = model.routerHops(s.src.value(), s.dst.value());
+            b.sigmaFlits = envelope.curve.sigmaFlits;
+            b.rhoFlitsPerUs = envelope.curve.rhoFlitsPerUs;
+            b.reservedFlitsPerUs =
+                static_cast<double>(sim::kMicrosecond)
+                / static_cast<double>(s.vtick);
+            b.boundUs = kUnbounded;
+            b.bounded = false;
+            report.streams.push_back(b);
+        }
+        std::sort(report.streams.begin(), report.streams.end(),
+                  [](const StreamBound& a, const StreamBound& b) {
+                      return a.stream < b.stream;
+                  });
+        report.unboundedStreams =
+            static_cast<int>(report.streams.size());
+        return report;
+    }
+
+    const bool lane_exact = model.vcClasses() == 1;
     std::vector<Flow> flows;
     flows.reserve(streams.size());
     for (std::size_t i = 0; i < streams.size(); ++i) {
         const traffic::Stream& s = streams[i];
         Flow f;
-        f.route = routeOf(router, net, s.src.value(), s.dst.value());
+        f.route = model.routeOf(s.src.value(), s.dst.value());
         f.source = envelope.curve;
         f.stampRateFlitsPerUs = static_cast<double>(sim::kMicrosecond)
             / static_cast<double>(s.vtick);
         f.vcLane = s.vcLane;
+        f.laneExact = lane_exact;
         f.rt = true;
         f.streamIndex = static_cast<int>(i);
         flows.push_back(std::move(f));
@@ -262,7 +298,7 @@ computeBounds(const config::RouterConfig& router,
                 if (dst == src)
                     continue;
                 Flow f;
-                f.route = routeOf(router, net, src, dst);
+                f.route = model.routeOf(src, dst);
                 f.source = {
                     static_cast<double>(traffic.beMessageFlits),
                     pair_rate};
@@ -342,7 +378,7 @@ computeBounds(const config::RouterConfig& router,
         b.stream = s.id;
         b.src = s.src;
         b.dst = s.dst;
-        b.hops = routerHops(net, s.src.value(), s.dst.value());
+        b.hops = model.routerHops(s.src.value(), s.dst.value());
         b.sigmaFlits = f.source.sigmaFlits;
         b.rhoFlitsPerUs = f.source.rhoFlitsPerUs;
         b.reservedFlitsPerUs = f.stampRateFlitsPerUs;

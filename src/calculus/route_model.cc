@@ -35,6 +35,31 @@ outputKey(int switch_index, int port)
     return switch_index * 4096 + port;
 }
 
+/** Ring distance between columns/rows @p a and @p b on a wrapped
+ *  dimension of size @p k. */
+int
+ringDistance(int a, int b, int k)
+{
+    const int fwd = (b - a + k) % k;
+    return std::min(fwd, k - fwd);
+}
+
+/** True when the policy routes over graph-built tables. */
+bool
+tableDriven(const config::NetworkConfig& net)
+{
+    switch (net.topology) {
+      case config::TopologyKind::SingleSwitch:
+      case config::TopologyKind::FatMesh:
+        return false;
+      case config::TopologyKind::Mesh:
+      case config::TopologyKind::Torus:
+      case config::TopologyKind::Clos:
+        return true;
+    }
+    return false;
+}
+
 } // namespace
 
 double
@@ -43,24 +68,126 @@ linkCapacityFlitsPerUs(const config::RouterConfig& router)
     return router.flitsPerSecond() / 1e6;
 }
 
-int
-routerHops(const config::NetworkConfig& net, int src, int dst)
+RouteModel::RouteModel(const config::RouterConfig& router,
+                       const config::NetworkConfig& net)
+    : router_(router), net_(net)
 {
-    if (net.topology == config::TopologyKind::SingleSwitch)
+    if (!tableDriven(net_))
+        return;
+    const config::RoutingKind kind = net_.effectiveRouting();
+    if (kind == config::RoutingKind::Adaptive) {
+        // Adaptive paths depend on run-time load; no static route to
+        // analyse. (Hop counts stay closed-form: minimal routing.)
+        analyzable_ = false;
+        topo_.emplace(network::Topology::build(net_));
+        vcClasses_ = network::buildRouting(*topo_, kind).vcClasses;
+        return;
+    }
+    topo_.emplace(network::Topology::build(net_));
+    tables_ = network::buildRouting(*topo_, kind);
+    vcClasses_ = tables_.vcClasses;
+}
+
+int
+RouteModel::routerHops(int src, int dst) const
+{
+    const int eps = net_.endpointsPerSwitch;
+    switch (net_.topology) {
+      case config::TopologyKind::SingleSwitch:
         return 1;
-    const int eps = net.endpointsPerSwitch;
-    const int ss = src / eps;
-    const int ds = dst / eps;
-    const int dx = std::abs(ss % net.meshWidth - ds % net.meshWidth);
-    const int dy = std::abs(ss / net.meshWidth - ds / net.meshWidth);
-    return 1 + dx + dy;
+      case config::TopologyKind::FatMesh:
+      case config::TopologyKind::Mesh:
+      case config::TopologyKind::Torus: {
+        const int ss = src / eps;
+        const int ds = dst / eps;
+        const int sx = ss % net_.meshWidth;
+        const int sy = ss / net_.meshWidth;
+        const int dx = ds % net_.meshWidth;
+        const int dy = ds / net_.meshWidth;
+        if (net_.topology == config::TopologyKind::Torus) {
+            return 1 + ringDistance(sx, dx, net_.meshWidth)
+                + ringDistance(sy, dy, net_.meshHeight);
+        }
+        int hops = 1 + std::abs(sx - dx) + std::abs(sy - dy);
+        if (tableDriven(net_)
+            && net_.effectiveRouting() == config::RoutingKind::UpDown
+            && ss != ds) {
+            // Tree routes are not minimal; count the walked path.
+            hops = static_cast<int>(routeOf(src, dst).size()) - 1;
+        }
+        return hops;
+      }
+      case config::TopologyKind::Clos:
+        return src / net_.closN == dst / net_.closN ? 1 : 3;
+    }
+    return 1;
 }
 
 Route
-routeOf(const config::RouterConfig& router,
-        const config::NetworkConfig& net, int src, int dst)
+RouteModel::routeOf(int src, int dst) const
 {
     MW_ASSERT(src != dst);
+    if (!tableDriven(net_))
+        return legacyRouteOf(src, dst);
+    MW_ASSERT(analyzable_);
+
+    const double cap = linkCapacityFlitsPerUs(router_);
+    const double hop_latency = routerHopLatencyUs(router_);
+    const network::Topology& topo = *topo_;
+
+    Route route;
+    route.push_back({-(src + 1), cap, router_.injectionScheduler,
+                     static_cast<double>(router_.linkDelayCycles)
+                         * cycleUs(router_)});
+
+    int cur = topo.routerOfNode(src);
+    const int dest_r = topo.routerOfNode(dst);
+    int guard = 0;
+    while (cur != dest_r) {
+        const router::RouteCandidates& rc =
+            tables_.perRouter[static_cast<std::size_t>(cur)]
+                             [static_cast<std::size_t>(dst)];
+        MW_ASSERT(rc.count >= 1);
+        const int chan = topo.outChannelAt(cur, rc.ports[0]);
+        MW_ASSERT(chan >= 0);
+        const int next =
+            topo.channels()[static_cast<std::size_t>(chan)].dstRouter;
+        if (rc.count > 1) {
+            // Clos up-phase: the least-loaded pick spreads a flow
+            // over all m spines - one aggregate server of m x rate,
+            // and the same for the symmetric spine->leaf down
+            // bundle (keyed by the first spine's down port, shared
+            // by every flow into that leaf).
+            MW_ASSERT(topo.kind() == config::TopologyKind::Clos);
+            const double bundle =
+                cap * static_cast<double>(rc.count);
+            route.push_back({outputKey(cur, rc.ports[0]), bundle,
+                             router_.scheduler, hop_latency});
+            route.push_back({outputKey(next, dest_r), bundle,
+                             router_.scheduler, hop_latency});
+            cur = dest_r;
+            break;
+        }
+        route.push_back({outputKey(cur, rc.ports[0]), cap,
+                         router_.scheduler, hop_latency});
+        cur = next;
+        MW_ASSERT(++guard <= topo.numRouters());
+    }
+
+    // Ejection: the destination router's endpoint port.
+    route.push_back(
+        {outputKey(dest_r,
+                   topo.endpoints()[static_cast<std::size_t>(dst)]
+                       .port),
+         cap, router_.scheduler, hop_latency});
+    return route;
+}
+
+Route
+RouteModel::legacyRouteOf(int src, int dst) const
+{
+    const config::RouterConfig& router = router_;
+    const config::NetworkConfig& net = net_;
     const double cap = linkCapacityFlitsPerUs(router);
     const double hop_latency = routerHopLatencyUs(router);
 
@@ -85,9 +212,9 @@ routeOf(const config::RouterConfig& router,
     const int dest_switch = dst / eps;
     int cur = src / eps;
 
-    // Port map mirror of buildFatMesh(): endpoint ports first, then
-    // fat channels per present direction in East/West/South/North
-    // order.
+    // Port map mirror of Topology::fatMesh(): endpoint ports first,
+    // then fat channels per present direction in East/West/South/
+    // North order.
     auto dir_base = [&](int s, int dir) {
         const int x = s % width;
         const int y = s / width;
@@ -138,6 +265,20 @@ routeOf(const config::RouterConfig& router,
     route.push_back({outputKey(cur, dst % eps), cap, router.scheduler,
                      hop_latency});
     return route;
+}
+
+Route
+routeOf(const config::RouterConfig& router,
+        const config::NetworkConfig& net, int src, int dst)
+{
+    return RouteModel(router, net).routeOf(src, dst);
+}
+
+int
+routerHops(const config::NetworkConfig& net, int src, int dst)
+{
+    return RouteModel(config::RouterConfig{}, net)
+        .routerHops(src, dst);
 }
 
 } // namespace mediaworm::calculus

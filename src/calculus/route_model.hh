@@ -28,10 +28,13 @@
 #ifndef MEDIAWORM_CALCULUS_ROUTE_MODEL_HH
 #define MEDIAWORM_CALCULUS_ROUTE_MODEL_HH
 
+#include <optional>
 #include <vector>
 
 #include "config/network_config.hh"
 #include "config/router_config.hh"
+#include "network/routing.hh"
+#include "network/topology.hh"
 
 namespace mediaworm::calculus {
 
@@ -63,8 +66,57 @@ struct ContentionPoint
 using Route = std::vector<ContentionPoint>;
 
 /**
+ * Precomputed route model for one (router, network) configuration.
+ *
+ * The single switch and the fat mesh keep their closed-form paths;
+ * mesh/torus/Clos build the topology graph and the deterministic
+ * routing tables once (network/routing.hh) and walk them per
+ * stream, so the model analyses exactly the paths the simulator
+ * routes. Multi-candidate hops (the Clos up-phase under up-down
+ * routing) become one aggregate server of count x link rate, with
+ * the symmetric spine->leaf down-phase bundled the same way -
+ * every flow into a leaf shares the bundle's key, so interference
+ * matching stays exact at bundle granularity.
+ *
+ * Adaptive routing has no static path: analyzable() returns false
+ * and the oracle reports every stream unbounded instead of walking.
+ */
+class RouteModel
+{
+  public:
+    RouteModel(const config::RouterConfig& router,
+               const config::NetworkConfig& net);
+
+    /** False when the routing policy has no static path (adaptive). */
+    bool analyzable() const { return analyzable_; }
+
+    /** VC classes of the active policy (RouterConfig::vcClasses). */
+    int vcClasses() const { return vcClasses_; }
+
+    /** The (src, dst) stream's ordered contention points. Requires
+     *  analyzable(). */
+    Route routeOf(int src, int dst) const;
+
+    /** Routers on the (src, dst) path: 1 for the single switch,
+     *  1 + switch distance otherwise. Valid for every policy. */
+    int routerHops(int src, int dst) const;
+
+  private:
+    Route legacyRouteOf(int src, int dst) const;
+
+    config::RouterConfig router_;
+    config::NetworkConfig net_;
+    bool analyzable_ = true;
+    int vcClasses_ = 1;
+    /** Graph + tables, built for mesh/torus/Clos only. */
+    std::optional<network::Topology> topo_;
+    network::RoutingTables tables_;
+};
+
+/**
  * Builds the route of a (src, dst) stream through the configured
- * topology. @p net must have been validated against @p router.
+ * topology. Convenience wrapper over a throwaway RouteModel; batch
+ * callers (the oracle) construct the model once instead.
  */
 Route routeOf(const config::RouterConfig& router,
               const config::NetworkConfig& net, int src, int dst);
@@ -73,9 +125,8 @@ Route routeOf(const config::RouterConfig& router,
 double linkCapacityFlitsPerUs(const config::RouterConfig& router);
 
 /**
- * Router hops on the (src, dst) path: 1 for the single switch,
- * 1 + Manhattan switch distance for the fat mesh. Used for the
- * multi-hop backpressure slack term.
+ * Router hops on the (src, dst) path. Convenience wrapper, as
+ * routeOf(). Used for the multi-hop backpressure slack term.
  */
 int routerHops(const config::NetworkConfig& net, int src, int dst);
 

@@ -14,6 +14,9 @@ namespace mediaworm::config {
 enum class TopologyKind {
     SingleSwitch, ///< One router, one endpoint per port (Sections 5.1-5.6).
     FatMesh,      ///< k x k mesh with parallel inter-switch links (5.7).
+    Mesh,         ///< k-ary 2-mesh, single links, dimension-order default.
+    Torus,        ///< 2-D torus (wrap-around), dateline VC classes.
+    Clos,         ///< 3-stage folded Clos (m spines, r leaves, n each).
 };
 
 /** Policy used to pick among the parallel links of a fat channel. */
@@ -23,11 +26,27 @@ enum class FatLinkPolicy {
     Random,      ///< Uniform random per message.
 };
 
+/**
+ * Routing policy over the topology graph (network/routing.hh).
+ * Default resolves per topology: identity for the single switch,
+ * the paper's XY + fat-link policy for the fat mesh, dimension-order
+ * for mesh/torus, up-down (Clos natural routing) for the Clos.
+ */
+enum class RoutingKind {
+    Default,
+    DimensionOrder, ///< Deterministic XY (+ dateline classes on tori).
+    UpDown,         ///< Spanning-tree up*/down* (natural on the Clos).
+    Adaptive,       ///< Minimal adaptive + dimension-order escape class.
+};
+
 /** Returns a stable display name for a topology kind. */
 const char* toString(TopologyKind kind);
 
 /** Returns a stable display name for a fat-link policy. */
 const char* toString(FatLinkPolicy policy);
+
+/** Returns a stable display name for a routing kind. */
+const char* toString(RoutingKind kind);
 
 /**
  * Interconnect shape.
@@ -39,20 +58,40 @@ const char* toString(FatLinkPolicy policy);
 struct NetworkConfig
 {
     TopologyKind topology = TopologyKind::SingleSwitch;
+    RoutingKind routing = RoutingKind::Default;
 
-    int meshWidth = 2;  ///< Switches per mesh row.
-    int meshHeight = 2; ///< Switches per mesh column.
-    int fatFactor = 2;  ///< Parallel links between adjacent switches.
+    int meshWidth = 2;  ///< Switches per mesh/torus row.
+    int meshHeight = 2; ///< Switches per mesh/torus column.
+    int fatFactor = 2;  ///< Parallel links between adjacent switches
+                        ///< (fat mesh only; mesh/torus use 1).
     FatLinkPolicy fatLinkPolicy = FatLinkPolicy::LeastLoaded;
 
     /**
-     * Endpoints attached to each switch. For SingleSwitch this always
-     * equals the router port count and is derived, not read.
+     * Endpoints attached to each switch (fat-mesh/mesh/torus). For
+     * SingleSwitch this always equals the router port count and is
+     * derived, not read; for the Clos it is closN.
      */
     int endpointsPerSwitch = 4;
 
+    /**
+     * Single-switch port count used by the topology graph builder.
+     * Network overwrites it with the router's numPorts before
+     * building, so the graph and hardware always agree.
+     */
+    int singleSwitchPorts = 8;
+
+    int closM = 4; ///< Spine switches.
+    int closN = 4; ///< Endpoints per leaf switch.
+    int closR = 8; ///< Leaf switches.
+
     /** Number of endpoint nodes in the configured topology. */
     int totalNodes(int router_ports) const;
+
+    /** Routers in the configured topology. */
+    int numRouters() const;
+
+    /** The routing kind Default resolves to for this topology. */
+    RoutingKind effectiveRouting() const;
 
     /** Aborts via fatal() if the shape is inconsistent. */
     void validate(int router_ports) const;

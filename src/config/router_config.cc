@@ -69,6 +69,9 @@ RouterConfig::validate() const
     // (router/arbiter.hh); the paper's sweeps top out at 24 VCs.
     if (numVcs < 1 || numVcs > 64)
         fatal("RouterConfig: numVcs %d out of range [1,64]", numVcs);
+    if (vcClasses < 1 || vcClasses > numVcs)
+        fatal("RouterConfig: vcClasses %d out of range [1,%d]",
+              vcClasses, numVcs);
     if (flitBufferDepth < 1)
         fatal("RouterConfig: flitBufferDepth %d must be >= 1",
               flitBufferDepth);

@@ -63,6 +63,15 @@ struct RouterConfig
 {
     int numPorts = 8;          ///< Physical channels (n), at most 64.
     int numVcs = 16;           ///< Virtual channels per PC (m), at most 64.
+
+    /**
+     * VC classes the routing policy partitions the output VCs into
+     * (network/routing.hh): 1 for the legacy identity mapping, 2 for
+     * torus dateline / mesh adaptive-escape, 3 for torus adaptive.
+     * Network sets this from the built routing tables; each class
+     * owns numVcs / vcClasses lanes.
+     */
+    int vcClasses = 1;
     int flitBufferDepth = 20;  ///< Flit buffer capacity per VC.
     int flitSizeBits = 32;     ///< Flit width.
     int linkBandwidthMbps = 400; ///< PC bandwidth.

@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "network/routing.hh"
 #include "sim/logging.hh"
 
 namespace mediaworm::network {
@@ -37,17 +38,28 @@ Network::Network(std::vector<sim::Simulator*> shard_sims,
     MW_ASSERT(static_cast<int>(sims_.size()) == plan_.numShards
               || (plan_.trivial() && sims_.size() == 1));
     routerCfg_.validate();
+    // The topology graph builder sizes the single switch from the
+    // router hardware, so graph and router always agree.
+    netCfg_.singleSwitchPorts = routerCfg_.numPorts;
     netCfg_.validate(routerCfg_.numPorts);
     linkDelay_ =
         static_cast<sim::Tick>(routerCfg_.linkDelayCycles
                                + routerCfg_.outputCycles)
         * routerCfg_.cycleTime();
 
-    if (netCfg_.topology == config::TopologyKind::SingleSwitch) {
+    switch (netCfg_.topology) {
+      case config::TopologyKind::SingleSwitch:
         MW_ASSERT(plan_.trivial());
         buildSingleSwitch();
-    } else {
+        break;
+      case config::TopologyKind::FatMesh:
         buildFatMesh();
+        break;
+      case config::TopologyKind::Mesh:
+      case config::TopologyKind::Torus:
+      case config::TopologyKind::Clos:
+        buildRouted();
+        break;
     }
 }
 
@@ -103,14 +115,46 @@ Network::attachEndpoint(router::WormholeRouter& sw, int sw_index,
 }
 
 void
+Network::wireTopology(const Topology& topo)
+{
+    MW_ASSERT(topo.portsRequired() <= routerCfg_.numPorts);
+
+    for (int r = 0; r < topo.numRouters(); ++r) {
+        routers_.push_back(std::make_unique<router::WormholeRouter>(
+            simOfRouter(r), routerCfg_, "router" + std::to_string(r)));
+    }
+
+    // Endpoints in node order (node n of a grid lives on switch
+    // n / eps at port n % eps; Clos leaves follow the same pattern).
+    nodeRouter_.resize(static_cast<std::size_t>(topo.numNodes()));
+    for (int node = 0; node < topo.numNodes(); ++node) {
+        const TopoEndpoint ep =
+            topo.endpoints()[static_cast<std::size_t>(node)];
+        nodeRouter_[static_cast<std::size_t>(node)] = ep.router;
+        attachEndpoint(*routers_[static_cast<std::size_t>(ep.router)],
+                       ep.router, ep.port, node);
+    }
+
+    // Inter-router channels in the graph's canonical order.
+    for (const TopoChannel& ch : topo.channels()) {
+        router::Link& link = newLink(
+            "sw" + std::to_string(ch.srcRouter) + "p"
+                + std::to_string(ch.srcPort) + "-sw"
+                + std::to_string(ch.dstRouter) + "p"
+                + std::to_string(ch.dstPort),
+            ch.srcRouter, ch.dstRouter);
+        routers_[static_cast<std::size_t>(ch.srcRouter)]
+            ->connectOutputLink(ch.srcPort, link,
+                                routerCfg_.flitBufferDepth);
+        routers_[static_cast<std::size_t>(ch.dstRouter)]
+            ->connectInputLink(ch.dstPort, link);
+    }
+}
+
+void
 Network::buildSingleSwitch()
 {
-    auto sw = std::make_unique<router::WormholeRouter>(
-        *sims_[0], routerCfg_, "router0");
-
-    routers_.push_back(std::move(sw));
-    for (int p = 0; p < routerCfg_.numPorts; ++p)
-        attachEndpoint(*routers_[0], 0, p, p);
+    wireTopology(Topology::singleSwitch(routerCfg_.numPorts));
 
     // One endpoint per port: the destination id is the output port.
     routers_[0]->setRouteFunction([](sim::NodeId dest) {
@@ -127,6 +171,23 @@ Network::buildSingleSwitch()
 }
 
 void
+Network::buildRouted()
+{
+    const Topology topo = Topology::build(netCfg_);
+    const RoutingTables tables =
+        buildRouting(topo, netCfg_.effectiveRouting());
+    // The routers copy their config at construction, so the VC-class
+    // structure must be in place before wiring.
+    routerCfg_.vcClasses = tables.vcClasses;
+    routerCfg_.validate();
+    wireTopology(topo);
+    for (int r = 0; r < topo.numRouters(); ++r) {
+        routers_[static_cast<std::size_t>(r)]->setRouteTable(
+            tables.perRouter[static_cast<std::size_t>(r)]);
+    }
+}
+
+void
 Network::buildFatMesh()
 {
     const int width = netCfg_.meshWidth;
@@ -135,79 +196,19 @@ Network::buildFatMesh()
     const int eps = netCfg_.endpointsPerSwitch;
     const int num_switches = width * height;
 
-    // Port map per switch: endpoint ports first, then fat channels
-    // per present direction in East/West/South/North order.
-    std::vector<std::array<int, 4>> dir_port(
-        static_cast<std::size_t>(num_switches), {-1, -1, -1, -1});
+    const Topology topo =
+        Topology::fatMesh(width, height, fat, eps);
+    wireTopology(topo);
 
-    for (int s = 0; s < num_switches; ++s) {
-        routers_.push_back(std::make_unique<router::WormholeRouter>(
-            simOfRouter(s), routerCfg_, "router" + std::to_string(s)));
-        const int x = s % width;
-        const int y = s / width;
-        int next_port = eps;
-        auto assign = [&](Direction d, bool present) {
-            if (!present)
-                return;
-            dir_port[static_cast<std::size_t>(s)]
-                    [static_cast<std::size_t>(d)] = next_port;
-            next_port += fat;
-        };
-        assign(kEast, x < width - 1);
-        assign(kWest, x > 0);
-        assign(kSouth, y < height - 1);
-        assign(kNorth, y > 0);
-        MW_ASSERT(next_port <= routerCfg_.numPorts);
-    }
-
-    // Endpoints: node n lives on switch n / eps at port n % eps.
-    for (int s = 0; s < num_switches; ++s) {
-        for (int e = 0; e < eps; ++e) {
-            attachEndpoint(*routers_[static_cast<std::size_t>(s)], s, e,
-                           s * eps + e);
-        }
-    }
-
-    // Inter-switch fat channels: for each adjacent pair, fat links in
-    // each direction, pairing the k-th port on both sides.
-    auto wire = [&](int s, Direction sd, int t, Direction td) {
-        for (int k = 0; k < fat; ++k) {
-            const int sp =
-                dir_port[static_cast<std::size_t>(s)]
-                        [static_cast<std::size_t>(sd)] + k;
-            const int tp =
-                dir_port[static_cast<std::size_t>(t)]
-                        [static_cast<std::size_t>(td)] + k;
-            router::Link& link = newLink(
-                "sw" + std::to_string(s) + "p" + std::to_string(sp)
-                    + "-sw" + std::to_string(t) + "p"
-                    + std::to_string(tp),
-                s, t);
-            routers_[static_cast<std::size_t>(s)]->connectOutputLink(
-                sp, link, routerCfg_.flitBufferDepth);
-            routers_[static_cast<std::size_t>(t)]->connectInputLink(
-                tp, link);
-        }
-    };
-    for (int y = 0; y < height; ++y) {
-        for (int x = 0; x < width; ++x) {
-            const int s = y * width + x;
-            if (x < width - 1) {
-                wire(s, kEast, s + 1, kWest);
-                wire(s + 1, kWest, s, kEast);
-            }
-            if (y < height - 1) {
-                wire(s, kSouth, s + width, kNorth);
-                wire(s + width, kNorth, s, kSouth);
-            }
-        }
-    }
-
-    // Deterministic XY routing with fat-channel selection.
+    // Deterministic XY routing with fat-channel selection (the
+    // paper's policy; kept as a closure because the Random policy
+    // draws at route time).
     for (int s = 0; s < num_switches; ++s) {
         const int x = s % width;
         const int y = s / width;
-        const auto& ports = dir_port[static_cast<std::size_t>(s)];
+        const std::array<int, 4> ports = {
+            topo.dirPort(s, kEast), topo.dirPort(s, kWest),
+            topo.dirPort(s, kSouth), topo.dirPort(s, kNorth)};
         const config::FatLinkPolicy policy = netCfg_.fatLinkPolicy;
         // The Random policy draws per routed header at run time;
         // give each switch its own split so the draws stay inside
@@ -278,9 +279,7 @@ Network::buildFatMesh()
 int
 Network::switchOfNode(int node) const
 {
-    if (netCfg_.topology == config::TopologyKind::SingleSwitch)
-        return 0;
-    return node / netCfg_.endpointsPerSwitch;
+    return nodeRouter_[static_cast<std::size_t>(node)];
 }
 
 sim::Tick

@@ -1,9 +1,12 @@
 /**
  * @file
  * Topology construction: wires routers, links and network interfaces
- * into the two systems the paper evaluates - a single switch with one
- * endpoint per port, and a k x k fat-mesh with parallel inter-switch
- * links and multiple endpoints per switch (Section 3.4).
+ * into a concrete interconnect. The shape comes from the declarative
+ * topology graph (network/topology.hh): the paper's two systems - a
+ * single switch with one endpoint per port and a k x k fat-mesh with
+ * parallel inter-switch links (Section 3.4) - plus k-ary 2-meshes,
+ * 2-D tori and 3-stage Clos networks routed by the policy layer
+ * (network/routing.hh).
  *
  * Construction is shard-aware: given a ShardPlan, each router (with
  * its endpoints' NIs and their injection/ejection links) is built on
@@ -25,6 +28,7 @@
 #include "network/metrics.hh"
 #include "network/network_interface.hh"
 #include "network/partition.hh"
+#include "network/topology.hh"
 #include "router/link.hh"
 #include "router/wormhole_router.hh"
 #include "sim/random.hh"
@@ -150,6 +154,11 @@ class Network
   private:
     void buildSingleSwitch();
     void buildFatMesh();
+    /** Mesh / torus / Clos: generic graph wiring + policy tables. */
+    void buildRouted();
+    /** Instantiates routers, endpoints and inter-router links for
+     *  @p topo, in the canonical creation order. */
+    void wireTopology(const Topology& topo);
 
     sim::Simulator& simOfRouter(int r) const;
     router::Link& newLink(const std::string& name, int sender_router,
@@ -172,6 +181,8 @@ class Network
      *  must stay shard-local, so each switch owns a split. */
     std::vector<std::unique_ptr<sim::Rng>> routeRngs_;
     std::vector<CrossChannel> crossChannels_;
+    /** nodeRouter_[node] = hosting router (from the topology graph). */
+    std::vector<int> nodeRouter_;
 };
 
 } // namespace mediaworm::network

@@ -16,7 +16,7 @@ planShards(const config::NetworkConfig& net, int requested_shards,
     if (net.topology == config::TopologyKind::SingleSwitch)
         return plan;
 
-    const int num_routers = net.meshWidth * net.meshHeight;
+    const int num_routers = net.numRouters();
     int shards = requested_shards;
     if (shards == 0)
         shards = static_cast<int>(std::max(1u, hardware_threads));

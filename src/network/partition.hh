@@ -48,10 +48,12 @@ struct ShardPlan
  *        any cap the caller wants the heuristic to respect.
  *
  * A single switch always yields one shard (there is nothing to
- * cut). A fat mesh is cut into contiguous row-major strips of
- * near-equal router count: row-major strips keep most mesh links
- * internal while the strip boundaries carry the cross-shard
- * channels, whose link delay is the synchronization lookahead.
+ * cut). Every other topology is cut into contiguous blocks of the
+ * router index: on meshes/tori these are row-major strips that keep
+ * most grid links internal; on the Clos the leaves spread across
+ * shards and the spines land in the last block. The strip boundaries
+ * carry the cross-shard channels, whose link delay is the
+ * synchronization lookahead (Network::minCrossShardDelay()).
  */
 ShardPlan planShards(const config::NetworkConfig& net,
                      int requested_shards, unsigned hardware_threads);

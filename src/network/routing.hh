@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Routing-policy layer: turns a declarative Topology into per-router
+ * route tables plus the VC-class structure that keeps them
+ * deadlock-free, and exposes the channel-dependency graph (CDG) the
+ * deadlock-freedom tests check.
+ *
+ * Policies
+ *  - DimensionOrder: deterministic XY on meshes; on tori the
+ *    shortest way around each ring with two dateline VC classes
+ *    (class 0 while the remaining ring path still crosses the wrap
+ *    channel, class 1 after), which orders every ring's channels
+ *    acyclically; on the Clos it degenerates to a deterministic
+ *    single-up path (spine = dest leaf mod m).
+ *  - UpDown: on the Clos, the natural multi-up routing (all spines
+ *    are candidates, least-loaded pick, then the single down link);
+ *    on meshes/tori, classic up-down routing over a BFS spanning tree
+ *    rooted at router 0 (up to the LCA, then down), which is acyclic
+ *    because up channels order by decreasing depth and down channels
+ *    by increasing depth.
+ *  - Adaptive: minimal adaptive candidates in a dedicated top VC
+ *    class, taken only when their mapped output VC is free at
+ *    route time, with the DimensionOrder route as the always-present
+ *    escape candidate in the lower class(es). Allocation waits only
+ *    ever happen on the escape subnetwork, whose CDG is acyclic -
+ *    Duato's condition for deadlock-free wormhole adaptive routing.
+ *    (On the Clos, where every spine choice is already cycle-free,
+ *    adaptive keeps one VC class and just prefers free spines.)
+ *
+ * The CDG helpers build the dependency graph from the *actual*
+ * tables, so the acyclicity tests validate what the router executes,
+ * not what the builder intended.
+ */
+
+#ifndef MEDIAWORM_NETWORK_ROUTING_HH
+#define MEDIAWORM_NETWORK_ROUTING_HH
+
+#include <utility>
+#include <vector>
+
+#include "config/network_config.hh"
+#include "network/topology.hh"
+#include "router/wormhole_router.hh"
+
+namespace mediaworm::network {
+
+/** Route tables for every router of a topology, plus VC structure. */
+struct RoutingTables
+{
+    /** VC classes the tables assume (RouterConfig::vcClasses). */
+    int vcClasses = 1;
+
+    /** True when any entry uses Select::AdaptiveEscape. */
+    bool adaptive = false;
+
+    /** perRouter[r][dest_node] = candidates at router r. */
+    std::vector<router::RouteTable> perRouter;
+};
+
+/**
+ * Builds route tables for @p kind over @p topo. @p kind must be a
+ * concrete policy (not Default; resolve with
+ * NetworkConfig::effectiveRouting() first) except for SingleSwitch,
+ * where every policy is the identity.
+ */
+RoutingTables buildRouting(const Topology& topo,
+                           config::RoutingKind kind);
+
+/**
+ * BFS spanning tree over the topology's channels, rooted at router
+ * 0: parents[r] is r's tree parent (-1 for the root). Neighbour
+ * visit order follows channel-creation order, so the tree is
+ * deterministic. Shared by the UpDown policy and the calculus route
+ * model.
+ */
+std::vector<int> bfsTreeParents(const Topology& topo);
+
+/**
+ * Channel-dependency graph of @p tables over @p topo: node id =
+ * channel * vcClasses + vcClass, one edge per (hold, request) pair a
+ * message can create. With @p escape_only, AdaptiveEscape entries
+ * contribute only their escape (last) candidate - the subnetwork
+ * whose acyclicity Duato's condition requires; entries with other
+ * Select modes always contribute all candidates.
+ */
+std::vector<std::pair<int, int>>
+channelDependencyEdges(const Topology& topo,
+                       const RoutingTables& tables, bool escape_only);
+
+/** True when the directed graph on @p num_nodes nodes is acyclic. */
+bool acyclic(int num_nodes,
+             const std::vector<std::pair<int, int>>& edges);
+
+} // namespace mediaworm::network
+
+#endif // MEDIAWORM_NETWORK_ROUTING_HH

@@ -223,20 +223,58 @@ WormholeRouter::routeComputed(int port, int vc)
     }
     MW_ASSERT(candidates.count >= 1);
 
-    // Fat-channel selection: pick the least-loaded candidate port
-    // (Section 3.4: "a message can use any one of the two links ...
-    // based on the current load").
-    int out_port = candidates.ports[0];
-    int best_load = outputLoad(out_port);
-    for (int i = 1; i < candidates.count; ++i) {
-        const int load = outputLoad(candidates.ports[i]);
-        if (load < best_load) {
-            best_load = load;
-            out_port = candidates.ports[i];
+    // VC-class mapping: class -1 keeps the legacy identity (output
+    // VC = the header's lane); class c maps into the c-th band of
+    // lanes = numVcs / vcClasses output VCs.
+    const int lanes = cfg_.numVcs / cfg_.vcClasses;
+    const auto map_vc = [&](int i) {
+        const int cls = candidates.vcClasses[static_cast<std::size_t>(i)];
+        return cls < 0 ? static_cast<int>(header.vcLane)
+                       : cls * lanes + header.vcLane % lanes;
+    };
+
+    int choice;
+    if (candidates.select == RouteCandidates::Select::AdaptiveEscape
+        && candidates.count > 1) {
+        // Adaptive selection: prefer the least-loaded adaptive
+        // candidate whose mapped output VC is free right now, so a
+        // message never waits for the allocation of an adaptive VC;
+        // otherwise fall back to the escape candidate (last), whose
+        // dependency graph is acyclic by construction.
+        choice = candidates.count - 1;
+        int best_load = -1;
+        for (int i = 0; i < candidates.count - 1; ++i) {
+            const int p = candidates.ports[static_cast<std::size_t>(i)];
+            const std::uint64_t vbit = std::uint64_t{1}
+                << static_cast<unsigned>(map_vc(i));
+            if ((allocatedMask_[static_cast<std::size_t>(p)] & vbit)
+                != 0)
+                continue;
+            const int load = outputLoad(p);
+            if (best_load < 0 || load < best_load) {
+                best_load = load;
+                choice = i;
+            }
+        }
+    } else {
+        // Fat-channel selection: pick the least-loaded candidate port
+        // (Section 3.4: "a message can use any one of the two links
+        // ... based on the current load").
+        choice = 0;
+        int best_load = outputLoad(candidates.ports[0]);
+        for (int i = 1; i < candidates.count; ++i) {
+            const int load =
+                outputLoad(candidates.ports[static_cast<std::size_t>(i)]);
+            if (load < best_load) {
+                best_load = load;
+                choice = i;
+            }
         }
     }
 
-    const int out_vc = header.vcLane;
+    const int out_port =
+        candidates.ports[static_cast<std::size_t>(choice)];
+    const int out_vc = map_vc(choice);
     MW_ASSERT(out_vc >= 0 && out_vc < cfg_.numVcs);
     ++headersRouted_;
     requestOutputVc(port, vc, out_port, out_vc);

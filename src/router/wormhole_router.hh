@@ -49,20 +49,44 @@ namespace mediaworm::router {
 
 /**
  * Output-port candidates for one destination, as produced by a
- * routing function. Multiple entries occur only on fat channels; the
- * router picks the least-loaded one at header-routing time.
+ * routing function or the routing-policy layer (network/routing.hh).
+ *
+ * Each candidate pairs an output port with a VC class. Class -1 is
+ * the legacy mapping (output VC = the header's vcLane verbatim);
+ * class c >= 0 maps the message into the c-th band of the output VCs
+ * (out_vc = c * lanes + vcLane % lanes, lanes = numVcs / vcClasses).
+ * VC classes are how the deterministic policies stay deadlock-free
+ * on wrapped topologies (torus dateline classes) and how adaptive
+ * routing keeps its escape subnetwork separate.
  */
 struct RouteCandidates
 {
+    /** How the router picks among multiple candidates. */
+    enum class Select : std::uint8_t {
+        /** Least-loaded output port (fat channels, Clos up-phase). */
+        LeastLoaded,
+        /**
+         * Candidates 0..count-2 are adaptive choices taken only when
+         * their mapped output VC is free right now; the last
+         * candidate is the escape route (always grantable order
+         * exists because the escape dependency graph is acyclic).
+         * Allocation waits therefore only ever happen on escape VCs.
+         */
+        AdaptiveEscape,
+    };
+
     std::array<int, 4> ports{};
+    std::array<std::int8_t, 4> vcClasses{-1, -1, -1, -1};
     int count = 0;
+    Select select = Select::LeastLoaded;
 
     /** Convenience factory for a single-port route. */
     static RouteCandidates
-    single(int port)
+    single(int port, int vc_class = -1)
     {
         RouteCandidates rc;
         rc.ports[0] = port;
+        rc.vcClasses[0] = static_cast<std::int8_t>(vc_class);
         rc.count = 1;
         return rc;
     }

@@ -12,6 +12,8 @@
  * test_calculus.cc inside mediaworm_tests.
  */
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "calculus/oracle.hh"
@@ -109,6 +111,78 @@ TEST(CalculusBounds, FatMeshVirtualClock)
     const core::ExperimentResult r = core::runExperiment(cfg);
     ASSERT_NE(r.bounds, nullptr);
     EXPECT_GT(expectSimulationWithinBounds(r), 0);
+}
+
+/**
+ * Multi-hop soundness on the topology-graph shapes: the per-hop
+ * TFA/SFA walk over table-built routes must still dominate every
+ * observed delay. Loads sit inside the guarantee region so the
+ * check is non-vacuous (finite bounds exist to violate).
+ */
+TEST(CalculusBounds, MeshMultiHopBoundsHold)
+{
+    core::ExperimentConfig cfg =
+        miniature(config::SchedulerKind::VirtualClock, 0.4);
+    cfg.network.topology = config::TopologyKind::Mesh;
+    cfg.network.meshWidth = 4;
+    cfg.network.meshHeight = 4;
+    cfg.network.endpointsPerSwitch = 1;
+    const core::ExperimentResult r = core::runExperiment(cfg);
+    ASSERT_NE(r.bounds, nullptr);
+    EXPECT_GT(expectSimulationWithinBounds(r), 0);
+    // Multi-hop routes really appear: some stream crosses several
+    // routers.
+    int max_hops = 0;
+    for (const calculus::StreamBound& b : r.bounds->streams)
+        max_hops = std::max(max_hops, b.hops);
+    EXPECT_GE(max_hops, 3);
+}
+
+TEST(CalculusBounds, TorusMultiHopBoundsHold)
+{
+    // Two dateline VC classes: the oracle must fall back to the
+    // blind-multiplexing residual (the stamp-rate branch assumes
+    // lane-exact FIFO sharing) and still dominate the simulation.
+    core::ExperimentConfig cfg =
+        miniature(config::SchedulerKind::VirtualClock, 0.4);
+    cfg.network.topology = config::TopologyKind::Torus;
+    cfg.network.meshWidth = 4;
+    cfg.network.meshHeight = 4;
+    cfg.network.endpointsPerSwitch = 1;
+    const core::ExperimentResult r = core::runExperiment(cfg);
+    ASSERT_NE(r.bounds, nullptr);
+    EXPECT_GT(expectSimulationWithinBounds(r), 0);
+}
+
+TEST(CalculusBounds, ClosMultiHopBoundsHold)
+{
+    core::ExperimentConfig cfg =
+        miniature(config::SchedulerKind::VirtualClock, 0.4);
+    cfg.network.topology = config::TopologyKind::Clos;
+    cfg.network.closM = 2;
+    cfg.network.closN = 2;
+    cfg.network.closR = 4;
+    const core::ExperimentResult r = core::runExperiment(cfg);
+    ASSERT_NE(r.bounds, nullptr);
+    EXPECT_GT(expectSimulationWithinBounds(r), 0);
+}
+
+TEST(CalculusBounds, AdaptiveRoutingRefusesToCertify)
+{
+    // Adaptive paths depend on run-time load; the oracle must report
+    // every stream unbounded rather than guess a path.
+    core::ExperimentConfig cfg =
+        miniature(config::SchedulerKind::VirtualClock, 0.4);
+    cfg.network.topology = config::TopologyKind::Torus;
+    cfg.network.routing = config::RoutingKind::Adaptive;
+    cfg.network.meshWidth = 4;
+    cfg.network.meshHeight = 4;
+    cfg.network.endpointsPerSwitch = 1;
+    const core::ExperimentResult r = core::runExperiment(cfg);
+    ASSERT_NE(r.bounds, nullptr);
+    EXPECT_FALSE(r.bounds->streams.empty());
+    EXPECT_EQ(r.bounds->unboundedStreams,
+              static_cast<int>(r.bounds->streams.size()));
 }
 
 TEST(CalculusBounds, SaturatedFifoReportsNoGuarantee)

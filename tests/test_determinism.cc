@@ -77,6 +77,46 @@ goldenConfig3()
     return cfg;
 }
 
+/** G4: 4x4 mesh, one endpoint per switch, dimension-order routing. */
+ExperimentConfig
+goldenConfig4()
+{
+    ExperimentConfig cfg = goldenConfig1();
+    cfg.network.topology = config::TopologyKind::Mesh;
+    cfg.network.meshWidth = 4;
+    cfg.network.meshHeight = 4;
+    cfg.network.endpointsPerSwitch = 1;
+    cfg.traffic.inputLoad = 0.7;
+    cfg.traffic.realTimeFraction = 0.6;
+    cfg.seed = 13;
+    return cfg;
+}
+
+/** G5: 4x4 torus, dimension-order with dateline VC classes. */
+ExperimentConfig
+goldenConfig5()
+{
+    ExperimentConfig cfg = goldenConfig4();
+    cfg.network.topology = config::TopologyKind::Torus;
+    cfg.seed = 17;
+    return cfg;
+}
+
+/** G6: clos(m=2,n=2,r=4), natural multi-up routing. */
+ExperimentConfig
+goldenConfig6()
+{
+    ExperimentConfig cfg = goldenConfig1();
+    cfg.network.topology = config::TopologyKind::Clos;
+    cfg.network.closM = 2;
+    cfg.network.closN = 2;
+    cfg.network.closR = 4;
+    cfg.traffic.inputLoad = 0.7;
+    cfg.traffic.realTimeFraction = 0.6;
+    cfg.seed = 19;
+    return cfg;
+}
+
 /**
  * Golden digests. Re-captured for the conservative-PDES change:
  * link delivery events now carry canonical tie-break keys, the
@@ -89,6 +129,16 @@ goldenConfig3()
 constexpr std::uint64_t kGolden1 = 0xcc6ebde3298d4797ULL;
 constexpr std::uint64_t kGolden2 = 0x7c2a72eb44faf63bULL;
 constexpr std::uint64_t kGolden3 = 0x001106412b7e36c6ULL;
+
+/**
+ * G4-G6 pin the topology-graph shapes (mesh / torus / Clos over the
+ * routing-policy layer), captured when the layer was introduced.
+ * The PDES shard-invariance tests (test_pdes.cc) must reproduce
+ * these same digests at any shard count.
+ */
+constexpr std::uint64_t kGolden4 = 0x245d70a718778ae6ULL;
+constexpr std::uint64_t kGolden5 = 0x5259e430404b1f03ULL;
+constexpr std::uint64_t kGolden6 = 0x6b7fa99fc7d0012fULL;
 
 void
 expectIdentical(const ExperimentResult& a, const ExperimentResult& b)
@@ -196,6 +246,33 @@ TEST(Determinism, MatchesGoldenFatMesh)
     std::printf("G3 digest=0x%016llx\n",
                 static_cast<unsigned long long>(r.deterministicHash()));
     EXPECT_EQ(r.deterministicHash(), kGolden3);
+}
+
+TEST(Determinism, MatchesGoldenMesh)
+{
+    const ExperimentResult r = runExperiment(goldenConfig4());
+    std::printf("G4 digest=0x%016llx\n",
+                static_cast<unsigned long long>(r.deterministicHash()));
+    EXPECT_EQ(r.deterministicHash(), kGolden4);
+    expectIdentical(r, runExperiment(goldenConfig4()));
+}
+
+TEST(Determinism, MatchesGoldenTorus)
+{
+    const ExperimentResult r = runExperiment(goldenConfig5());
+    std::printf("G5 digest=0x%016llx\n",
+                static_cast<unsigned long long>(r.deterministicHash()));
+    EXPECT_EQ(r.deterministicHash(), kGolden5);
+    expectIdentical(r, runExperiment(goldenConfig5()));
+}
+
+TEST(Determinism, MatchesGoldenClos)
+{
+    const ExperimentResult r = runExperiment(goldenConfig6());
+    std::printf("G6 digest=0x%016llx\n",
+                static_cast<unsigned long long>(r.deterministicHash()));
+    EXPECT_EQ(r.deterministicHash(), kGolden6);
+    expectIdentical(r, runExperiment(goldenConfig6()));
 }
 
 /**

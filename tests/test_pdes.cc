@@ -365,6 +365,46 @@ wideMeshMiniature()
     return cfg;
 }
 
+/** 4x4 mesh on the routing-policy layer (golden G4's shape). */
+ExperimentConfig
+meshMiniature()
+{
+    ExperimentConfig cfg = fig3Miniature();
+    cfg.network.topology = config::TopologyKind::Mesh;
+    cfg.network.meshWidth = 4;
+    cfg.network.meshHeight = 4;
+    cfg.network.endpointsPerSwitch = 1;
+    cfg.traffic.inputLoad = 0.7;
+    cfg.traffic.realTimeFraction = 0.6;
+    cfg.seed = 13;
+    return cfg;
+}
+
+/** 4x4 torus, dateline VC classes (golden G5's shape). */
+ExperimentConfig
+torusMiniature()
+{
+    ExperimentConfig cfg = meshMiniature();
+    cfg.network.topology = config::TopologyKind::Torus;
+    cfg.seed = 17;
+    return cfg;
+}
+
+/** clos(2,2,4): 6 routers, multi-up routing (golden G6's shape). */
+ExperimentConfig
+closMiniature()
+{
+    ExperimentConfig cfg = fig3Miniature();
+    cfg.network.topology = config::TopologyKind::Clos;
+    cfg.network.closM = 2;
+    cfg.network.closN = 2;
+    cfg.network.closR = 4;
+    cfg.traffic.inputLoad = 0.7;
+    cfg.traffic.realTimeFraction = 0.6;
+    cfg.seed = 19;
+    return cfg;
+}
+
 void
 expectShardInvariant(const ExperimentConfig& base)
 {
@@ -401,6 +441,40 @@ TEST(PdesDeterminism, Fig9MiniatureHashIsShardInvariant)
 TEST(PdesDeterminism, WideMeshHashIsShardInvariantThrough8Shards)
 {
     expectShardInvariant(wideMeshMiniature());
+}
+
+/**
+ * The topology-graph shapes must satisfy the same contract as the
+ * legacy ones: one deterministicHash per configuration, bit-identical
+ * across --shards in {1,2,4,8}. The single-shard digests are pinned
+ * as goldens G4-G6 in test_determinism.cc, so these tests tie the
+ * sharded executor to the same values.
+ */
+TEST(PdesDeterminism, MeshHashIsShardInvariant)
+{
+    expectShardInvariant(meshMiniature());
+}
+
+TEST(PdesDeterminism, TorusHashIsShardInvariant)
+{
+    expectShardInvariant(torusMiniature());
+}
+
+TEST(PdesDeterminism, ClosHashIsShardInvariant)
+{
+    // 6 routers: shards 8 clamps to 6, putting both spines alone in
+    // the tail shards - the heaviest cross-shard traffic pattern.
+    expectShardInvariant(closMiniature());
+}
+
+TEST(PdesDeterminism, AdaptiveTorusHashIsShardInvariant)
+{
+    // Adaptive routing reads run-time VC occupancy and output loads
+    // at route time; those are part of the deterministic state, so
+    // sharding must not move them.
+    ExperimentConfig cfg = torusMiniature();
+    cfg.network.routing = config::RoutingKind::Adaptive;
+    expectShardInvariant(cfg);
 }
 
 TEST(PdesDeterminism, AutoShardCountIsAlsoInvariant)

@@ -106,6 +106,7 @@ main(int argc, char** argv)
     int scheduler = 2;  // virtual-clock
     int crossbar = 0;   // multiplexed
     int topology = 0;   // single-switch
+    int routing = 0;    // default (topology's natural policy)
     int rt_kind = 0;    // vbr
     int placement = 0;  // balanced
     int jobs = 1;
@@ -157,9 +158,9 @@ main(int argc, char** argv)
                   "seed replications per point (95% CIs)",
                   &replications, 1, 1000);
     parser.addInt("shards",
-                  "parallel shards per experiment (fat-mesh only; "
-                  "0 = one per hardware thread; results are "
-                  "bit-identical for any value)",
+                  "parallel shards per experiment (multi-router "
+                  "topologies; 0 = one per hardware thread; results "
+                  "are bit-identical for any value)",
                   &shards, 0, 256);
     parser.addString("json-out", "write a JSON campaign artifact "
                                  "(schema mediaworm-campaign-v3)",
@@ -174,7 +175,14 @@ main(int argc, char** argv)
     parser.addChoice("crossbar", "crossbar organisation",
                      {"multiplexed", "full"}, &crossbar);
     parser.addChoice("topology", "interconnect",
-                     {"single-switch", "fat-mesh"}, &topology);
+                     {"single-switch", "fat-mesh", "mesh8x8",
+                      "torus8x8", "clos"},
+                     &topology);
+    parser.addChoice("routing",
+                     "routing policy on mesh8x8/torus8x8/clos "
+                     "(default = the topology's natural policy)",
+                     {"default", "dor", "updown", "adaptive"},
+                     &routing);
     parser.addChoice("rt-kind", "real-time traffic model",
                      {"vbr", "cbr", "mpeg-gop"}, &rt_kind);
     parser.addChoice("placement", "stream placement policy",
@@ -258,7 +266,32 @@ main(int argc, char** argv)
     base.router.scheduler =
         static_cast<config::SchedulerKind>(scheduler);
     base.router.crossbar = static_cast<config::CrossbarKind>(crossbar);
-    base.network.topology = static_cast<config::TopologyKind>(topology);
+    switch (topology) {
+      case 0:
+        base.network.topology = config::TopologyKind::SingleSwitch;
+        break;
+      case 1:
+        base.network.topology = config::TopologyKind::FatMesh;
+        break;
+      case 2: // 8-ary 2-mesh, one endpoint per switch (64 nodes).
+      case 3: // 8-ary 2-torus, same shape with wraparound.
+        base.network.topology = topology == 2
+            ? config::TopologyKind::Mesh
+            : config::TopologyKind::Torus;
+        base.network.meshWidth = 8;
+        base.network.meshHeight = 8;
+        base.network.endpointsPerSwitch = 1;
+        break;
+      case 4: // 3-stage Clos: 4 spines, 16 leaves x 4 endpoints.
+        base.network.topology = config::TopologyKind::Clos;
+        base.network.closM = 4;
+        base.network.closN = 4;
+        base.network.closR = 16;
+        // Each spine needs one port per leaf.
+        base.router.numPorts = 16;
+        break;
+    }
+    base.network.routing = static_cast<config::RoutingKind>(routing);
     base.traffic.inputLoad = load;
     base.traffic.realTimeFraction = mix;
     base.traffic.realTimeKind =
